@@ -1,0 +1,57 @@
+"""Shared fixtures and helpers for the experiment benchmarks.
+
+Each ``test_*`` file regenerates one artifact or claim of the paper (see
+DESIGN.md's experiment index and EXPERIMENTS.md for the measured results).
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+The ``-s`` shows each experiment's reproduced table/figure rows.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import pytest
+
+from repro import Compiler, CompilerOptions, naive_options
+from repro.baseline import CountingInterpreter, NaiveCompiler
+from repro.datum import sym
+
+
+def run_config(source: str, fn: str, args: Sequence[Any],
+               options: Optional[CompilerOptions] = None,
+               repeat: int = 1) -> Tuple[Any, Dict[str, Any]]:
+    """Compile under *options*, run *fn* repeat times, return last result
+    and the machine statistics."""
+    compiler = Compiler(options)
+    compiler.compile_source(source)
+    machine = compiler.machine()
+    result = None
+    for _ in range(repeat):
+        result = machine.run(sym(fn), list(args))
+    return result, machine.stats()
+
+
+def print_table(title: str, headers: Sequence[str],
+                rows: Sequence[Sequence[Any]]) -> None:
+    print()
+    print(title)
+    widths = [max(len(str(h)), *(len(str(r[i])) for r in rows))
+              for i, h in enumerate(headers)]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+@pytest.fixture
+def table(capsys):
+    """Print a table even under pytest's capture (benchmarks run with -s,
+    but be robust without it)."""
+    def emit(title, headers, rows):
+        with capsys.disabled():
+            print_table(title, headers, rows)
+    return emit

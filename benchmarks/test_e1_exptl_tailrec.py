@@ -1,0 +1,105 @@
+"""E1 -- Section 2's ``exptl``: tail-recursive semantics.
+
+"The following procedure behaves iteratively (it cannot produce stack
+overflow no matter how large n is)."  We compile the paper's exponentiation-
+by-squaring procedure and measure the stack high-water mark across five
+orders of magnitude of n, plus the cost per iteration.
+"""
+
+import pytest
+
+from repro import Compiler, CompilerOptions
+from repro.datum import sym
+
+EXPTL = """
+    (defun exptl (x n a)
+      (cond ((zerop n) a)
+            ((oddp n) (exptl (* x x) (floor (/ n 2)) (* a x)))
+            (t (exptl (* x x) (floor (/ n 2)) a))))
+"""
+
+# A linear-iteration variant so iteration count grows with n directly.
+COUNTDOWN = """
+    (defun countdown (n acc)
+      (if (zerop n) acc (countdown (- n 1) (+ acc 1))))
+"""
+
+
+def test_e1_exptl_constant_stack(benchmark, table):
+    compiler = Compiler()
+    compiler.compile_source(EXPTL)
+
+    rows = []
+    for n in (10, 100, 1000, 10_000, 100_000):
+        machine = compiler.machine()
+        result = machine.run(sym("exptl"), [1, n, 1])  # x=1 keeps numbers small
+        assert result == 1
+        rows.append((n, machine.max_stack, machine.instructions))
+    table("E1: exptl stack depth vs n (paper: 'cannot produce stack "
+          "overflow no matter how large n is')",
+          ["n", "stack high-water (words)", "instructions"], rows)
+    depths = [depth for _, depth, _ in rows]
+    assert max(depths) == min(depths), "stack depth must not grow with n"
+    # Work grows ~log n (repeated squaring).
+    assert rows[-1][2] < rows[0][2] * 10
+
+    def run_it():
+        return compiler.machine().run(sym("exptl"), [2, 64, 1])
+
+    assert benchmark(run_it) == 2 ** 64
+
+
+def test_e1_correctness_sweep(benchmark):
+    compiler = Compiler()
+    compiler.compile_source(EXPTL)
+    machine = compiler.machine()
+
+    def sweep():
+        for x in (2, 3, 5):
+            for n in (0, 1, 2, 7, 16):
+                assert machine.run(sym("exptl"), [x, n, 1]) == x ** n
+        return True
+
+    assert benchmark(sweep)
+
+
+def test_e1_linear_tail_recursion_flat_stack(benchmark, table):
+    compiler = Compiler()
+    compiler.compile_source(COUNTDOWN)
+    rows = []
+    for n in (100, 10_000, 200_000):
+        machine = compiler.machine()
+        assert machine.run(sym("countdown"), [n, 0]) == n
+        rows.append((n, machine.max_stack))
+    table("E1: linear tail recursion (200k iterations, flat stack)",
+          ["iterations", "stack high-water (words)"], rows)
+    assert rows[-1][1] == rows[0][1]
+
+    def run_it():
+        return compiler.machine().run(sym("countdown"), [2_000, 0])
+
+    assert benchmark(run_it) == 2_000
+
+
+def test_e1_pascal_rendering_equivalence(benchmark):
+    """The paper renders exptl into PASCAL; our equivalent of that rendering
+    is this Python loop -- results must agree exactly (bignums and all)."""
+    def pascal_exptl(x, n, a):
+        while True:
+            if n == 0:
+                return a
+            if n % 2 == 1:
+                x, n, a = x * x, n // 2, a * x
+            else:
+                x, n, a = x * x, n // 2, a
+
+    compiler = Compiler()
+    compiler.compile_source(EXPTL)
+    machine = compiler.machine()
+
+    def compare():
+        for x, n in ((2, 30), (3, 21), (7, 11)):
+            assert machine.run(sym("exptl"), [x, n, 1]) == pascal_exptl(x, n, 1)
+        return True
+
+    assert benchmark(compare)

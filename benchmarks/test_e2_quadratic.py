@@ -1,0 +1,82 @@
+"""E2 -- Section 4.1's ``quadratic``: preliminary conversion artifact.
+
+The paper shows the quadratic-formula program and its back-translation
+after conversion: lets become explicit lambda calls, cond becomes nested
+if, constants are internally quoted.  This bench regenerates the
+back-translation and checks its shape, then runs the compiled program.
+"""
+
+import pytest
+
+from repro import Compiler
+from repro.datum import sym, to_list
+from repro.ir import Converter, back_translate_to_string
+from repro.reader import read
+
+SOURCE = """
+    (defun quadratic (a b c)
+      (let ((d (- (* b b) (* 4.0 a c))))
+        (cond ((< d 0) '())
+              ((= d 0) (list (/ (- b) (* 2.0 a))))
+              (t (let ((2a (* 2.0 a)) (sd (sqrt d)))
+                   (list (/ (+ (- b) sd) 2a)
+                         (/ (- (- b) sd) 2a)))))))
+"""
+
+
+def converted_text():
+    converter = Converter()
+    _, node = converter.convert_defun(read(SOURCE))
+    return back_translate_to_string(node)
+
+
+def test_e2_conversion_shape(benchmark, table):
+    text = benchmark(converted_text)
+    # The paper's expansion:
+    #   ((lambda (d) (if (< d 0) '() (if (= d 0) ... ((lambda (2a sd) ...)
+    #    (* 2.0 a) (sqrt d))))) (- (* b b) (* 4.0 a c)))
+    checks = [
+        ("let -> explicit lambda call", "((lambda (d)" in text),
+        ("cond -> nested if", "(if (< d 0)" in text and "(if (= d 0)" in text),
+        ("inner let -> lambda of (2a sd)", "(lambda (|2a| sd)" in text
+         or "(lambda (2a sd)" in text),
+        ("initializer in call position", "(- (* b b) (* 4.0 a c))" in text),
+        ("no cond remains", "cond" not in text),
+        ("no let remains", "(let " not in text),
+    ]
+    table("E2: quadratic after preliminary conversion",
+          ["property", "holds"], checks)
+    for name, ok in checks:
+        assert ok, name
+    print()
+    print("Back-translation:")
+    print(" ", text)
+
+
+def test_e2_compiled_roots(benchmark, table):
+    compiler = Compiler()
+    compiler.compile_source(SOURCE)
+    machine = compiler.machine()
+
+    cases = [
+        ((1.0, -3.0, 2.0), [2.0, 1.0]),        # two real roots
+        ((1.0, -2.0, 1.0), [1.0]),             # double root
+        ((1.0, 0.0, 1.0), []),                 # no real roots
+        ((2.0, -10.0, 12.0), [3.0, 2.0]),
+    ]
+    rows = []
+    for (a, b, c), expected in cases:
+        result = machine.run(sym("quadratic"), [a, b, c])
+        roots = to_list(result) if result is not None and hasattr(result, "car") \
+            else ([] if not isinstance(result, list) else result)
+        if not roots and expected:
+            roots = to_list(result)
+        rows.append(((a, b, c), roots, expected))
+        assert roots == pytest.approx(expected)
+    table("E2: quadratic roots on the simulated S-1",
+          ["(a b c)", "computed", "expected"], rows)
+
+    def run_it():
+        return machine.run(sym("quadratic"), [1.0, -3.0, 2.0])
+
+    benchmark(run_it)

@@ -1,0 +1,137 @@
+"""E8 -- Section 3: the multiprocessor configuration.
+
+"The standard configuration is a multiprocessor; synchronization
+instructions are available to the user ... the run-time system, and
+especially the garbage collector, has been written with multiprocessing in
+mind."
+
+Measured shapes:
+
+* near-linear parallel speedup on a data-parallel kernel (elapsed cycles =
+  max over processors, not the sum),
+* locked updates to a shared special never lose increments regardless of
+  interleaving quantum,
+* a stop-the-world collection over all processors' roots reclaims one
+  processor's garbage while preserving another's live data.
+"""
+
+import pytest
+
+from repro import Compiler
+from repro.datum import sym
+from repro.machine import MultiMachine
+from repro.primitives import LispVector
+
+SOURCE = """
+    (defvar *grand-total* 0.0)
+
+    (defun partial-dot (a b start end)
+      (let ((sum 0.0) (i start))
+        (prog ()
+          loop
+          (if (>= i end) (return sum))
+          (setq sum (+$f sum (*$f (vref a i) (vref b i))))
+          (setq i (+ i 1))
+          (go loop))))
+
+    (defun worker (a b start end)
+      (let ((mine (partial-dot a b start end)))
+        (lock 'total)
+        (setq *grand-total* (+ *grand-total* mine))
+        (unlock 'total)
+        mine))
+"""
+
+
+def make_job(n=160):
+    a = LispVector([float(i % 9) for i in range(n)])
+    b = LispVector([float(i % 5) for i in range(n)])
+    expected = sum(x * y for x, y in zip(a.data, b.data))
+    compiler = Compiler()
+    compiler.compile_source(SOURCE)
+    return compiler, a, b, expected, n
+
+
+def run_parallel(compiler, a, b, n, processors):
+    machine = MultiMachine(compiler.program, processors=processors,
+                           quantum=16)
+    machine.define_global(sym("*grand-total*"), 0.0)
+    chunk = n // processors
+    tasks = [(sym("worker"), [a, b, k * chunk, (k + 1) * chunk])
+             for k in range(processors)]
+    machine.run_tasks(tasks)
+    return machine
+
+
+def test_e8_parallel_speedup(benchmark, table):
+    compiler, a, b, expected, n = make_job()
+    rows = []
+    baseline = None
+    for processors in (1, 2, 4, 8):
+        machine = run_parallel(compiler, a, b, n, processors)
+        total = machine.global_value(sym("*grand-total*"))
+        assert total == pytest.approx(expected)
+        elapsed = machine.elapsed_cycles()
+        if baseline is None:
+            baseline = elapsed
+        rows.append((processors, elapsed,
+                     f"{baseline / elapsed:.1f}x"))
+    table("E8: parallel dot product, elapsed cycles by processor count",
+          ["processors", "elapsed cycles", "speedup"], rows)
+    # Shape: monotone speedup, at least 3x on 4 processors.
+    elapsed_values = [r[1] for r in rows]
+    assert elapsed_values == sorted(elapsed_values, reverse=True)
+    assert baseline / rows[2][1] > 3.0
+
+    benchmark(lambda: run_parallel(compiler, a, b, n, 4))
+
+
+def test_e8_locked_updates_with_varying_quantum(benchmark, table):
+    source = """
+        (defvar *counter* 0)
+        (defun bump-safe (n)
+          (dotimes (i n 'done)
+            (lock 'counter)
+            (setq *counter* (+ *counter* 1))
+            (unlock 'counter)))
+    """
+    compiler = Compiler()
+    compiler.compile_source(source)
+    rows = []
+    for quantum in (1, 2, 7, 32):
+        machine = MultiMachine(compiler.program, processors=3,
+                               quantum=quantum)
+        machine.define_global(sym("*counter*"), 0)
+        machine.run_tasks([(sym("bump-safe"), [20])] * 3)
+        count = machine.global_value(sym("*counter*"))
+        rows.append((quantum, count))
+        assert count == 60
+    table("E8: locked shared counter, 3 processors x 20 increments",
+          ["quantum", "final count (must be 60)"], rows)
+
+    benchmark(lambda: None)
+
+
+def test_e8_shared_heap_gc(benchmark):
+    source = """
+        (defun churn (n) (dotimes (i n 'ok) (list i i i)))
+        (defun keep (n)
+          (let ((acc nil))
+            (dotimes (i n acc) (setq acc (cons i acc)))))
+    """
+    compiler = Compiler()
+    compiler.compile_source(source)
+
+    def run_it():
+        machine = MultiMachine(compiler.program, processors=2, quantum=8,
+                               gc_threshold=100)
+        results = machine.run_tasks([(sym("churn"), [150]),
+                                     (sym("keep"), [40])])
+        return machine, results
+
+    machine, results = run_it()
+    from repro.datum import to_list
+
+    assert to_list(results[1]) == list(range(39, -1, -1))
+    assert machine.heap.gc_runs >= 1
+    benchmark(lambda: run_it()[0].heap.gc_runs)

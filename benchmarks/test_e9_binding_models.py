@@ -1,0 +1,147 @@
+"""E9 -- Section 4.4's binding-model discussion, quantified.
+
+"Deep binding calls for binding a variable by pushing its name and new
+value onto a stack.  This allows for fast context switching among processes
+... but in general requires a linear search when accessing a variable.
+This is in contrast with shallow binding, in which ... constant-time
+access, but for a context switch an arbitrarily large number of variables
+may have to be changed.  (For a discussion of deep and shallow binding
+techniques and the trade-offs involved, see [Baker].)"
+
+The compiler's lookup-caching trick exists precisely to recover shallow-
+binding access costs on a deep-binding runtime.  This experiment runs the
+two workload extremes over both binding implementations and shows the
+crossover, then shows caching erasing deep binding's weakness.
+"""
+
+import pytest
+
+from repro.datum import sym
+from repro.interp import DeepBindingStack, ShallowBindingStack
+
+VARS = [sym(f"*v{i}*") for i in range(50)]
+
+
+def bind_all(stack, count):
+    for index in range(count):
+        stack.push(VARS[index], index)
+
+
+def access_workload(stack, accesses):
+    """Bind 5 variables, then hammer the innermost one."""
+    stack.set_global(VARS[0], 0)
+    depth0 = stack.depth()
+    bind_all(stack, 5)
+    start = stack.search_steps
+    for _ in range(accesses):
+        stack.lookup(VARS[0])  # deepest search: bound first
+    work = stack.search_steps - start
+    stack.pop_to(depth0)
+    return work
+
+
+def switch_workload(stack_class, bindings, switches):
+    """Two processes, each with *bindings* dynamic bindings, alternating."""
+    process_a = stack_class()
+    process_b = stack_class()
+    bind_all(process_a, bindings)
+    bind_all(process_b, bindings)
+    work = 0
+    for i in range(switches):
+        current, other = (process_a, process_b) if i % 2 == 0 \
+            else (process_b, process_a)
+        work += current.context_switch(other)
+    return work
+
+
+def test_e9_access_heavy_favors_shallow(benchmark, table):
+    accesses = 500
+    deep_work = access_workload(DeepBindingStack(), accesses)
+    shallow_work = access_workload(ShallowBindingStack(), accesses)
+    rows = [
+        ("deep binding", deep_work),
+        ("shallow binding", shallow_work),
+    ]
+    table(f"E9: {accesses} accesses under 5 bindings (work units)",
+          ["model", "work"], rows)
+    assert shallow_work < deep_work
+    assert deep_work >= accesses * 5  # linear search to the bottom
+
+    benchmark(lambda: access_workload(DeepBindingStack(), 50))
+
+
+def test_e9_switch_heavy_favors_deep(benchmark, table):
+    bindings, switches = 50, 200
+    deep_work = switch_workload(DeepBindingStack, bindings, switches)
+    shallow_work = switch_workload(ShallowBindingStack, bindings, switches)
+    rows = [
+        ("deep binding", deep_work),
+        ("shallow binding", shallow_work),
+    ]
+    table(f"E9: {switches} context switches with {bindings} bindings each",
+          ["model", "work"], rows)
+    assert deep_work < shallow_work
+    assert deep_work == switches  # O(1) per switch
+    assert shallow_work >= switches * bindings
+
+    benchmark(lambda: switch_workload(DeepBindingStack, 10, 20))
+
+
+def test_e9_caching_recovers_shallow_access_cost(benchmark, table):
+    """The compiler's contribution: on the deep-binding runtime, the
+    smallest-subtree lookup caching makes the access-heavy workload cost
+    one search total -- better than either raw model."""
+    from conftest import run_config
+    from repro import CompilerOptions
+
+    source = """
+        (defvar *v* 1)
+        (defun hammer (n)
+          (let ((s 0))
+            (dotimes (i n s) (setq s (+ s *v*)))))
+        (defun hammer-under-bindings (*d1* *d2* *d3* *d4* n)
+          ;; Four deep bindings above *v*'s global: each uncached access
+          ;; must walk past all of them.
+          (declare (special *d1* *d2* *d3* *d4*))
+          (hammer n))
+    """
+    accesses = 200
+    args = [0, 0, 0, 0, accesses]
+    _, cached = run_config(source, "hammer-under-bindings", args)
+    _, uncached = run_config(source, "hammer-under-bindings", args,
+                             CompilerOptions(enable_special_caching=False))
+    rows = [
+        ("deep + compiler caching", cached["special_lookups"],
+         cached["special_search_steps"]),
+        ("deep, uncached", uncached["special_lookups"],
+         uncached["special_search_steps"]),
+        ("shallow (model)", accesses, accesses),
+    ]
+    table("E9: the compiler's caching vs the binding models "
+          f"({accesses} accesses under 4 bindings)",
+          ["configuration", "searches", "stack entries examined"], rows)
+    assert cached["special_lookups"] == 1
+    assert uncached["special_lookups"] == accesses
+    assert uncached["special_search_steps"] >= 4 * accesses
+    assert cached["special_search_steps"] <= 8
+
+    benchmark(lambda: run_config(source, "hammer", [20])[0])
+
+
+def test_e9_models_agree_semantically(benchmark):
+    """Both models implement the same dynamic-scoping semantics."""
+    for stack_class in (DeepBindingStack, ShallowBindingStack):
+        stack = stack_class()
+        stack.set_global(sym("*x*"), sym("global"))
+        assert stack.lookup(sym("*x*")) is sym("global")
+        depth = stack.depth()
+        stack.push(sym("*x*"), sym("inner"))
+        assert stack.lookup(sym("*x*")) is sym("inner")
+        stack.push(sym("*x*"), sym("innermost"))
+        assert stack.lookup(sym("*x*")) is sym("innermost")
+        stack.assign(sym("*x*"), sym("mutated"))
+        assert stack.lookup(sym("*x*")) is sym("mutated")
+        stack.pop_to(depth)
+        assert stack.lookup(sym("*x*")) is sym("global")
+
+    benchmark(lambda: None)

@@ -1,0 +1,114 @@
+"""P2 -- ablation: pdl numbers (Section 6.3).
+
+Claim: stack allocation of boxed numbers eliminates the heap allocation
+(and consequent GC pressure) for numbers whose lifetime analysis permits
+it; run-time certification keeps the discipline safe.
+
+We compile a function that repeatedly passes boxed intermediates to a user
+function (the classic pdl situation) with the phase on and off.
+"""
+
+import pytest
+
+from conftest import run_config
+from repro import CompilerOptions
+
+SOURCE = """
+    (defun consume (p q r) nil)
+
+    (defun churn (x n)
+      (declare (single-float x))
+      (dotimes (i n 'done)
+        ;; Three boxed intermediates per iteration, all dead after consume.
+        (consume (+$f x 1.0) (*$f x x) (-$f x 0.5))))
+"""
+
+ESCAPING = """
+    (defun escape-one (x)
+      (declare (single-float x))
+      ;; The boxed number is returned: it must NOT stay on the stack.
+      (+$f x 1.0))
+"""
+
+
+def test_p2_pdl_eliminates_heap_boxes(benchmark, table):
+    iterations = 50
+    _, with_pdl = run_config(SOURCE, "churn", [2.0, iterations])
+    _, without_pdl = run_config(
+        SOURCE, "churn", [2.0, iterations],
+        CompilerOptions(enable_pdl_numbers=False))
+
+    rows = [
+        ("pdl numbers on",
+         with_pdl["heap_allocations"].get("number-box", 0),
+         with_pdl["opcodes"].get("PDLBOX", 0),
+         with_pdl["certifications"]),
+        ("pdl numbers off",
+         without_pdl["heap_allocations"].get("number-box", 0),
+         without_pdl["opcodes"].get("PDLBOX", 0),
+         without_pdl["certifications"]),
+    ]
+    table(f"P2: boxed-number traffic over {iterations} iterations "
+          f"(3 dead intermediates each)",
+          ["configuration", "heap boxes", "pdl installs", "certifications"],
+          rows)
+
+    # With the phase on: 3 pdl installs per iteration, ~no heap boxes.
+    assert with_pdl["opcodes"].get("PDLBOX", 0) == 3 * iterations
+    assert with_pdl["heap_allocations"].get("number-box", 0) <= 2
+    # With it off: 3 heap boxes per iteration.
+    assert without_pdl["heap_allocations"].get("number-box", 0) \
+        >= 3 * iterations
+
+    benchmark(lambda: run_config(SOURCE, "churn", [2.0, 10])[0])
+
+
+def test_p2_escaping_values_are_certified(benchmark, table):
+    """Returning a number is "not a 'safe' operation": the value must reach
+    the heap, never dangle into a dead frame."""
+    result, stats = run_config(ESCAPING, "escape-one", [1.0])
+    assert result == pytest.approx(2.0)
+    rows = [
+        ("returned value correct", result == pytest.approx(2.0)),
+        ("heap boxes (arg + result)",
+         stats["heap_allocations"].get("number-box", 0)),
+    ]
+    table("P2: escaping value goes to the heap", ["check", "value"], rows)
+    assert stats["heap_allocations"].get("number-box", 0) >= 2
+
+    benchmark(lambda: run_config(ESCAPING, "escape-one", [1.0])[0])
+
+
+def test_p2_unsafe_operation_forces_certification(benchmark):
+    """rplaca is unsafe: a pdl pointer stored into a heap cons must first be
+    copied to the heap (counted as a certification)."""
+    source = """
+        (defun stash (pair x)
+          (declare (single-float x))
+          (progn (frotzish (rplaca pair (+$f x 1.0))) (car pair)))
+        (defun frotzish (v) v)
+    """
+    from repro import Compiler
+    from repro.datum import cons, sym, NIL
+
+    compiler = Compiler()
+    compiler.compile_source(source)
+    machine = compiler.machine()
+    pair = cons(0, NIL)
+
+    def run_it():
+        return machine.run(sym("stash"), [pair, 1.5])
+
+    result = run_it()
+    assert result == pytest.approx(2.5)
+    benchmark(run_it)
+
+
+def test_p2_correctness_is_configuration_independent(benchmark):
+    on, _ = run_config(SOURCE, "churn", [2.0, 10])
+    off, _ = run_config(SOURCE, "churn", [2.0, 10],
+                        CompilerOptions(enable_pdl_numbers=False))
+    from repro.datum import sym
+
+    assert on is sym("done") and off is sym("done")
+    benchmark(lambda: None)

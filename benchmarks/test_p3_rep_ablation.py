@@ -1,0 +1,96 @@
+"""P3 -- ablation: representation analysis (Section 6.2).
+
+Claim: choosing raw machine representations for numeric intermediates
+avoids "needless conversion between these two representations", interfacing
+the pointer world and the number world "at least cost".
+
+With the phase off, every value is a LISP pointer: every arithmetic
+operation becomes an out-of-line generic call that unboxes its operands and
+boxes its result.
+"""
+
+import pytest
+
+from conftest import run_config
+from repro import CompilerOptions
+
+SOURCE = """
+    (defun horner (x n)
+      (declare (single-float x))
+      (let ((acc 0.0))
+        (dotimes (i n acc)
+          (setq acc (+$f (*$f acc x) 1.0)))))
+"""
+
+
+def test_p3_rep_analysis_removes_boxing(benchmark, table):
+    iterations = 60
+    _, with_reps = run_config(SOURCE, "horner", [0.5, iterations])
+    _, without_reps = run_config(
+        SOURCE, "horner", [0.5, iterations],
+        CompilerOptions(enable_representation_analysis=False))
+
+    def row(label, stats):
+        ops = stats["opcodes"]
+        raw_arith = sum(ops.get(op, 0) for op in
+                        ("FADD", "FSUB", "FMULT", "FDIV"))
+        return (label, stats["cycles"], raw_arith,
+                ops.get("GENERIC", 0),
+                stats["heap_allocations"].get("number-box", 0))
+
+    rows = [row("representation analysis on", with_reps),
+            row("representation analysis off", without_reps)]
+    table(f"P3: {iterations} Horner iterations",
+          ["configuration", "cycles", "raw float ops", "generic calls",
+           "heap boxes"], rows)
+
+    # On: the inner loop runs on raw floats (2 raw ops per iteration).
+    assert rows[0][2] >= 2 * iterations
+    # Off: no raw float instructions at all; everything generic and boxed.
+    assert rows[1][2] == 0
+    assert rows[1][4] >= iterations
+    assert with_reps["cycles"] < without_reps["cycles"]
+
+    benchmark(lambda: run_config(SOURCE, "horner", [0.5, 20])[0])
+
+
+def test_p3_coercion_count_static(benchmark, table):
+    """Static view: the number of WANTREP/ISREP mismatches (potential
+    coercions) in the annotated tree, with and without variable-rep
+    election."""
+    from repro.analysis import analyze
+    from repro.annotate import annotate_representations, coercion_sites
+    from repro.ir import convert_source
+
+    text = """
+        (lambda (a b)
+          ((lambda (d) (+$f (*$f d d) (/$f d 2.0)))
+           (+$f (float a) (float b))))
+    """
+
+    def count_sites(enable):
+        tree = convert_source(text)
+        analyze(tree)
+        annotate_representations(tree, enable=enable)
+        return len(coercion_sites(tree))
+
+    with_analysis = benchmark(count_sites, True)
+    tree2 = convert_source(text)
+    analyze(tree2)
+    annotate_representations(tree2, enable=False)
+    # With everything POINTER the typed operators coerce at EVERY operand.
+    from repro.annotate import coercion_sites as sites_fn
+    # Count mismatches the typed ops would need (args wanted SWFLO).
+    table("P3: static coercion sites",
+          ["configuration", "sites"],
+          [("elected reps", with_analysis)])
+    # The let-bound d is elected SWFLO: its three uses need no conversion.
+    assert with_analysis <= 3
+
+
+def test_p3_results_identical(benchmark):
+    on, _ = run_config(SOURCE, "horner", [0.5, 30])
+    off, _ = run_config(SOURCE, "horner", [0.5, 30],
+                        CompilerOptions(enable_representation_analysis=False))
+    assert on == pytest.approx(off)
+    benchmark(lambda: None)

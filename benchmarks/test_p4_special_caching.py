@@ -1,0 +1,118 @@
+"""P4 -- ablation: special-variable lookup caching (Section 4.4).
+
+Claim: deep binding needs a linear search per access; caching the cell
+pointer "on entry to a function" (generalized to the smallest containing
+subtree, hoisted out of loops) makes every subsequent access constant time.
+
+The workload binds a handful of specials (deepening the binding stack) and
+then accesses one of them in a loop.
+"""
+
+import pytest
+
+from conftest import run_config
+from repro import CompilerOptions
+
+SOURCE = """
+    (defvar *target* 1)
+
+    (defun hot-loop (n)
+      ;; n accesses of *target* inside a loop.
+      (let ((sum 0))
+        (dotimes (i n sum)
+          (setq sum (+ sum *target*)))))
+
+    (defun with-depth (*a* *b* *c* *d* *target* n)
+      ;; Five deep bindings above the global: the search has to walk them.
+      (hot-loop n))
+"""
+
+ARGS = [0, 0, 0, 0, 2, 40]
+
+
+def test_p4_caching_reduces_search_work(benchmark, table):
+    result, cached = run_config(SOURCE, "with-depth", ARGS)
+    result2, uncached = run_config(
+        SOURCE, "with-depth", ARGS,
+        CompilerOptions(enable_special_caching=False))
+    assert result == result2 == 80
+
+    rows = [
+        ("caching on", cached["special_lookups"],
+         cached["special_search_steps"]),
+        ("caching off", uncached["special_lookups"],
+         uncached["special_search_steps"]),
+    ]
+    table(f"P4: deep-binding search work for {ARGS[-1]} loop accesses "
+          f"under 5 bindings",
+          ["configuration", "deep searches", "stack entries examined"],
+          rows)
+
+    # Cached: one search for the whole loop.  Uncached: one per access.
+    assert cached["special_lookups"] <= 3
+    assert uncached["special_lookups"] >= ARGS[-1]
+    assert cached["special_search_steps"] < uncached["special_search_steps"]
+
+    benchmark(lambda: run_config(SOURCE, "with-depth", ARGS)[0])
+
+
+def test_p4_conditional_arm_lookup_avoided(benchmark, table):
+    """"This may avoid a lookup if the subtree is in an arm of a
+    conditional": taking the other arm performs no search at all."""
+    source = """
+        (defvar *expensive* 7)
+        (defun maybe (p) (if p (+ *expensive* *expensive*) 0))
+    """
+    from repro.datum import NIL, T
+
+    _, taken = run_config(source, "maybe", [T])
+    _, not_taken = run_config(source, "maybe", [NIL])
+    rows = [
+        ("arm taken", taken["special_lookups"]),
+        ("arm not taken", not_taken["special_lookups"]),
+    ]
+    table("P4: lookups when the using arm is/is not taken",
+          ["path", "deep searches"], rows)
+    assert taken["special_lookups"] == 1
+    assert not_taken["special_lookups"] == 0
+
+    benchmark(lambda: run_config(source, "maybe", [T])[0])
+
+
+def test_p4_loop_hoisting(benchmark, table):
+    """"The trick is further refined to take loops into account": the
+    lookup runs once, not once per iteration."""
+    source = """
+        (defvar *v* 3)
+        (defun loop-read (n)
+          (let ((sum 0))
+            (dotimes (i n sum) (setq sum (+ sum *v*)))))
+    """
+    iterations = 25
+    result, stats = run_config(source, "loop-read", [iterations])
+    assert result == 3 * iterations
+    table("P4: loop-hoisted lookup",
+          ["metric", "value"],
+          [("iterations", iterations),
+           ("deep searches", stats["special_lookups"]),
+           ("cached reads (SPECREF)", stats["opcodes"].get("SPECREF", 0))])
+    assert stats["special_lookups"] == 1
+    assert stats["opcodes"].get("SPECREF", 0) == iterations
+
+    benchmark(lambda: run_config(source, "loop-read", [10])[0])
+
+
+def test_p4_binding_semantics_preserved(benchmark):
+    """Caching must still see the innermost binding."""
+    source = """
+        (defvar *x* 'global)
+        (defun reader () *x*)
+        (defun shadow (*x*) (reader))
+    """
+    from repro.datum import sym
+
+    result, _ = run_config(source, "shadow", [sym("inner")])
+    assert result is sym("inner")
+    result2, _ = run_config(source, "reader", [])
+    assert result2 is sym("global")
+    benchmark(lambda: run_config(source, "shadow", [sym("inner")])[0])

@@ -1,0 +1,135 @@
+"""P5 -- ablation: binding annotation / closure analysis (Section 4.4).
+
+Claim: "in many special cases [a run-time closure object] is not
+necessary" -- a lambda whose call sites are all known compiles as
+parameter-passing gotos, and only variables "referred to by closures" are
+heap-allocated.
+
+Workloads: a downward-funarg style program (all lambdas known: zero
+closures) vs a genuinely escaping closure factory (closures required).
+"""
+
+import pytest
+
+from conftest import run_config
+from repro import CompilerOptions
+
+DOWNWARD = """
+    (defun compute (a b c)
+      ;; let-bound thunks called in known positions only.
+      ((lambda (f g)
+         (if (< a 0) (f) (g)))
+       (lambda () (* b 2))
+       (lambda () (* c 3))))
+"""
+
+ESCAPING = """
+    (defun make-adder (n) (lambda (x) (+ x n)))
+    (defun sum-with-adders (k)
+      (let ((add1 (make-adder 1)) (add2 (make-adder 2)))
+        (+ (funcall add1 k) (funcall add2 k))))
+"""
+
+
+def test_p5_known_lambdas_build_no_closures(benchmark, table):
+    """Three configurations isolate the phases: with full optimization the
+    thunks are integrated away entirely; with only the binding annotation
+    they are compiled as known calls (still no closure objects); with
+    neither, every lambda builds a run-time closure."""
+    result_full, full = run_config(DOWNWARD, "compute", [1, 10, 20])
+    result_ba, binding_only = run_config(
+        DOWNWARD, "compute", [1, 10, 20],
+        CompilerOptions(optimize=False))
+    result_none, neither = run_config(
+        DOWNWARD, "compute", [1, 10, 20],
+        CompilerOptions(optimize=False, enable_closure_analysis=False))
+    assert result_full == result_ba == result_none == 60
+
+    def closures(stats):
+        return stats["heap_allocations"].get("closure", 0)
+
+    rows = [
+        ("optimizer + binding annotation", closures(full), full["cycles"]),
+        ("binding annotation only", closures(binding_only),
+         binding_only["cycles"]),
+        ("neither (most general case)", closures(neither),
+         neither["cycles"]),
+    ]
+    table("P5: downward-funarg program (all call sites known)",
+          ["configuration", "closures built", "cycles"], rows)
+    assert closures(full) == 0
+    assert closures(binding_only) == 0
+    assert closures(neither) >= 2
+    assert full["cycles"] <= binding_only["cycles"] < neither["cycles"]
+
+    benchmark(lambda: run_config(DOWNWARD, "compute", [1, 10, 20])[0])
+
+
+def test_p5_escaping_lambdas_still_closures(benchmark, table):
+    """Escape analysis must not break real upward funargs."""
+    result, stats = run_config(ESCAPING, "sum-with-adders", [10])
+    assert result == 23
+    rows = [
+        ("closures built", stats["heap_allocations"].get("closure", 0)),
+        ("result", result),
+    ]
+    table("P5: escaping closures are still heap-allocated",
+          ["metric", "value"], rows)
+    assert stats["heap_allocations"].get("closure", 0) >= 2
+
+    benchmark(lambda: run_config(ESCAPING, "sum-with-adders", [10])[0])
+
+
+def test_p5_stack_vs_heap_variables(benchmark, table):
+    """Only captured variables go to the heap (as cells)."""
+    source = """
+        (defun selective (a b)
+          ;; a is captured by the escaping lambda; b is not.
+          (let ((capture a) (local (* b 2)))
+            (frobnicate (lambda () capture))
+            local))
+        (defun frobnicate (f) (funcall f))
+    """
+    result, stats = run_config(source, "selective", [5, 6])
+    assert result == 12
+    rows = [
+        ("heap cells (captured vars)",
+         stats["heap_allocations"].get("cell", 0)),
+        ("closures", stats["heap_allocations"].get("closure", 0)),
+    ]
+    table("P5: per-variable stack/heap decision", ["metric", "value"], rows)
+    # Exactly the captured binding needs a cell; `local` stays in the frame.
+    assert stats["heap_allocations"].get("cell", 0) == 1
+
+    benchmark(lambda: run_config(source, "selective", [5, 6])[0])
+
+
+def test_p5_strategy_census(benchmark, table):
+    """Static census of lambda strategies over a mixed program."""
+    from repro.analysis import analyze
+    from repro.annotate import annotate_bindings, closure_report
+    from repro.ir import convert_source
+
+    text = """
+        (lambda (p xs)
+          ((lambda (f g)
+             (progn
+               (mapthing (lambda (x) (* x x)) xs)   ; escapes into mapthing
+               (if p (f) (+ (g) 1))))               ; f tail-called, g not
+           (lambda () 1)
+           (lambda () 2)))
+    """
+
+    def census():
+        tree = convert_source(text)
+        analyze(tree)
+        annotate_bindings(tree)
+        return closure_report(tree)
+
+    report = benchmark(census)
+    strategies = report["strategies"]
+    rows = [(k, v) for k, v in strategies.items()]
+    table("P5: lambda compilation strategies", ["strategy", "count"], rows)
+    assert strategies["jump"] >= 2       # the outer let + the tail thunk f
+    assert strategies["fast-call"] >= 1  # g: known but not tail
+    assert strategies["closure"] >= 1    # the mapthing argument escapes

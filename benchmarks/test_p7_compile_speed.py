@@ -1,0 +1,77 @@
+"""P7 -- compilation speed scaling.
+
+The paper trades compile time for run-time quality ("Compilation time can
+be traded for run-time efficiency here by making the packing process more
+or less clever") and reports design decisions taken for compilation speed
+(the go/return/progbody node types).  This bench measures wall-clock
+compile time against program size and against the optional phases.
+"""
+
+import pytest
+
+from repro import Compiler, CompilerOptions
+
+
+def make_program(functions: int, depth: int) -> str:
+    """Generate a program with the given number of arithmetic functions."""
+    parts = []
+    for index in range(functions):
+        expr = "x"
+        for level in range(depth):
+            expr = f"(+ (* {expr} 2) (- {expr} {level}))"
+        parts.append(f"(defun fn{index} (x) (let ((y {expr})) (* y y)))")
+    return "\n".join(parts)
+
+
+@pytest.mark.parametrize("functions", [1, 4, 16])
+def test_p7_scaling_with_program_size(benchmark, functions):
+    source = make_program(functions, 3)
+
+    def compile_it():
+        compiler = Compiler()
+        compiler.compile_source(source)
+        return compiler
+
+    compiler = benchmark(compile_it)
+    assert len(compiler.functions) == functions
+
+
+def test_p7_optimizer_cost(benchmark, table):
+    """Compile time with and without the optional phases (single sample;
+    the timed benchmark measures the full configuration)."""
+    import time
+
+    source = make_program(8, 4)
+    timings = []
+    for label, options in [
+        ("full pipeline", CompilerOptions(enable_cse=True)),
+        ("no optimizer", CompilerOptions(optimize=False)),
+        ("no tnbind", CompilerOptions(enable_tnbind=False)),
+    ]:
+        start = time.perf_counter()
+        compiler = Compiler(options)
+        compiler.compile_source(source)
+        timings.append((label, f"{(time.perf_counter() - start) * 1e3:.1f} ms"))
+    table("P7: compile time by configuration (8 functions)",
+          ["configuration", "time"], timings)
+
+    def compile_full():
+        compiler = Compiler(CompilerOptions(enable_cse=True))
+        compiler.compile_source(source)
+        return compiler
+
+    benchmark(compile_full)
+
+
+def test_p7_compiled_code_still_correct_at_scale(benchmark):
+    source = make_program(16, 3)
+    compiler = Compiler()
+    compiler.compile_source(source)
+
+    def run_all():
+        total = 0
+        for index in range(16):
+            total += compiler.run(f"fn{index}", [1])
+        return total
+
+    assert benchmark(run_all) > 0

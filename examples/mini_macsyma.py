@@ -1,0 +1,128 @@
+"""A miniature MACSYMA: the workload that motivated the whole effort.
+
+"Eventually there arose an application for LISP that required fairly large
+amounts of numerical computation in addition to powerful symbolic
+manipulation: the MACSYMA symbolic algebra system."  (Section 1)
+
+This example compiles a small symbolic-algebra kernel -- polynomials as
+coefficient lists, with symbolic arithmetic, differentiation, and *numeric*
+evaluation via a declared-float Horner loop -- and runs a mixed
+symbolic/numeric job: build (x+1)^4 symbolically, differentiate it twice,
+then evaluate the result numerically over a grid.
+
+Run:  python examples/mini_macsyma.py
+"""
+
+from repro import Compiler, CompilerOptions
+from repro.datum import from_list, sym, to_list
+
+ALGEBRA = """
+    ;; Polynomials are coefficient lists, lowest power first:
+    ;; (a0 a1 a2 ...) represents a0 + a1*x + a2*x^2 + ...
+
+    (defun poly-add (p q)
+      (cond ((null p) q)
+            ((null q) p)
+            (t (cons (+ (car p) (car q))
+                     (poly-add (cdr p) (cdr q))))))
+
+    (defun poly-scale (k p)
+      (if (null p) nil (cons (* k (car p)) (poly-scale k (cdr p)))))
+
+    (defun poly-shift (p)
+      ;; Multiply by x.
+      (cons 0 p))
+
+    (defun poly-mul (p q)
+      (if (null p)
+          nil
+          (poly-add (poly-scale (car p) q)
+                    (poly-shift (poly-mul (cdr p) q)))))
+
+    (defun poly-pow (p n)
+      (if (zerop n) '(1) (poly-mul p (poly-pow p (- n 1)))))
+
+    (defun poly-deriv (p)
+      ;; d/dx sum(ai x^i) = sum(i*ai x^(i-1))
+      (prog (i acc)
+        (setq i 1)
+        (setq p (cdr p))
+        (setq acc nil)
+        loop
+        (if (null p) (return (reverse acc)))
+        (setq acc (cons (* i (car p)) acc))
+        (setq i (+ i 1))
+        (setq p (cdr p))
+        (go loop)))
+
+    (defun poly-eval (p x)
+      ;; Numeric evaluation: Horner over declared floats -- this is the
+      ;; "intense numerical crunching" half, compiled to raw FADD/FMULT.
+      (declare (single-float x))
+      (poly-eval-loop (reverse p) x 0.0))
+
+    (defun poly-eval-loop (rev x acc)
+      (declare (single-float x) (single-float acc))
+      (if (null rev)
+          acc
+          (poly-eval-loop (cdr rev) x
+                          (+$f (*$f acc x) (float (car rev))))))
+"""
+
+
+def poly_text(coefficients) -> str:
+    terms = []
+    for power, coefficient in enumerate(coefficients):
+        if coefficient == 0:
+            continue
+        if power == 0:
+            terms.append(f"{coefficient}")
+        elif power == 1:
+            terms.append(f"{coefficient}x" if coefficient != 1 else "x")
+        else:
+            head = "" if coefficient == 1 else f"{coefficient}"
+            terms.append(f"{head}x^{power}")
+    return " + ".join(terms) if terms else "0"
+
+
+def main() -> None:
+    compiler = Compiler(CompilerOptions())
+    compiler.compile_source(ALGEBRA)
+    machine = compiler.machine()
+
+    x_plus_1 = from_list([1, 1])  # 1 + x
+    p = machine.run(sym("poly-pow"), [x_plus_1, 4])
+    print("p(x)   = (x+1)^4        =", poly_text(to_list(p)))
+
+    dp = machine.run(sym("poly-deriv"), [p])
+    print("p'(x)  =", poly_text(to_list(dp)))
+    ddp = machine.run(sym("poly-deriv"), [dp])
+    print("p''(x) =", poly_text(to_list(ddp)))
+
+    print()
+    print("numeric evaluation of p'' on a grid (compiled Horner loop):")
+    header_dp, header_ddp = "p'(x)", "p''(x)"
+    print(f"{'x':>6s} {'p(x)':>10s} {header_dp:>10s} {header_ddp:>10s}")
+    for tenth in range(-20, 21, 5):
+        x = tenth / 10.0
+        px = machine.run(sym("poly-eval"), [p, x])
+        dpx = machine.run(sym("poly-eval"), [dp, x])
+        ddpx = machine.run(sym("poly-eval"), [ddp, x])
+        assert abs(px - (x + 1) ** 4) < 1e-9
+        assert abs(dpx - 4 * (x + 1) ** 3) < 1e-9
+        assert abs(ddpx - 12 * (x + 1) ** 2) < 1e-9
+        print(f"{x:>6.1f} {px:>10.3f} {dpx:>10.3f} {ddpx:>10.3f}")
+
+    stats = machine.stats()
+    print()
+    print(f"whole job: {stats['instructions']} instructions, "
+          f"{stats['cycles']} cycles, "
+          f"{stats['heap_allocations'].get('cons', 0)} conses, "
+          f"{stats['heap_allocations'].get('number-box', 0)} number boxes")
+    print("symbolic half allocates list structure; the numeric half runs")
+    print("in raw floats with pdl-allocated intermediates -- the two worlds")
+    print("the paper's Section 6 interfaces 'at least cost'.")
+
+
+if __name__ == "__main__":
+    main()

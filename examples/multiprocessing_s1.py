@@ -1,0 +1,75 @@
+"""The S-1 as the paper describes it: "a multiprocessing supercomputer".
+
+"The standard configuration is a multiprocessor; synchronization
+instructions are available to the user."  This example runs a data-parallel
+numeric job across simulated processors sharing one heap and the special-
+variable globals, using (lock ...) / (unlock ...) to combine results.
+
+Run:  python examples/multiprocessing_s1.py
+"""
+
+from repro import Compiler
+from repro.datum import sym
+from repro.machine import MultiMachine
+from repro.primitives import LispVector
+
+SOURCE = """
+    (defvar *grand-total* 0.0)
+
+    (defun partial-dot (a b start end)
+      ;; Dot product over [start, end), accumulated in raw floats.
+      (let ((sum 0.0) (i start))
+        (prog ()
+          loop
+          (if (>= i end) (return sum))
+          (setq sum (+$f sum (*$f (vref a i) (vref b i))))
+          (setq i (+ i 1))
+          (go loop))))
+
+    (defun worker (a b start end)
+      ;; Compute a slice, then merge into the shared total under a lock.
+      (let ((mine (partial-dot a b start end)))
+        (lock 'total)
+        (setq *grand-total* (+ *grand-total* mine))
+        (unlock 'total)
+        mine))
+"""
+
+
+def main() -> None:
+    n = 240
+    a = LispVector([float(i % 9) for i in range(n)])
+    b = LispVector([float(i % 5) for i in range(n)])
+    expected = sum(x * y for x, y in zip(a.data, b.data))
+
+    compiler = Compiler()
+    compiler.compile_source(SOURCE)
+
+    print(f"dot product of two {n}-vectors, split across processors")
+    print(f"{'processors':>10s} {'elapsed cycles':>15s} "
+          f"{'total instructions':>20s} {'speedup':>8s}")
+    baseline = None
+    for processors in (1, 2, 4, 8):
+        machine = MultiMachine(compiler.program, processors=processors,
+                               quantum=16)
+        machine.define_global(sym("*grand-total*"), 0.0)
+        chunk = n // processors
+        tasks = [(sym("worker"), [a, b, k * chunk, (k + 1) * chunk])
+                 for k in range(processors)]
+        machine.run_tasks(tasks)
+        total = machine.global_value(sym("*grand-total*"))
+        assert abs(total - expected) < 1e-6, (total, expected)
+        elapsed = machine.elapsed_cycles()
+        if baseline is None:
+            baseline = elapsed
+        print(f"{processors:>10d} {elapsed:>15d} "
+              f"{machine.total_instructions():>20d} "
+              f"{baseline / elapsed:>7.1f}x")
+    print()
+    print(f"every configuration computed the same total: {expected}")
+    print("elapsed cycles fall near-linearly with processor count; the")
+    print("lock serializes only the final merge.")
+
+
+if __name__ == "__main__":
+    main()

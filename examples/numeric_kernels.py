@@ -1,0 +1,96 @@
+"""Numeric Lisp, the paper's motivation: "many people have come to assume
+that the inefficiency of LISP in performing numerical computation is
+inherent in the language, rather than simply the result of lack of
+attention in the implementations."
+
+This example compiles three numeric kernels -- polynomial evaluation (the
+MACSYMA-style workload), a dot product over vectors, and a Mandelbrot-style
+escape iteration -- with the full optimizing pipeline, with the naive
+configuration, and on the reference interpreter, and compares the work done.
+
+Run:  python examples/numeric_kernels.py
+"""
+
+from repro import Compiler
+from repro.baseline import CountingInterpreter, NaiveCompiler
+from repro.datum import sym
+
+KERNELS = {
+    "poly-eval": ("""
+        (defun poly-eval (x n)
+          ;; Horner evaluation of 1 + x + x^2 + ... + x^n
+          (declare (single-float x))
+          (let ((acc 0.0))
+            (dotimes (i n acc)
+              (setq acc (+$f (*$f acc x) 1.0)))))
+    """, "poly-eval", [0.5, 60]),
+
+    "dot-product": ("""
+        (defun fill-ramp (v n)
+          (dotimes (i n v) (vset v i (float i))))
+        (defun dot-product (n)
+          (let ((a (fill-ramp (make-vector n 0.0) n))
+                (b (fill-ramp (make-vector n 0.0) n))
+                (sum 0.0))
+            (dotimes (i n sum)
+              (setq sum (+$f sum (*$f (vref a i) (vref b i)))))))
+    """, "dot-product", [40]),
+
+    "escape-iteration": ("""
+        (defun escape (cx cy limit)
+          ;; Count iterations of z <- z^2 + c before |z| > 2.
+          (declare (single-float cx) (single-float cy))
+          (let ((x 0.0) (y 0.0) (count 0))
+            (prog ()
+              loop
+              (if (>= count limit) (return count))
+              (if (>$f (+$f (*$f x x) (*$f y y)) 4.0) (return count))
+              (let ((nx (+$f (-$f (*$f x x) (*$f y y)) cx))
+                    (ny (+$f (*$f 2.0 (*$f x y)) cy)))
+                (setq x nx)
+                (setq y ny))
+              (setq count (1+ count))
+              (go loop))))
+    """, "escape", [-0.1, 0.65, 80]),
+}
+
+
+def measure(compiler, source, fn, args):
+    compiler.compile_source(source)
+    machine = compiler.machine()
+    result = machine.run(sym(fn), list(args))
+    return result, machine.stats()
+
+
+def main() -> None:
+    header = (f"{'kernel':18s} {'configuration':12s} {'result':>12s} "
+              f"{'cycles':>9s} {'instrs':>8s} {'heap allocs':>12s}")
+    print(header)
+    print("-" * len(header))
+    for name, (source, fn, args) in KERNELS.items():
+        rows = []
+        result, stats = measure(Compiler(), source, fn, args)
+        rows.append(("optimizing", result, stats))
+        result, stats = measure(NaiveCompiler(), source, fn, args)
+        rows.append(("naive", result, stats))
+        interp = CountingInterpreter()
+        result, steps = interp.run(source, fn, args)
+        for config, res, stats in rows:
+            shown = f"{res:.4f}" if isinstance(res, float) else str(res)
+            print(f"{name:18s} {config:12s} {shown:>12s} "
+                  f"{stats['cycles']:>9d} {stats['instructions']:>8d} "
+                  f"{stats['total_heap_allocations']:>12d}")
+        shown = f"{result:.4f}" if isinstance(result, float) else str(result)
+        print(f"{name:18s} {'interpreter':12s} {shown:>12s} "
+              f"{'(' + str(steps) + ' eval steps)':>31s}")
+        print()
+
+    print("The shape the paper claims: the optimizing compiler does the same")
+    print("arithmetic with far fewer cycles and near-zero heap allocation --")
+    print("representation analysis keeps floats raw, pdl numbers keep the")
+    print("unavoidable boxes on the stack, TNBIND keeps temporaries in")
+    print("registers, and tail-recursive loops are branches, not calls.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Symbolic computation -- the traditional Lisp workload (the paper's other
+half: "a mixture of symbolic heuristic calculations and intense numerical
+crunching").
+
+A small symbolic differentiator written in the dialect, compiled and run on
+the simulated S-1: list structure, recursion, caseq dispatch, quoted data.
+
+Run:  python examples/symbolic_differentiation.py
+"""
+
+from repro import Compiler
+from repro.datum import sym
+from repro.reader import read, write_to_string
+
+DIFF = """
+    (defun simplify-sum (a b)
+      (cond ((eql a 0) b)
+            ((eql b 0) a)
+            ((and (numberp a) (numberp b)) (+ a b))
+            (t (list '+ a b))))
+
+    (defun simplify-product (a b)
+      (cond ((eql a 0) 0)
+            ((eql b 0) 0)
+            ((eql a 1) b)
+            ((eql b 1) a)
+            ((and (numberp a) (numberp b)) (* a b))
+            (t (list '* a b))))
+
+    (defun deriv (expr var)
+      (cond ((numberp expr) 0)
+            ((symbolp expr) (if (eq expr var) 1 0))
+            (t (caseq (car expr)
+                 ((+) (simplify-sum (deriv (cadr expr) var)
+                                    (deriv (caddr expr) var)))
+                 ((*) (simplify-sum
+                        (simplify-product (cadr expr)
+                                          (deriv (caddr expr) var))
+                        (simplify-product (deriv (cadr expr) var)
+                                          (caddr expr))))
+                 ((expt) (simplify-product
+                           (simplify-product (caddr expr)
+                                             (list 'expt (cadr expr)
+                                                   (- (caddr expr) 1)))
+                           (deriv (cadr expr) var)))
+                 (t (list 'd/dx expr))))))
+"""
+
+EXPRESSIONS = [
+    "x",
+    "42",
+    "(+ x 1)",
+    "(* 3 x)",
+    "(* x x)",
+    "(+ (* 2 x) (* x y))",
+    "(expt x 3)",
+    "(+ (expt x 2) (* 5 x))",
+    "(* (+ x 1) (+ x 2))",
+]
+
+
+def main() -> None:
+    compiler = Compiler()
+    compiler.compile_source(DIFF)
+    machine = compiler.machine()
+
+    print(f"{'expression':>24s}   d/dx")
+    print("-" * 60)
+    for text in EXPRESSIONS:
+        expr = read(text)
+        result = machine.run(sym("deriv"), [expr, sym("x")])
+        print(f"{text:>24s}   {write_to_string(result)}")
+
+    stats = machine.stats()
+    print()
+    print(f"total instructions: {stats['instructions']}, "
+          f"cycles: {stats['cycles']}, "
+          f"cons cells allocated: {stats['heap_allocations'].get('cons', 0)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""repro: a reproduction of "An Optimizing Compiler for Lexically Scoped
+LISP" (Brooks, Gabriel, Steele; Symposium on Compiler Construction 1982) --
+the S-1 Lisp compiler -- as a complete Python library.
+
+Public API highlights:
+
+* :class:`repro.Compiler` -- the full optimizing compiler (Table 1 pipeline)
+* :func:`repro.compile_and_run` -- compile source, run on the simulated S-1
+* :class:`repro.Interpreter` / :func:`repro.evaluate` -- reference semantics
+* :class:`repro.CompilerOptions` / :func:`repro.naive_options` -- ablations
+* :mod:`repro.machine` -- the simulated S-1 (instruction/allocation counters)
+"""
+
+from .compiler import CompiledFunction, Compiler, compile_and_run
+from .interp import Interpreter, evaluate
+from .options import CompilerOptions, DEFAULT_OPTIONS, naive_options
+from .reader import read, read_all, write_to_string
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompiledFunction",
+    "Compiler",
+    "CompilerOptions",
+    "DEFAULT_OPTIONS",
+    "Interpreter",
+    "compile_and_run",
+    "evaluate",
+    "naive_options",
+    "read",
+    "read_all",
+    "write_to_string",
+    "__version__",
+]

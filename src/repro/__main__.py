@@ -1,0 +1,133 @@
+"""A compile-and-go REPL for the reproduction: ``python -m repro``.
+
+Each expression is compiled through the full Table 1 pipeline and executed
+on the simulated S-1.  ``defun``/``defvar`` forms extend the session.
+
+Meta commands::
+
+    :listing NAME     show a function's parenthesized assembly
+    :transcript NAME  show the optimizer transcript for a function
+    :source NAME      show the optimized (back-translated) source
+    :stats            cumulative machine statistics for this session
+    :phases           the phase pipeline of the last compilation
+    :prelude          load the bundled standard library
+    :quit             leave
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional
+
+from . import Compiler, CompilerOptions
+from .datum import Cons, sym, to_list
+from .errors import ReproError
+from .machine import Machine
+from .reader import read_all, write_to_string
+
+
+class Repl:
+    def __init__(self, options: Optional[CompilerOptions] = None,
+                 out=sys.stdout):
+        self.compiler = Compiler(options or CompilerOptions(transcript=True))
+        self.machine: Optional[Machine] = None
+        self.out = out
+        self._counter = 0
+
+    def _fresh_machine(self) -> Machine:
+        machine = self.compiler.machine()
+        # Keep one session machine so specials persist between entries.
+        return machine
+
+    def _say(self, text: str) -> None:
+        print(text, file=self.out)
+
+    def handle(self, line: str) -> bool:
+        """Process one input line; returns False when the session ends."""
+        line = line.strip()
+        if not line:
+            return True
+        if line.startswith(":"):
+            return self._meta(line)
+        try:
+            self._evaluate(line)
+        except ReproError as err:
+            self._say(f"error: {err}")
+        return True
+
+    def _evaluate(self, text: str) -> None:
+        forms = read_all(text)
+        for form in forms:
+            if isinstance(form, Cons) and form.car in (sym("defun"),
+                                                       sym("defvar"),
+                                                       sym("defparameter")):
+                name = self.compiler.compile_form(form)
+                self.machine = None  # program changed; rebuild lazily
+                self._say(str(name))
+                continue
+            self._counter += 1
+            entry = f"*entry-{self._counter}*"
+            self.compiler.compile_expression(write_to_string(form),
+                                             name=entry)
+            if self.machine is None:
+                self.machine = self._fresh_machine()
+            else:
+                self.machine.program = self.compiler.program
+            value = self.machine.run(sym(entry), [])
+            self._say(write_to_string(value))
+
+    def _meta(self, line: str) -> bool:
+        parts = line.split()
+        command = parts[0]
+        if command in (":quit", ":q", ":exit"):
+            return False
+        if command == ":prelude":
+            names = self.compiler.load_prelude()
+            self.machine = None
+            self._say(f"loaded {len(names)} prelude functions")
+            return True
+        if command == ":stats":
+            if self.machine is None:
+                self._say("(nothing run yet)")
+            else:
+                stats = self.machine.stats()
+                for key in ("instructions", "cycles", "calls", "max_stack",
+                            "total_heap_allocations", "certifications"):
+                    self._say(f"  {key}: {stats[key]}")
+            return True
+        if command == ":phases":
+            self._say(self.compiler.phase_report())
+            return True
+        if command in (":listing", ":transcript", ":source") and len(parts) == 2:
+            name = sym(parts[1])
+            compiled = self.compiler.functions.get(name)
+            if compiled is None:
+                self._say(f"no such function: {parts[1]}")
+                return True
+            if command == ":listing":
+                self._say(compiled.listing())
+            elif command == ":transcript":
+                self._say(compiled.transcript.render() or "(no entries)")
+            else:
+                self._say(compiled.optimized_source)
+            return True
+        self._say(f"unknown command: {line}")
+        return True
+
+
+def main(argv=None) -> int:
+    print("repro: the S-1 Lisp compiler reproduction "
+          "(:quit to leave, :prelude for the library)")
+    repl = Repl()
+    while True:
+        try:
+            line = input("s1> ")
+        except (EOFError, KeyboardInterrupt):
+            print()
+            return 0
+        if not repl.handle(line):
+            return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

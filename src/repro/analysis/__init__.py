@@ -1,0 +1,70 @@
+"""Source-program analysis phases (Table 1).
+
+The driver :func:`analyze` runs the four analyses in the paper's order:
+environment, side-effects, complexity, tail-recursion -- plus the
+(paper-optional) data-type analysis.  The source-level optimizer re-runs it
+after transformations; the ``needs_reanalysis`` flags on nodes exist so the
+co-routining scheme of Section 4.2 can skip clean subtrees, but analyses
+are cheap enough here that the driver simply recomputes (the flags still
+gate the optimizer's worklist).
+"""
+
+from .complexity import analyze_complexity
+from .effects import (
+    analyze_effects,
+    is_effect_free,
+    may_be_duplicated,
+    may_be_eliminated,
+    reads_mutable_state,
+    writes_mutable_state,
+)
+from .envinfo import analyze_environment, free_variables, variables_closed_over
+from .tailrec import analyze_tail_positions, analyze_tailrec, value_producers
+from .typeinfo import analyze_types, literal_type
+
+from ..ir.nodes import Node
+
+
+def analyze(root: Node) -> None:
+    """Run all source-program analyses over the tree."""
+    analyze_environment(root)
+    analyze_effects(root)
+    analyze_complexity(root)
+    analyze_tailrec(root)
+    analyze_types(root)
+    for node in root.walk():
+        node.needs_reanalysis = False
+
+
+def analyze_light(root: Node) -> None:
+    """The incremental subset the optimizer re-runs after each
+    transformation (Section 4.2's flag-driven re-analysis): the bottom-up
+    analyses, which cache per-subtree results under the dirty flags.
+    Tail positions and types are refreshed once per optimizer pass by the
+    full :func:`analyze`."""
+    analyze_environment(root)
+    analyze_effects(root)
+    analyze_complexity(root)
+    for node in root.walk():
+        node.needs_reanalysis = False
+
+
+__all__ = [
+    "analyze",
+    "analyze_light",
+    "analyze_complexity",
+    "analyze_effects",
+    "analyze_environment",
+    "analyze_tail_positions",
+    "analyze_tailrec",
+    "analyze_types",
+    "free_variables",
+    "is_effect_free",
+    "literal_type",
+    "may_be_duplicated",
+    "may_be_eliminated",
+    "reads_mutable_state",
+    "value_producers",
+    "variables_closed_over",
+    "writes_mutable_state",
+]

@@ -1,0 +1,92 @@
+"""Complexity analysis (Table 1).
+
+"Make a preliminary estimate of the size of the object code for each subtree
+(this is primarily to aid the optimizer in deciding whether to substitute
+copies of the initializing expression for several occurrences of a
+variable)."
+
+Units are abstract instruction counts; the per-primitive ``cycles`` field of
+the primitive table seeds the estimates.
+"""
+
+from __future__ import annotations
+
+from ..ir.nodes import (
+    CallNode,
+    CaseqNode,
+    CatcherNode,
+    FunctionRefNode,
+    GoNode,
+    IfNode,
+    LambdaNode,
+    LiteralNode,
+    Node,
+    PrognNode,
+    ProgbodyNode,
+    ReturnNode,
+    SetqNode,
+    VarRefNode,
+)
+from ..primitives import lookup_primitive
+
+# Cost constants (abstract words of object code).
+COST_CONSTANT = 1
+COST_VARREF = 1
+COST_SETQ = 1
+COST_JUMP = 1
+COST_CALL = 4        # full calling sequence
+COST_CLOSURE = 6     # closure construction
+COST_DISPATCH = 2    # caseq dispatch
+
+
+def analyze_complexity(root: Node) -> None:
+    _visit(root)
+
+
+def _visit(node: Node) -> int:
+    if not node.needs_reanalysis and node.complexity is not None:
+        return node.complexity
+    cost = 0
+    if isinstance(node, LiteralNode):
+        cost = COST_CONSTANT
+    elif isinstance(node, (VarRefNode, FunctionRefNode)):
+        cost = COST_VARREF
+    elif isinstance(node, SetqNode):
+        cost = _visit(node.value) + COST_SETQ
+    elif isinstance(node, IfNode):
+        cost = (_visit(node.test) + _visit(node.then) + _visit(node.else_)
+                + 2 * COST_JUMP)
+    elif isinstance(node, LambdaNode):
+        body_cost = sum(_visit(child) for child in node.children())
+        # The closure's body is code *somewhere*; its size counts, plus
+        # construction cost if it escapes (unknown here, charge it).
+        cost = body_cost + COST_CLOSURE
+    elif isinstance(node, CallNode):
+        args_cost = sum(_visit(arg) for arg in node.args)
+        primitive = None
+        if isinstance(node.fn, FunctionRefNode):
+            primitive = lookup_primitive(node.fn.name)
+        if primitive is not None:
+            cost = args_cost + primitive.cycles
+            _visit(node.fn)
+        elif isinstance(node.fn, LambdaNode):
+            # A let: binding cost per argument plus the body.
+            cost = args_cost + len(node.args) + _visit(node.fn) - COST_CLOSURE
+        else:
+            cost = args_cost + _visit(node.fn) + COST_CALL
+    elif isinstance(node, PrognNode):
+        cost = sum(_visit(f) for f in node.forms)
+    elif isinstance(node, ProgbodyNode):
+        cost = sum(_visit(child) for child in node.children()) + COST_JUMP
+    elif isinstance(node, GoNode):
+        cost = COST_JUMP
+    elif isinstance(node, ReturnNode):
+        cost = _visit(node.value) + COST_JUMP
+    elif isinstance(node, CaseqNode):
+        cost = sum(_visit(child) for child in node.children()) + COST_DISPATCH
+    elif isinstance(node, CatcherNode):
+        cost = sum(_visit(child) for child in node.children()) + COST_CALL
+    else:  # pragma: no cover - future node types
+        cost = sum(_visit(child) for child in node.children()) + 1
+    node.complexity = cost
+    return cost

@@ -1,0 +1,100 @@
+"""Environment analysis (Table 1).
+
+"For each subtree, determine the sets of variables read and written within
+that subtree.  For each variable binding, attach a list of all referent
+nodes."
+
+The referent back-pointers already exist structurally (Variable.refs /
+Variable.setqs are maintained by node constructors); this phase computes the
+per-subtree ``reads`` / ``writes`` sets, plus each lambda's *free variable*
+set, which the binding-annotation phase uses to decide stack vs heap
+environment allocation.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Set, Tuple
+
+from ..ir.nodes import (
+    CallNode,
+    LambdaNode,
+    Node,
+    SetqNode,
+    VarRefNode,
+    Variable,
+)
+
+
+def analyze_environment(root: Node) -> None:
+    """Decorate every node in the tree with reads/writes variable sets.
+
+    Incremental (Section 4.2): a node whose ``needs_reanalysis`` flag is
+    clear keeps its cached sets -- the contents of its subtree have not
+    changed since they were computed (tree surgery dirties the spliced
+    node and its new ancestors; an unchanged subtree that merely *moved*
+    has the same reads/writes)."""
+    _visit(root)
+
+
+def _visit(node: Node) -> Tuple[FrozenSet[Variable], FrozenSet[Variable]]:
+    if not node.needs_reanalysis and node.reads is not None \
+            and node.writes is not None:
+        return node.reads, node.writes
+    reads: Set[Variable] = set()
+    writes: Set[Variable] = set()
+    if isinstance(node, VarRefNode):
+        reads.add(node.variable)
+    elif isinstance(node, SetqNode):
+        writes.add(node.variable)
+    for child in node.children():
+        child_reads, child_writes = _visit(child)
+        reads |= child_reads
+        writes |= child_writes
+    node.reads = frozenset(reads)
+    node.writes = frozenset(writes)
+    return node.reads, node.writes
+
+
+def free_variables(node: LambdaNode) -> FrozenSet[Variable]:
+    """Variables read or written under *node* but bound outside it.
+
+    Requires :func:`analyze_environment` to have run on an ancestor.
+    """
+    if node.reads is None:
+        analyze_environment(node)
+    bound = set(node.all_variables())
+    inner = set(node.reads) | set(node.writes)
+    # Variables bound by lambdas nested inside this one are not free either:
+    # they are not in `bound`, but their binder lies within the subtree.
+    free: Set[Variable] = set()
+    for variable in inner:
+        if variable in bound or variable.special:
+            continue
+        binder = variable.binder
+        if binder is not None and _is_within(binder, node):
+            continue
+        free.add(variable)
+    return frozenset(free)
+
+
+def _is_within(node: Node, ancestor: Node) -> bool:
+    current = node
+    while current is not None:
+        if current is ancestor:
+            return True
+        current = current.parent
+    return False
+
+
+def variables_closed_over(root: Node) -> FrozenSet[Variable]:
+    """All variables that are free in some lambda nested below their binder.
+
+    These are the variables that *may* need heap allocation (Section 4.4:
+    "which variables can be stack-allocated and which must (because they are
+    referred to by closures) be heap-allocated").
+    """
+    captured: Set[Variable] = set()
+    for node in root.walk():
+        if isinstance(node, LambdaNode):
+            captured |= free_variables(node)
+    return frozenset(captured)

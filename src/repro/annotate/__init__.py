@@ -1,0 +1,52 @@
+"""Machine-dependent annotation phases (Table 1):
+
+binding annotation, special-variable lookups, representation annotation,
+and pdl-number annotation.  Target annotation (TNBIND/PACK) lives in
+`repro.tnbind`.
+"""
+
+from .binding import annotate_bindings, closure_report
+from .pdl import annotate_pdl, pdl_sites, wants_pdl_allocation
+from .representation import (
+    annotate_representations,
+    boxing_sites,
+    coercion_sites,
+    representation_report,
+)
+from .specials import (
+    SpecialCachePlan,
+    annotate_special_lookups,
+    lookup_cost_report,
+)
+
+from ..ir.nodes import Node
+from ..options import CompilerOptions, DEFAULT_OPTIONS
+
+
+def annotate(root: Node, options: CompilerOptions = DEFAULT_OPTIONS):
+    """Run all machine-dependent annotations in the paper's order; returns
+    the special-variable cache plans (the other phases decorate the tree)."""
+    annotate_bindings(root, enable=options.enable_closure_analysis)
+    plans = annotate_special_lookups(
+        root, enable=options.enable_special_caching)
+    annotate_representations(
+        root, enable=options.enable_representation_analysis)
+    annotate_pdl(root, enable=options.enable_pdl_numbers)
+    return plans
+
+
+__all__ = [
+    "SpecialCachePlan",
+    "annotate",
+    "annotate_bindings",
+    "annotate_pdl",
+    "annotate_representations",
+    "annotate_special_lookups",
+    "boxing_sites",
+    "closure_report",
+    "coercion_sites",
+    "lookup_cost_report",
+    "pdl_sites",
+    "representation_report",
+    "wants_pdl_allocation",
+]

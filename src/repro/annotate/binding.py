@@ -1,0 +1,134 @@
+"""Binding annotation (Section 4.4).
+
+"The binding annotation phase examines each lambda-expression in the tree
+and determines how that lambda-expression is to be compiled.  In the most
+general case, a closure object must be explicitly constructed at run time
+... However, in many special cases this is not necessary.  If through
+compile-time analysis all the places can be found where the lambda-
+expression may be invoked, then it may be possible to compile all such calls
+as, in effect, parameter-passing goto statements, and no closure need be
+constructed at run time.  If not all calls to the lambda-expression are
+tail-recursive, it may be appropriate to compile the lambda-expression using
+a special (fast) subroutine linkage ...  The binding analysis also
+determines which variables can be stack-allocated and which must (because
+they are referred to by closures) be heap-allocated."
+
+Strategies assigned to each LambdaNode:
+
+* ``STRATEGY_JUMP`` -- directly-called lambdas (``let``) and lambdas bound
+  to an immutable variable whose every reference is a *tail* call: compiled
+  in-line / as parameter-passing gotos.
+* ``STRATEGY_FAST_CALL`` -- all call sites known but not all tail: a fast
+  linkage that "can avoid error checks such as on the number of arguments".
+* ``STRATEGY_FULL_CLOSURE`` -- the lambda escapes: a run-time closure object
+  is built, and every free variable it captures is forced into a heap-
+  allocated environment.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from ..analysis import analyze_tail_positions, free_variables
+from ..ir.nodes import (
+    CallNode,
+    LambdaNode,
+    Node,
+    STRATEGY_FAST_CALL,
+    STRATEGY_FULL_CLOSURE,
+    STRATEGY_JUMP,
+    Variable,
+    VarRefNode,
+)
+
+
+def annotate_bindings(root: Node, enable: bool = True) -> None:
+    """Assign a compilation strategy to every lambda and decide stack/heap
+    allocation for every captured variable.
+
+    With ``enable=False`` (the ablation configuration) every non-``let``
+    lambda gets a full closure and every captured variable goes to the heap
+    -- the "most general case" the paper starts from.
+    """
+    for node in root.walk():
+        if isinstance(node, LambdaNode):
+            node.strategy = STRATEGY_FULL_CLOSURE
+            node.escapes = True
+            node.known_calls = []
+
+    for node in root.walk():
+        if not isinstance(node, LambdaNode):
+            continue
+        if enable:
+            _classify(node)
+        _mark_heap_variables(node)
+
+
+def _classify(node: LambdaNode) -> None:
+    parent = node.parent
+    # Case 1: the fn position of a call -- a let.  Compiled entirely in-line.
+    if isinstance(parent, CallNode) and parent.fn is node:
+        node.strategy = STRATEGY_JUMP
+        node.escapes = False
+        node.known_calls = [parent]
+        return
+    # Case 2: the lambda is an argument binding an immutable variable whose
+    # references are all call heads: all call sites are known.
+    binding = _bound_variable(node)
+    if binding is not None and not binding.is_assigned() and not binding.special:
+        refs = binding.refs
+        if refs and all(_is_call_head(ref) for ref in refs):
+            calls = [ref.parent for ref in refs]
+            node.known_calls = calls  # type: ignore[assignment]
+            node.escapes = False
+            if all(call.is_tail_call or call.tail_position for call in calls):
+                node.strategy = STRATEGY_JUMP
+            else:
+                node.strategy = STRATEGY_FAST_CALL
+            return
+    # General case: treat as escaping.
+    node.strategy = STRATEGY_FULL_CLOSURE
+    node.escapes = True
+
+
+def _bound_variable(node: LambdaNode) -> Optional[Variable]:
+    """If this lambda is the j-th argument of a simple let, the variable it
+    will be bound to."""
+    parent = node.parent
+    if not isinstance(parent, CallNode):
+        return None
+    if not isinstance(parent.fn, LambdaNode) or not parent.fn.is_simple():
+        return None
+    if len(parent.args) != len(parent.fn.required):
+        return None
+    for variable, arg in zip(parent.fn.required, parent.args):
+        if arg is node:
+            return variable
+    return None
+
+
+def _is_call_head(ref: VarRefNode) -> bool:
+    parent = ref.parent
+    return isinstance(parent, CallNode) and parent.fn is ref
+
+
+def _mark_heap_variables(node: LambdaNode) -> None:
+    """Variables captured by an escaping lambda must live in the heap."""
+    if not node.escapes:
+        return
+    for variable in free_variables(node):
+        variable.heap_allocated = True
+
+
+def closure_report(root: Node) -> dict:
+    """Summary statistics used by the P5 experiment bench."""
+    strategies = {"jump": 0, "fast-call": 0, "closure": 0}
+    heap_vars: Set[Variable] = set()
+    for node in root.walk():
+        if isinstance(node, LambdaNode):
+            key = {STRATEGY_JUMP: "jump", STRATEGY_FAST_CALL: "fast-call",
+                   STRATEGY_FULL_CLOSURE: "closure"}[node.strategy]
+            strategies[key] += 1
+        if isinstance(node, VarRefNode) and node.variable.heap_allocated:
+            heap_vars.add(node.variable)
+    return {"strategies": strategies, "heap_variables": len(heap_vars)}

@@ -1,0 +1,214 @@
+"""Pdl-number annotation (Section 6.3).
+
+A lifetime analysis deciding, for raw numbers that must be converted to
+pointer form, "whether stack allocation of the number will provide a
+sufficient lifetime or whether the general heap-allocation of a number is
+required".
+
+Two flags per node, computed by a single "outorder" walk (top-down for
+PDLOKP, bottom-up for PDLNUMP):
+
+* ``PDLOKP`` -- "whether the node's parent is willing to accept a pdl number
+  (unsafe pointer) as the result of this node".  More than a flag: when
+  true, it holds the node that *authorized* the pdl number, which bounds the
+  required lifetime.  An ``if`` "simply passes the PDLOKP authorization of
+  its parent down to the two arms of the conditional.  On the other hand, it
+  always of itself authorizes the predicate computation".
+* ``PDLNUMP`` -- "whether the node itself might be inclined to produce a pdl
+  number": e.g. ``(+$f x y)`` when a pointer result is required, but never
+  ``(car x)``.
+
+A node finally gets a pdl TN (``node.pdl_tn`` set by TNBIND) when PDLOKP and
+PDLNUMP hold, WANTREP is POINTER, and ISREP is one of the numeric reps with
+heap-allocated pointer counterparts.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..ir.nodes import (
+    CallNode,
+    CaseqNode,
+    CatcherNode,
+    FunctionRefNode,
+    IfNode,
+    LambdaNode,
+    LiteralNode,
+    Node,
+    PrognNode,
+    ProgbodyNode,
+    ReturnNode,
+    SetqNode,
+    VarRefNode,
+)
+from ..primitives import lookup_primitive
+from ..target.reps import PDL_ELIGIBLE, POINTER
+
+
+def annotate_pdl(root: Node, enable: bool = True) -> None:
+    """Compute PDLOKP/PDLNUMP.  ``enable=False`` forces heap allocation
+    everywhere (the P2 ablation)."""
+    if not enable:
+        for node in root.walk():
+            node.pdlokp = None
+            node.pdlnump = False
+        return
+    _okp_pass(root, None)
+    _nump_pass(root)
+
+
+# ---------------------------------------------------------------------------
+# PDLOKP: top-down authorization
+# ---------------------------------------------------------------------------
+
+def _okp_pass(node: Node, authorizer: Optional[Node]) -> None:
+    node.pdlokp = authorizer
+    if isinstance(node, IfNode):
+        # The conditional test is a safe operation: the if itself authorizes.
+        _okp_pass(node.test, node)
+        _okp_pass(node.then, authorizer)
+        _okp_pass(node.else_, authorizer)
+    elif isinstance(node, PrognNode):
+        # Discarded values may freely be pdl numbers; the progn authorizes.
+        for form in node.forms[:-1]:
+            _okp_pass(form, node)
+        _okp_pass(node.forms[-1], authorizer)
+    elif isinstance(node, SetqNode):
+        # Storing into a stack-allocated lexical keeps the pointer within
+        # the frame: authorized for the variable's whole binder.  Storing
+        # into a special or heap-allocated variable is unsafe.
+        variable = node.variable
+        if variable.special or variable.heap_allocated or variable.binder is None:
+            _okp_pass(node.value, None)
+        else:
+            _okp_pass(node.value, variable.binder.body)
+    elif isinstance(node, CallNode):
+        _okp_call(node)
+    elif isinstance(node, LambdaNode):
+        for opt in node.optionals:
+            _okp_pass(opt.default, None)
+        _okp_pass(node.body, None)  # returned values must be certified safe
+    elif isinstance(node, CaseqNode):
+        _okp_pass(node.key, node)  # dispatching compares: safe
+        for _, body in node.clauses:
+            _okp_pass(body, authorizer)
+        _okp_pass(node.default, authorizer)
+    elif isinstance(node, ProgbodyNode):
+        for child in node.children():
+            _okp_pass(child, node)
+    elif isinstance(node, ReturnNode):
+        # The progbody's value may itself flow to an authorized context,
+        # but tracking that is the progbody's job; be conservative.
+        _okp_pass(node.value, None)
+    elif isinstance(node, CatcherNode):
+        _okp_pass(node.tag, node)
+        _okp_pass(node.body, None)  # the caught value escapes the body
+
+
+def _okp_call(node: CallNode) -> None:
+    if isinstance(node.fn, LambdaNode):
+        fn = node.fn
+        # Binding a pdl pointer to a stack variable of the let keeps it in
+        # the frame: the let's body is the authorizer (the binding lives
+        # until the body finishes).
+        for variable, arg in zip(fn.required, node.args):
+            if variable.special or variable.heap_allocated:
+                _okp_pass(arg, None)
+            else:
+                _okp_pass(arg, fn.body)
+        for arg in node.args[len(fn.required):]:
+            _okp_pass(arg, None)
+        for opt in fn.optionals:
+            _okp_pass(opt.default, None)
+        _okp_pass(fn.body, node.pdlokp)
+        fn.pdlokp = None
+        return
+    primitive = None
+    if isinstance(node.fn, FunctionRefNode):
+        node.fn.pdlokp = None
+        primitive = lookup_primitive(node.fn.name)
+    else:
+        _okp_pass(node.fn, None)
+    if primitive is not None:
+        if primitive.safe:
+            # Safe operation: arguments may be pdl numbers; the lifetime
+            # must extend until this call executes.  "in (atan (if p x y)
+            # 3.0), x has a non-false PDLOKP property that points to the
+            # atan node, not the if node."
+            for arg in node.args:
+                _okp_pass(arg, node)
+        else:
+            for arg in node.args:
+                _okp_pass(arg, None)
+        return
+    # Unknown function: "passing a pointer to a procedure is safe.
+    # Arguments to compiled procedures are guaranteed to be valid during
+    # execution of the procedure" -- authorized, lifetime = the call.
+    # EXCEPT for tail calls: the frame (and its scratch area) is replaced
+    # at the jump, so a pdl argument would dangle into its own callee.
+    authorizer = None if node.is_tail_call else node
+    for arg in node.args:
+        _okp_pass(arg, authorizer)
+
+
+# ---------------------------------------------------------------------------
+# PDLNUMP: bottom-up production
+# ---------------------------------------------------------------------------
+
+def _nump_pass(node: Node) -> bool:
+    produced = False
+    if isinstance(node, CallNode):
+        for arg in node.args:
+            _nump_pass(arg)
+        if isinstance(node.fn, LambdaNode):
+            for opt in node.fn.optionals:
+                _nump_pass(opt.default)
+            produced = _nump_pass(node.fn.body)
+            node.fn.pdlnump = False
+        else:
+            if not isinstance(node.fn, FunctionRefNode):
+                _nump_pass(node.fn)
+            primitive = (lookup_primitive(node.fn.name)
+                         if isinstance(node.fn, FunctionRefNode) else None)
+            produced = bool(primitive is not None and primitive.pdl_result)
+    elif isinstance(node, IfNode):
+        _nump_pass(node.test)
+        then_p = _nump_pass(node.then)
+        else_p = _nump_pass(node.else_)
+        produced = then_p or else_p
+    elif isinstance(node, PrognNode):
+        for form in node.forms[:-1]:
+            _nump_pass(form)
+        produced = _nump_pass(node.forms[-1])
+    elif isinstance(node, SetqNode):
+        produced = _nump_pass(node.value)
+    elif isinstance(node, LiteralNode):
+        # A float literal materialized as a pointer can live on the pdl.
+        from ..analysis.typeinfo import literal_type
+
+        produced = literal_type(node.value) in PDL_ELIGIBLE
+    else:
+        for child in node.children():
+            _nump_pass(child)
+        produced = False
+    node.pdlnump = produced
+    return produced
+
+
+# ---------------------------------------------------------------------------
+# The pdl decision (consumed by TNBIND)
+# ---------------------------------------------------------------------------
+
+def wants_pdl_allocation(node: Node) -> bool:
+    """All four of the paper's conditions (Section 6.3)."""
+    return bool(
+        node.pdlokp is not None
+        and node.pdlnump
+        and node.wantrep == POINTER
+        and node.isrep in PDL_ELIGIBLE
+    )
+
+
+def pdl_sites(root: Node) -> List[Node]:
+    return [node for node in root.walk() if wants_pdl_allocation(node)]

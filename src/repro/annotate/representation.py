@@ -1,0 +1,361 @@
+"""Representation analysis (Section 6.2).
+
+Two passes over the tree:
+
+* **top-down**: every node gets a WANTREP, "determined by its context within
+  its parent node and by the WANTREP of the parent".  An ``if`` test wants
+  ``JUMP``; the arms want what the ``if`` wants; the arguments of ``+$f``
+  want ``SWFLO``.
+* **bottom-up**: every node gets an ISREP, "calculated ... on the basis of
+  the ISREP information for its descendants and the operation performed by
+  the node itself".  ``(+$f x y)`` delivers SWFLO no matter what; ``car``
+  delivers a POINTER.
+
+An ``if`` whose arms disagree resolves toward the WANTREP when one arm
+already matches it and the other is convertible (the paper's ``(+$f (if p
+(sqrt$f q) (car r)) 3.0)`` example), rather than defaulting to POINTER and
+boxing the matching arm for nothing.
+
+Variables "introduce loops into the otherwise tree-like representation
+analysis ... In practice, a little heuristic guesswork suffices: if not all
+the references to a variable agree as to what type is desirable for it, the
+type POINTER can always be used."  We iterate the two passes twice with a
+variable-rep election in between.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..analysis.typeinfo import literal_type
+from ..ir.nodes import (
+    CallNode,
+    CaseqNode,
+    CatcherNode,
+    FunctionRefNode,
+    GoNode,
+    IfNode,
+    LambdaNode,
+    LiteralNode,
+    Node,
+    PrognNode,
+    ProgbodyNode,
+    ReturnNode,
+    SetqNode,
+    Variable,
+    VarRefNode,
+)
+from ..primitives import lookup_primitive
+from ..target.reps import (
+    BIT,
+    JUMP,
+    NONE,
+    POINTER,
+    can_convert,
+    conversion_cost,
+    is_numeric,
+)
+
+
+def annotate_representations(root: Node, enable: bool = True) -> None:
+    """Run the two-pass analysis.  With ``enable=False`` everything is
+    POINTER (the fully-boxed ablation)."""
+    if not enable:
+        for node in root.walk():
+            node.wantrep = POINTER
+            node.isrep = POINTER
+            if isinstance(node, IfNode):
+                node.test.wantrep = POINTER
+        for node in root.walk():
+            if isinstance(node, LambdaNode):
+                for variable in node.all_variables():
+                    variable.rep = POINTER
+        return
+
+    # Two rounds: the first elects variable reps from reference contexts,
+    # the second recomputes want/is reps with those elections in place.
+    for _round in range(2):
+        _want_pass(root, POINTER)
+        _is_pass(root)
+        _elect_variable_reps(root)
+    _want_pass(root, POINTER)
+    _is_pass(root)
+
+
+# ---------------------------------------------------------------------------
+# Pass 1: WANTREP, top-down
+# ---------------------------------------------------------------------------
+
+def _want_pass(node: Node, want: str) -> None:
+    node.wantrep = want
+    if isinstance(node, IfNode):
+        _want_pass(node.test, JUMP)
+        _want_pass(node.then, want)
+        _want_pass(node.else_, want)
+    elif isinstance(node, PrognNode):
+        for form in node.forms[:-1]:
+            _want_pass(form, NONE)
+        _want_pass(node.forms[-1], want)
+    elif isinstance(node, SetqNode):
+        target = node.variable.rep or _declared(node.variable) or POINTER
+        _want_pass(node.value, target)
+    elif isinstance(node, CallNode):
+        _want_call(node, want)
+    elif isinstance(node, LambdaNode):
+        for opt in node.optionals:
+            _want_pass(opt.default, opt.variable.rep
+                       or _declared(opt.variable) or POINTER)
+        _want_pass(node.body, POINTER)
+    elif isinstance(node, CaseqNode):
+        _want_pass(node.key, POINTER)
+        for _, body in node.clauses:
+            _want_pass(body, want)
+        _want_pass(node.default, want)
+    elif isinstance(node, ProgbodyNode):
+        for child in node.children():
+            _want_pass(child, NONE)
+    elif isinstance(node, ReturnNode):
+        _want_pass(node.value, POINTER)
+    elif isinstance(node, CatcherNode):
+        _want_pass(node.tag, POINTER)
+        _want_pass(node.body, POINTER)
+    # literals / varrefs / function-refs / go: leaves.
+
+
+def _want_call(node: CallNode, want: str) -> None:
+    if isinstance(node.fn, LambdaNode):
+        fn = node.fn
+        fn.wantrep = NONE  # the lambda itself is not materialized (a let)
+        for variable, arg in zip(fn.required, node.args):
+            _want_pass(arg, variable.rep or _declared(variable) or POINTER)
+        # Extra args (arity mismatch survives to run time): POINTER.
+        for arg in node.args[len(fn.required):]:
+            _want_pass(arg, POINTER)
+        for opt in fn.optionals:
+            _want_pass(opt.default, POINTER)
+        _want_pass(fn.body, want)
+        return
+    primitive = None
+    if isinstance(node.fn, FunctionRefNode):
+        node.fn.wantrep = NONE
+        primitive = lookup_primitive(node.fn.name)
+    else:
+        _want_pass(node.fn, POINTER)
+    if primitive is not None and primitive.arg_rep is not None:
+        for arg in node.args:
+            _want_pass(arg, primitive.arg_rep)
+    else:
+        # Generic primitive or unknown function: pointer arguments.
+        for arg in node.args:
+            _want_pass(arg, POINTER)
+
+
+def _declared(variable: Variable) -> Optional[str]:
+    return variable.declared_type
+
+
+# ---------------------------------------------------------------------------
+# Pass 2: ISREP, bottom-up
+# ---------------------------------------------------------------------------
+
+def _is_pass(node: Node) -> str:
+    if isinstance(node, LiteralNode):
+        rep = literal_type(node.value)
+        # A literal can be emitted in whatever format is wanted if numeric.
+        if node.wantrep is not None and node.wantrep not in (JUMP, NONE) \
+                and can_convert(rep, node.wantrep):
+            rep = node.wantrep if node.wantrep != BIT else rep
+        node.isrep = rep
+        return rep
+    if isinstance(node, VarRefNode):
+        node.isrep = node.variable.rep or _declared(node.variable) or POINTER
+        return node.isrep
+    if isinstance(node, FunctionRefNode):
+        node.isrep = POINTER
+        return POINTER
+    if isinstance(node, IfNode):
+        _is_pass(node.test)
+        then_rep = _is_pass(node.then)
+        else_rep = _is_pass(node.else_)
+        node.isrep = _merge_arm_reps(node.wantrep or POINTER, then_rep, else_rep)
+        return node.isrep
+    if isinstance(node, PrognNode):
+        for form in node.forms[:-1]:
+            _is_pass(form)
+        node.isrep = _is_pass(node.forms[-1])
+        return node.isrep
+    if isinstance(node, SetqNode):
+        value_rep = _is_pass(node.value)
+        node.isrep = node.variable.rep or _declared(node.variable) or POINTER
+        del value_rep
+        return node.isrep
+    if isinstance(node, LambdaNode):
+        for opt in node.optionals:
+            _is_pass(opt.default)
+        _is_pass(node.body)
+        node.isrep = POINTER  # a closure object
+        return node.isrep
+    if isinstance(node, CallNode):
+        return _is_call(node)
+    if isinstance(node, CaseqNode):
+        _is_pass(node.key)
+        reps = {_is_pass(body) for _, body in node.clauses}
+        reps.add(_is_pass(node.default))
+        node.isrep = reps.pop() if len(reps) == 1 else POINTER
+        return node.isrep
+    if isinstance(node, ProgbodyNode):
+        for child in node.children():
+            _is_pass(child)
+        node.isrep = POINTER
+        return node.isrep
+    if isinstance(node, (GoNode,)):
+        node.isrep = NONE
+        return NONE
+    if isinstance(node, ReturnNode):
+        _is_pass(node.value)
+        node.isrep = NONE
+        return NONE
+    if isinstance(node, CatcherNode):
+        _is_pass(node.tag)
+        _is_pass(node.body)
+        node.isrep = POINTER
+        return POINTER
+    node.isrep = POINTER  # pragma: no cover
+    return POINTER
+
+
+def _is_call(node: CallNode) -> str:
+    for arg in node.args:
+        _is_pass(arg)
+    if isinstance(node.fn, LambdaNode):
+        fn = node.fn
+        for opt in fn.optionals:
+            _is_pass(opt.default)
+        node.isrep = _is_pass(fn.body)
+        fn.isrep = NONE
+        return node.isrep
+    if isinstance(node.fn, FunctionRefNode):
+        node.fn.isrep = POINTER
+        primitive = lookup_primitive(node.fn.name)
+        if primitive is not None:
+            if primitive.jump_result and node.wantrep == JUMP:
+                node.isrep = JUMP
+            else:
+                node.isrep = primitive.result_rep
+            return node.isrep
+        node.isrep = POINTER
+        return POINTER
+    _is_pass(node.fn)
+    node.isrep = POINTER
+    return POINTER
+
+
+def _merge_arm_reps(want: str, then_rep: str, else_rep: str) -> str:
+    """The paper's if-arm resolution: prefer an arm's rep when it matches
+    the WANTREP and the other arm can be converted to it."""
+    if then_rep == else_rep:
+        return then_rep
+    if want not in (JUMP, NONE):
+        if then_rep == want and can_convert(else_rep, want):
+            return want
+        if else_rep == want and can_convert(then_rep, want):
+            return want
+    return POINTER
+
+
+# ---------------------------------------------------------------------------
+# Variable representation election
+# ---------------------------------------------------------------------------
+
+def _elect_variable_reps(root: Node) -> None:
+    """"If not all the references to a variable agree as to what type is
+    desirable for it, the type POINTER can always be used."
+
+    A lexical, unassigned-or-consistently-assigned, non-captured variable
+    whose references all *want* the same numeric rep is given that rep.
+    """
+    for node in root.walk():
+        if not isinstance(node, LambdaNode):
+            continue
+        is_let = isinstance(node.parent, CallNode) and node.parent.fn is node
+        for index, variable in enumerate(node.required):
+            if variable.special or variable.heap_allocated:
+                variable.rep = POINTER
+                continue
+            if variable.declared_type is not None:
+                variable.rep = variable.declared_type
+                continue
+            # Only let-bound variables are electable: true procedure
+            # parameters arrive as pointers by the uniform calling
+            # convention ("To provide a uniform procedure interface, all
+            # arguments to user functions must be in pointer format").
+            if not is_let:
+                variable.rep = POINTER
+                continue
+            wants = {ref.wantrep for ref in variable.refs if ref.wantrep}
+            wants.discard(NONE)
+            candidate: Optional[str] = None
+            if len(wants) == 1:
+                want = wants.pop()
+                if want not in (JUMP, BIT, POINTER) and is_numeric(want):
+                    candidate = want
+            if candidate is not None and variable.setqs:
+                # Every assignment must be able to deliver that rep.
+                for setq in variable.setqs:
+                    if setq.value.isrep is None \
+                            or not can_convert(setq.value.isrep, candidate):
+                        candidate = None
+                        break
+            # The initializing argument must be convertible too.
+            if candidate is not None:
+                call = node.parent
+                if index < len(call.args):
+                    init = call.args[index]
+                    if init.isrep is not None \
+                            and not can_convert(init.isrep, candidate):
+                        candidate = None
+            variable.rep = candidate or POINTER
+        for opt in node.optionals:
+            opt.variable.rep = opt.variable.declared_type or POINTER
+        if node.rest is not None:
+            node.rest.rep = POINTER
+
+
+# ---------------------------------------------------------------------------
+# Reporting (Table 3 / P3 experiments)
+# ---------------------------------------------------------------------------
+
+def coercion_sites(root: Node) -> List[Node]:
+    """Nodes whose ISREP differs from their WANTREP: each is a potential
+    run-time coercion ("the compiler is prepared to do a type coercion on
+    every intermediate value of the program")."""
+    sites = []
+    for node in root.walk():
+        want, is_ = node.wantrep, node.isrep
+        if want is None or is_ is None:
+            continue
+        if want in (NONE,) or is_ == want:
+            continue
+        if want == JUMP:
+            if is_ == JUMP:
+                continue
+            sites.append(node)
+            continue
+        sites.append(node)
+    return sites
+
+
+def boxing_sites(root: Node) -> List[Node]:
+    """Coercions from a raw numeric rep to POINTER: the expensive direction
+    (allocation)."""
+    return [node for node in coercion_sites(root)
+            if node.isrep is not None and is_numeric(node.isrep)
+            and node.wantrep == POINTER]
+
+
+def representation_report(root: Node) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for node in root.walk():
+        if node.isrep:
+            counts[node.isrep] = counts.get(node.isrep, 0) + 1
+    return counts

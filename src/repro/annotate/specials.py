@@ -1,0 +1,200 @@
+"""Special-variable lookup annotation (Section 4.4, "Special variable
+lookups").
+
+S-1 LISP deep-binds dynamic variables, so naive access is a linear search of
+the binding stack.  "The S-1 LISP compiler uses the same trick formerly used
+in INTERLISP to reduce this search overhead: on entry to a function, all the
+special variables needed by that function are searched for once and pointers
+to the relevant stack locations are cached in the function's local
+activation frame ...  The S-1 LISP compiler actually generalizes the trick
+further.  For each variable the smallest subtree that contains all the
+references is determined; the lookup and pointer caching for that variable
+is performed before execution of that smallest subtree.  This may avoid a
+lookup if the subtree is in an arm of a conditional.  The trick is further
+refined to take loops into account."
+
+This phase computes, per lambda and per special variable used under it, the
+*cache point*: the smallest subtree containing all uses, hoisted out of any
+loop (progbody with a backward go) it would otherwise sit in.  The code
+generator emits one ``SPECLOOKUP`` (deep search + cache) at the cache point
+and constant-time ``SPECREF``/``SPECSET`` instructions at the uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..datum.symbols import Symbol
+from ..ir.nodes import (
+    GoNode,
+    LambdaNode,
+    Node,
+    ProgbodyNode,
+    SetqNode,
+    TagMarker,
+    Variable,
+    VarRefNode,
+)
+
+
+@dataclass
+class SpecialCachePlan:
+    """For one lambda: where each special variable's lookup is cached."""
+
+    # symbol -> the node before whose execution the lookup is performed
+    cache_points: Dict[Symbol, Node] = field(default_factory=dict)
+    # symbols referenced anywhere under the lambda (its body, not nested fns)
+    used: Set[Symbol] = field(default_factory=set)
+
+
+def annotate_special_lookups(root: Node, enable: bool = True
+                             ) -> Dict[LambdaNode, SpecialCachePlan]:
+    """Compute cache plans for every lambda in the tree.
+
+    With ``enable=False`` there is no caching: every access searches the
+    binding stack (the P4 ablation)."""
+    plans: Dict[LambdaNode, SpecialCachePlan] = {}
+    lambdas = [node for node in root.walk()
+               if isinstance(node, LambdaNode) and not _is_inline(node)]
+    if isinstance(root, LambdaNode) and root not in lambdas:
+        lambdas.append(root)
+    for lam in lambdas:
+        plan = SpecialCachePlan()
+        uses = _special_uses(lam)
+        rebound = _rebound_in_frame(lam)
+        for symbol, nodes in uses.items():
+            plan.used.add(symbol)
+            if not enable:
+                continue
+            if symbol in rebound:
+                # An inline let deep-binds this symbol *mid-frame*: a cached
+                # cell fetched before that binding would bypass it.  Fall
+                # back to per-access search (always correct).
+                continue
+            point = _common_ancestor_within(nodes, lam)
+            point = _hoist_out_of_loops(point, lam)
+            plan.cache_points[symbol] = point
+            for use in nodes:
+                if isinstance(use, VarRefNode):
+                    use.variable.lookup_node = point
+        plans[lam] = plan
+    return plans
+
+
+def _rebound_in_frame(lam: LambdaNode) -> Set[Symbol]:
+    """Special names deep-bound by inline (let) lambdas within this frame.
+
+    The frame's *own* special parameters bind at entry, before any cache
+    point, so they are safe; a let's binding happens mid-frame and
+    invalidates caches established above it."""
+    rebound: Set[Symbol] = set()
+
+    def visit(node: Node) -> None:
+        if isinstance(node, LambdaNode) and node is not lam:
+            if not _is_inline(node):
+                return
+            for variable in node.all_variables():
+                if variable.special:
+                    rebound.add(variable.name)
+        for child in node.children():
+            visit(child)
+
+    visit(lam.body)
+    return rebound
+
+
+def _is_inline(node: LambdaNode) -> bool:
+    """A lambda compiled into its parent's frame (a ``let``): it shares the
+    enclosing activation, so special caching is planned by the enclosing
+    function, not by the let."""
+    from ..ir.nodes import CallNode, STRATEGY_JUMP
+
+    parent = node.parent
+    if isinstance(parent, CallNode) and parent.fn is node:
+        return True
+    return node.strategy == STRATEGY_JUMP
+
+
+def _special_uses(lam: LambdaNode) -> Dict[Symbol, List[Node]]:
+    """Special-variable reference/assignment nodes in this lambda's frame:
+    its body plus the bodies of inline (let) lambdas, but not nested
+    closure-creating lambdas, which cache for themselves."""
+    uses: Dict[Symbol, List[Node]] = {}
+    def visit(node: Node) -> None:
+        if isinstance(node, LambdaNode) and node is not lam \
+                and not _is_inline(node):
+            return  # separate function: its own plan
+        if isinstance(node, VarRefNode) and node.variable.special:
+            uses.setdefault(node.variable.name, []).append(node)
+        if isinstance(node, SetqNode) and node.variable.special:
+            uses.setdefault(node.variable.name, []).append(node)
+        for child in node.children():
+            visit(child)
+    visit(lam.body)
+    # Optional-parameter defaults run inside the frame too.
+    for opt in lam.optionals:
+        visit(opt.default)
+    return uses
+
+
+def _common_ancestor_within(nodes: List[Node], lam: LambdaNode) -> Node:
+    paths: List[List[Node]] = []
+    for node in nodes:
+        path: List[Node] = []
+        current: Optional[Node] = node
+        while current is not None and current is not lam:
+            path.append(current)
+            current = current.parent
+        path.append(lam)
+        paths.append(list(reversed(path)))
+    shortest = min(len(p) for p in paths)
+    ancestor: Node = lam
+    for i in range(shortest):
+        step = {id(p[i]) for p in paths}
+        if len(step) == 1:
+            ancestor = paths[0][i]
+        else:
+            break
+    return ancestor
+
+
+def _hoist_out_of_loops(point: Node, lam: LambdaNode) -> Node:
+    """"The trick is further refined to take loops into account": if the
+    cache point sits inside a progbody that loops (has a backward go), the
+    lookup would run once per iteration; hoist it just outside the loop."""
+    current: Optional[Node] = point
+    hoisted = point
+    while current is not None and current is not lam:
+        parent = current.parent
+        if isinstance(parent, ProgbodyNode) and _is_loop(parent):
+            hoisted = parent
+        current = parent
+    return hoisted
+
+
+def _is_loop(progbody: ProgbodyNode) -> bool:
+    """A progbody loops if any go targets one of its tags."""
+    tags = {item.name for item in progbody.items if isinstance(item, TagMarker)}
+    if not tags:
+        return False
+    for node in progbody.walk():
+        if isinstance(node, GoNode) and node.target is progbody \
+                and node.tag in tags:
+            return True
+    return False
+
+
+def lookup_cost_report(plans: Dict[LambdaNode, SpecialCachePlan]
+                       ) -> Dict[str, int]:
+    """How many deep searches the plan performs per activation (one per
+    cached variable) versus naive per-access searching."""
+    cached_lookups = sum(len(plan.cache_points) for plan in plans.values())
+    total_accesses = 0
+    for lam, plan in plans.items():
+        for node in lam.walk():
+            if isinstance(node, (VarRefNode, SetqNode)) \
+                    and node.variable.special:
+                total_accesses += 1
+    return {"deep_searches_with_caching": cached_lookups,
+            "accesses": total_accesses}

@@ -1,0 +1,18 @@
+"""Baseline comparators for the performance-shape experiments.
+
+The paper compares the S-1 LISP compiler against contemporary compilers
+(FORTRAN / PASCAL on the same machine) and against unoptimized Lisp
+implementations.  Our substitutes, all running on the *same* simulated S-1
+so comparisons are apples-to-apples:
+
+* :class:`NaiveCompiler` -- the optimizing compiler with every optimization
+  phase disabled (``naive_options``): everything boxed, every value in a
+  stack slot, every lambda a heap closure, every special access a deep
+  search.  This is what a straightforward Lisp compiler of the era emitted.
+* :class:`CountingInterpreter` -- the reference interpreter instrumented to
+  count evaluation steps, standing in for fully interpreted Lisp.
+"""
+
+from .compiler import CountingInterpreter, NaiveCompiler
+
+__all__ = ["CountingInterpreter", "NaiveCompiler"]

@@ -1,0 +1,51 @@
+"""Baseline implementations: the naive compiler and the counting
+interpreter."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from ..compiler import Compiler
+from ..datum.symbols import Symbol, sym
+from ..interp import Interpreter
+from ..ir.nodes import Node
+from ..machine import Machine
+from ..options import CompilerOptions, naive_options
+
+
+class NaiveCompiler(Compiler):
+    """The compiler with all optimizations off: the 'straightforward
+    compiler' baseline every experiment compares against.
+
+    Individual phases can be re-enabled through *overrides* to build the
+    one-phase-at-a-time ablation ladder (P2/P3/P4/P5).
+    """
+
+    def __init__(self, **overrides: Any):
+        options = naive_options()
+        for key, value in overrides.items():
+            if not hasattr(options, key):
+                raise TypeError(f"unknown compiler option {key!r}")
+            setattr(options, key, value)
+        super().__init__(options)
+
+
+class CountingInterpreter(Interpreter):
+    """Reference interpreter with an evaluation-step counter, the stand-in
+    for fully interpreted Lisp in the P1 comparison."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.steps = 0
+
+    def _eval(self, node: Node, env) -> Any:  # type: ignore[override]
+        self.steps += 1
+        return super()._eval(node, env)
+
+    def run(self, source: str, fn: str, args: Sequence[Any]) -> Tuple[Any, int]:
+        """Evaluate defuns in *source*, call *fn*, return (result, steps)."""
+        self.eval_source(source)
+        self.steps = 0
+        result = self.apply_function(
+            self.global_functions[sym(fn)], list(args))
+        return result, self.steps

@@ -1,0 +1,6 @@
+"""Code generation: annotated tree -> parenthesized assembly (CodeObject)."""
+
+from .generator import FrameInfo, FunctionCodegen
+from .peephole import PeepholeStats, optimize_code
+
+__all__ = ["FrameInfo", "FunctionCodegen", "PeepholeStats", "optimize_code"]

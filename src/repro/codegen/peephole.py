@@ -1,0 +1,319 @@
+"""Linear-block packing: the peephole phase the paper anticipates.
+
+Section 4.5: "The one optimization for which we may need to add a peephole
+optimizer is branch tensioning.  It is very difficult to express the
+elimination of branches to branch instructions at the source level, because
+branch instructions do not appear in the internal tree ...  Rather than
+building a peephole optimizer, however, we have in mind experimenting with
+a global process for packing linear blocks that would handle branch
+tensioning ..." -- and Table 1 brackets "[Peephole optimizer.  Perform
+cross-jumping and branch tensioning.]".
+
+This module is that global block-packing process:
+
+* the instruction stream is parsed into basic blocks,
+* **branch tensioning**: a branch to an unconditional JMP retargets to the
+  final destination; a JMP to a RET becomes the RET,
+* **cross-jumping**: blocks with identical code and identical control exits
+  merge (labels redirect to one copy),
+* **unreachable blocks** are dropped,
+* relinearization omits JMPs to the fall-through block.
+
+Like the paper's optimizer phases it is optional
+(``CompilerOptions.enable_peephole``; off by default, since the paper's
+compiler "currently [had] no peephole optimizer").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..machine.isa import CodeObject, Instruction
+
+# Opcodes that end a block and never fall through.
+_TERMINATORS = {"JMP", "RET", "TAILCALL", "TAILCALLF"}
+# Conditional branches: may fall through, have a label operand.
+_CONDITIONALS = {"JUMPNIL", "JUMPNNIL", "CMPBR", "EQLBR"}
+# Non-branch instructions with label operands that must stay intact.
+_LABEL_USERS = {"CLOSURE", "CATCHPUSH", "ARGDISPATCH"}
+
+
+@dataclass
+class Block:
+    labels: List[str] = field(default_factory=list)
+    instructions: List[Instruction] = field(default_factory=list)
+    # The next block in original order (fallthrough), by index; None if the
+    # block ends in a terminator.
+    fallthrough: Optional[int] = None
+
+
+@dataclass
+class PeepholeStats:
+    branches_tensioned: int = 0
+    blocks_merged: int = 0
+    blocks_removed: int = 0
+    jumps_elided: int = 0
+
+
+def optimize_code(code: CodeObject) -> Tuple[CodeObject, PeepholeStats]:
+    """Run the block-packing pass; returns a new CodeObject and stats."""
+    stats = PeepholeStats()
+    blocks = _split_blocks(code)
+    label_to_block = _label_map(blocks)
+    _tension_branches(blocks, label_to_block, stats)
+    _cross_jump(blocks, label_to_block, stats)
+    keep = _reachable(blocks, label_to_block)
+    stats.blocks_removed = len(blocks) - len(keep)
+    instructions, labels = _relinearize(blocks, keep, label_to_block, stats)
+    result = CodeObject(
+        name=code.name,
+        instructions=instructions,
+        labels=labels,
+        n_temps=code.n_temps,
+        arity_min=code.arity_min,
+        arity_max=code.arity_max,
+        source=code.source,
+    )
+    result.moves_inserted = getattr(code, "moves_inserted", 0)  # type: ignore[attr-defined]
+    return result, stats
+
+
+# ---------------------------------------------------------------------------
+# Block construction
+# ---------------------------------------------------------------------------
+
+def _split_blocks(code: CodeObject) -> List[Block]:
+    index_to_labels: Dict[int, List[str]] = {}
+    for label, index in code.labels.items():
+        index_to_labels.setdefault(index, []).append(label)
+
+    leaders: Set[int] = {0}
+    leaders.update(code.labels.values())
+    for i, instruction in enumerate(code.instructions):
+        if instruction.opcode in _TERMINATORS | _CONDITIONALS \
+                or instruction.opcode == "ARGDISPATCH":
+            leaders.add(i + 1)
+    leaders = {i for i in leaders if i <= len(code.instructions)}
+
+    ordered = sorted(leaders)
+    blocks: List[Block] = []
+    for n, start in enumerate(ordered):
+        end = ordered[n + 1] if n + 1 < len(ordered) else len(code.instructions)
+        block = Block(
+            labels=sorted(index_to_labels.get(start, [])),
+            instructions=list(code.instructions[start:end]),
+        )
+        blocks.append(block)
+    # Fallthrough linkage.
+    for n, block in enumerate(blocks):
+        last = block.instructions[-1] if block.instructions else None
+        if last is not None and last.opcode in _TERMINATORS:
+            block.fallthrough = None
+        elif n + 1 < len(blocks):
+            block.fallthrough = n + 1
+        else:
+            block.fallthrough = None
+    # Labels pointing one past the end need a home: an empty final block.
+    end_labels = index_to_labels.get(len(code.instructions), [])
+    if end_labels:
+        if blocks and not blocks[-1].instructions:
+            blocks[-1].labels.extend(end_labels)
+        else:
+            blocks.append(Block(labels=sorted(end_labels)))
+    return blocks
+
+
+def _label_map(blocks: List[Block]) -> Dict[str, int]:
+    mapping: Dict[str, int] = {}
+    for index, block in enumerate(blocks):
+        for label in block.labels:
+            mapping[label] = index
+    return mapping
+
+
+def _branch_targets(instruction: Instruction) -> List[str]:
+    targets: List[str] = []
+    for operand in instruction.operands:
+        if isinstance(operand, tuple) and operand and operand[0] == "label":
+            targets.append(operand[1])
+        elif isinstance(operand, tuple) and operand and operand[0] == "imm" \
+                and isinstance(operand[1], list):
+            targets.extend(label for _, label in operand[1])
+    return targets
+
+
+# ---------------------------------------------------------------------------
+# Branch tensioning
+# ---------------------------------------------------------------------------
+
+def _final_destination(label: str, blocks: List[Block],
+                       label_to_block: Dict[str, int]) -> Tuple[str, Optional[Instruction]]:
+    """Follow chains of bare-JMP blocks.  Returns (final_label, ret) where
+    ret is the RET instruction if the chain ends at a bare RET block."""
+    seen: Set[str] = set()
+    current = label
+    while current not in seen:
+        seen.add(current)
+        index = label_to_block.get(current)
+        if index is None:
+            return current, None
+        block = blocks[index]
+        if len(block.instructions) == 1:
+            only = block.instructions[0]
+            if only.opcode == "JMP":
+                current = only.operands[0][1]
+                continue
+            if only.opcode == "RET":
+                return current, only
+        if not block.instructions and block.fallthrough is not None:
+            next_block = blocks[block.fallthrough]
+            if next_block.labels:
+                current = next_block.labels[0]
+                continue
+        break
+    return current, None
+
+
+def _retarget(instruction: Instruction, old: str, new: str) -> Instruction:
+    operands = []
+    for operand in instruction.operands:
+        if isinstance(operand, tuple) and operand and operand[0] == "label" \
+                and operand[1] == old:
+            operands.append(("label", new))
+        elif isinstance(operand, tuple) and operand and operand[0] == "imm" \
+                and isinstance(operand[1], list):
+            operands.append(("imm", [(n, new if lab == old else lab)
+                                     for n, lab in operand[1]]))
+        else:
+            operands.append(operand)
+    return Instruction(instruction.opcode, tuple(operands),
+                       instruction.comment)
+
+
+def _tension_branches(blocks: List[Block], label_to_block: Dict[str, int],
+                      stats: PeepholeStats) -> None:
+    for block in blocks:
+        for i, instruction in enumerate(block.instructions):
+            if instruction.opcode in _LABEL_USERS:
+                continue  # entry points, not control transfers
+            for target in _branch_targets(instruction):
+                final, ret = _final_destination(target, blocks, label_to_block)
+                if ret is not None and instruction.opcode == "JMP":
+                    block.instructions[i] = Instruction(
+                        "RET", ret.operands, ret.comment)
+                    stats.branches_tensioned += 1
+                    break
+                if final != target:
+                    block.instructions[i] = _retarget(
+                        block.instructions[i], target, final)
+                    stats.branches_tensioned += 1
+
+
+# ---------------------------------------------------------------------------
+# Cross-jumping (block-granularity: merge identical blocks)
+# ---------------------------------------------------------------------------
+
+def _block_signature(block: Block, blocks: List[Block]) -> Optional[str]:
+    """A merge key for blocks with no fallthrough dependence: identical
+    instructions and a terminating end."""
+    if not block.instructions:
+        return None
+    last = block.instructions[-1]
+    if last.opcode not in _TERMINATORS:
+        return None
+    return "\n".join(i.render() for i in block.instructions)
+
+
+def _cross_jump(blocks: List[Block], label_to_block: Dict[str, int],
+                stats: PeepholeStats) -> None:
+    by_signature: Dict[str, int] = {}
+    redirect: Dict[int, int] = {}
+    for index, block in enumerate(blocks):
+        signature = _block_signature(block, blocks)
+        if signature is None:
+            continue
+        existing = by_signature.get(signature)
+        if existing is None:
+            by_signature[signature] = index
+        else:
+            redirect[index] = existing
+            stats.blocks_merged += 1
+    if not redirect:
+        return
+    # Point the duplicate's labels at the surviving copy and empty it; a
+    # predecessor falling into the duplicate gets an explicit JMP.
+    for dup_index, keep_index in redirect.items():
+        keeper = blocks[keep_index]
+        if not keeper.labels:
+            keeper.labels.append(f"xj{keep_index:04d}")
+        target_label = keeper.labels[0]
+        dup = blocks[dup_index]
+        for label in dup.labels:
+            label_to_block[label] = keep_index
+        keeper.labels.extend(dup.labels)
+        dup.labels = []
+        dup.instructions = [Instruction("JMP", (("label", target_label),))]
+        dup.fallthrough = None
+    # Rebuild the label map from scratch (labels moved between blocks).
+    label_to_block.clear()
+    label_to_block.update(_label_map(blocks))
+
+
+# ---------------------------------------------------------------------------
+# Reachability and relinearization
+# ---------------------------------------------------------------------------
+
+def _reachable(blocks: List[Block], label_to_block: Dict[str, int]
+               ) -> List[int]:
+    seen: Set[int] = set()
+    pending = [0] if blocks else []
+    while pending:
+        index = pending.pop()
+        if index in seen or index >= len(blocks):
+            continue
+        seen.add(index)
+        block = blocks[index]
+        if block.fallthrough is not None:
+            pending.append(block.fallthrough)
+        for instruction in block.instructions:
+            for target in _branch_targets(instruction):
+                target_index = label_to_block.get(target)
+                if target_index is not None:
+                    pending.append(target_index)
+    return sorted(seen)
+
+
+def _relinearize(blocks: List[Block], keep: List[int],
+                 label_to_block: Dict[str, int], stats: PeepholeStats
+                 ) -> Tuple[List[Instruction], Dict[str, int]]:
+    instructions: List[Instruction] = []
+    labels: Dict[str, int] = {}
+    kept_set = set(keep)
+    position = {index: order for order, index in enumerate(keep)}
+    for order, index in enumerate(keep):
+        block = blocks[index]
+        for label in block.labels:
+            labels[label] = len(instructions)
+        body = list(block.instructions)
+        # Elide a trailing JMP to the next emitted block.
+        if body and body[-1].opcode == "JMP":
+            target = body[-1].operands[0][1]
+            target_index = label_to_block.get(target)
+            if target_index is not None and order + 1 < len(keep) \
+                    and keep[order + 1] == target_index:
+                body.pop()
+                stats.jumps_elided += 1
+        instructions.extend(body)
+        # A block that used to fall through to a now-distant block needs an
+        # explicit JMP (can happen after merging).
+        if block.fallthrough is not None and body == block.instructions:
+            next_kept = keep[order + 1] if order + 1 < len(keep) else None
+            if block.fallthrough != next_kept:
+                fall = blocks[block.fallthrough]
+                if not fall.labels:
+                    fall.labels.append(f"ft{block.fallthrough:04d}")
+                    label_to_block[fall.labels[0]] = block.fallthrough
+                instructions.append(
+                    Instruction("JMP", (("label", fall.labels[0]),)))
+    return instructions, labels

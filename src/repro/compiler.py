@@ -1,0 +1,254 @@
+"""The top-level compiler driver: the phase pipeline of Table 1.
+
+::
+
+    source text
+      | reader                          (repro.reader)
+      | preliminary conversion          (repro.ir)
+      | source-program analysis         (repro.analysis)
+      | source-level optimization       (repro.optimizer)
+      | [common subexpression elim.]    (repro.optimizer.cse, optional)
+      | machine-dependent annotation    (repro.annotate)
+      | target annotation + codegen     (repro.tnbind, repro.codegen)
+      v
+    parenthesized assembly (CodeObject), runnable on repro.machine
+
+:class:`Compiler` holds a program under construction: ``compile_source``
+accepts ``defun`` / ``defvar`` / expression forms, and ``machine()`` wraps
+the result in a ready-to-run simulator.  ``phase_report`` reproduces
+Table 1 as the pipeline actually executed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .analysis import analyze
+from .annotate import annotate
+from .codegen import FunctionCodegen
+from .datum import NIL, Cons, to_list
+from .datum.symbols import Symbol, sym
+from .errors import ConversionError
+from .ir import Converter, LambdaNode, back_translate_to_string
+from .machine import CodeObject, Machine, Program
+from .optimizer import (
+    SourceOptimizer,
+    Transcript,
+    eliminate_common_subexpressions,
+)
+from .options import CompilerOptions, DEFAULT_OPTIONS, naive_options
+from .reader import read_all
+
+
+def prelude_source() -> str:
+    """The text of the bundled Lisp prelude."""
+    import os
+
+    path = os.path.join(os.path.dirname(__file__), "prelude.lisp")
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+@dataclass
+class CompiledFunction:
+    """What the compiler produces for one defun."""
+
+    name: Symbol
+    code: CodeObject
+    optimized_source: str
+    transcript: Transcript
+    lambda_node: LambdaNode
+
+    def listing(self) -> str:
+        return self.code.listing()
+
+
+@dataclass
+class PhaseTrace:
+    """Which phases ran for one function (reproduces Table 1)."""
+
+    phases: List[str] = field(default_factory=list)
+
+    def record(self, name: str) -> None:
+        self.phases.append(name)
+
+
+class Compiler:
+    """Compiles a program (a set of top-level forms) for the simulator."""
+
+    def __init__(self, options: Optional[CompilerOptions] = None):
+        self.options = options or DEFAULT_OPTIONS
+        self.converter = Converter()
+        self.program = Program()
+        self.functions: Dict[Symbol, CompiledFunction] = {}
+        self.global_values: Dict[Symbol, Any] = {}
+        # Lambda trees of compiled defuns, for global procedure integration
+        # (block compilation, enable_global_integration).
+        self.function_trees: Dict[Symbol, LambdaNode] = {}
+        self.last_trace: Optional[PhaseTrace] = None
+
+    # -- program entry points ---------------------------------------------------
+
+    def compile_source(self, text: str) -> List[Symbol]:
+        """Compile every top-level form; returns the defined names."""
+        defined: List[Symbol] = []
+        for form in read_all(text):
+            name = self.compile_form(form)
+            if name is not None:
+                defined.append(name)
+        return defined
+
+    def compile_form(self, form: Any) -> Optional[Symbol]:
+        if isinstance(form, Cons) and form.car is sym("defun"):
+            name, node = self.converter.convert_defun(form)
+            self.compile_lambda(name, node)
+            return name
+        if isinstance(form, Cons) and form.car in (sym("defvar"),
+                                                   sym("defparameter")):
+            parts = to_list(form.cdr)
+            name = parts[0]
+            self.converter.proclaimed_specials.add(name)
+            if len(parts) > 1:
+                # Load-time evaluation of the initial value (it may be a
+                # quoted constant or any computation over earlier globals).
+                init_value = self._loadtime_interpreter().eval_form(parts[1])
+            else:
+                init_value = NIL
+            self.global_values[name] = init_value
+            return name
+        raise ConversionError(
+            f"only defun/defvar forms can be compiled at top level: {form!r}")
+
+    def compile_expression(self, text: str,
+                           name: str = "*toplevel*") -> CompiledFunction:
+        """Compile an expression as a zero-argument function."""
+        from .datum import from_list
+
+        forms = read_all(text)
+        body = forms[0] if len(forms) == 1 else from_list(
+            [sym("progn")] + forms)
+        lambda_form = from_list([sym("lambda"), NIL, body])
+        node = self.converter.convert_lambda(lambda_form)
+        return self.compile_lambda(sym(name), node)
+
+    def _loadtime_interpreter(self):
+        """An interpreter seeded with the globals defined so far, used for
+        evaluating defvar initial values at load time."""
+        from .interp import Interpreter
+
+        interp = Interpreter()
+        interp.converter.proclaimed_specials |= \
+            self.converter.proclaimed_specials
+        for name, value in self.global_values.items():
+            interp.specials.set_global(name, value)
+        return interp
+
+    # -- the pipeline ---------------------------------------------------------------
+
+    def compile_lambda(self, name: Symbol, node: LambdaNode
+                       ) -> CompiledFunction:
+        trace = PhaseTrace()
+        trace.record("preliminary conversion")
+        transcript = Transcript(self.options.transcript_stream
+                                if self.options.transcript else None)
+
+        analyze(node)
+        trace.record("source-program analysis")
+
+        if self.options.optimize:
+            registry = dict(self.function_trees)
+            if self.options.self_unroll_depth > 0:
+                # Allow the function to integrate itself (loop unrolling):
+                # register a *snapshot* of the pre-optimization tree under
+                # its own name (the live tree mutates during optimization).
+                from .ir import copy_tree
+
+                snapshot = copy_tree(node)
+                analyze(snapshot)
+                registry[name] = snapshot
+            optimizer = SourceOptimizer(self.options, transcript,
+                                        global_functions=registry)
+            node = optimizer.optimize(node)
+            if not isinstance(node, LambdaNode):
+                raise ConversionError(
+                    f"{name}: optimization did not preserve the lambda")
+            trace.record("source-level optimization")
+
+        if self.options.enable_cse:
+            node = eliminate_common_subexpressions(
+                node, self.options, transcript)
+            if not isinstance(node, LambdaNode):
+                raise ConversionError(f"{name}: CSE did not preserve lambda")
+            trace.record("common subexpression elimination")
+
+        analyze(node)
+        plans = annotate(node, self.options)
+        trace.record("binding annotation")
+        trace.record("special variable lookups")
+        trace.record("representation annotation")
+        trace.record("pdl number annotation")
+
+        generator = FunctionCodegen(str(name), node, self.options, plans)
+        code = generator.generate()
+        trace.record("target annotation (TNBIND/PACK)")
+        trace.record("code generation")
+
+        if self.options.enable_peephole:
+            from .codegen.peephole import optimize_code
+
+            code, _peephole_stats = optimize_code(code)
+            trace.record("peephole (linear-block packing)")
+
+        compiled = CompiledFunction(
+            name=name,
+            code=code,
+            optimized_source=back_translate_to_string(node),
+            transcript=transcript,
+            lambda_node=node,
+        )
+        self.program.add(name, code)
+        self.functions[name] = compiled
+        self.function_trees[name] = node
+        self.last_trace = trace
+        return compiled
+
+    def load_prelude(self) -> List[Symbol]:
+        """Compile the bundled standard library (src/repro/prelude.lisp):
+        mapcar1/filter/reduce1/sort-list and friends, written in the
+        dialect itself."""
+        return self.compile_source(prelude_source())
+
+    # -- running ------------------------------------------------------------------------
+
+    def machine(self, fuel: int = 50_000_000) -> Machine:
+        machine = Machine(self.program, fuel=fuel)
+        for name, value in self.global_values.items():
+            machine.define_global(name, value)
+        return machine
+
+    def run(self, name: str, args: Sequence[Any] = (),
+            fuel: int = 50_000_000) -> Any:
+        """Compile-and-go convenience: run a compiled function."""
+        return self.machine(fuel).run(sym(name), list(args))
+
+    def phase_report(self) -> str:
+        """Render the executed phase pipeline (Table 1 reproduction)."""
+        if self.last_trace is None:
+            return "(nothing compiled yet)"
+        lines = ["Phase structure (as executed):"]
+        for index, phase in enumerate(self.last_trace.phases, 1):
+            lines.append(f"  {index}. {phase}")
+        return "\n".join(lines)
+
+
+def compile_and_run(source: str, call: str, args: Sequence[Any] = (),
+                    options: Optional[CompilerOptions] = None
+                    ) -> Tuple[Any, Machine]:
+    """One-shot helper used heavily by tests and benchmarks: compile all
+    defuns in *source*, run *call* with *args*, return (result, machine)."""
+    compiler = Compiler(options)
+    compiler.compile_source(source)
+    machine = compiler.machine()
+    result = machine.run(sym(call), list(args))
+    return result, machine

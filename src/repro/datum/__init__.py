@@ -1,0 +1,77 @@
+"""Lisp data model: symbols, conses, the numeric tower.
+
+This is the substrate every other package stands on: the reader produces
+these values, the IR embeds them as constants, the interpreter and the
+simulated machine's runtime manipulate them.
+"""
+
+from .cons import (
+    Cons,
+    cadr,
+    caddr,
+    car,
+    cddr,
+    cdr,
+    cons,
+    from_list,
+    is_proper_list,
+    lisp_equal,
+    list_length,
+    nreverse,
+    to_list,
+)
+from .numbers import (
+    NUMBER_TYPES,
+    coerce_pair,
+    generic_add,
+    generic_div,
+    generic_mul,
+    generic_sub,
+    is_complex,
+    is_float,
+    is_integer,
+    is_number,
+    is_ratio,
+    lisp_eq,
+    lisp_eql,
+    normalize_number,
+)
+from .symbols import NIL, T, Symbol, find_symbol, gensym, intern_symbol, is_interned, sym
+
+__all__ = [
+    "Cons",
+    "NIL",
+    "NUMBER_TYPES",
+    "Symbol",
+    "T",
+    "cadr",
+    "caddr",
+    "car",
+    "cddr",
+    "cdr",
+    "coerce_pair",
+    "cons",
+    "find_symbol",
+    "from_list",
+    "gensym",
+    "generic_add",
+    "generic_div",
+    "generic_mul",
+    "generic_sub",
+    "intern_symbol",
+    "is_complex",
+    "is_float",
+    "is_integer",
+    "is_interned",
+    "is_number",
+    "is_proper_list",
+    "is_ratio",
+    "lisp_eq",
+    "lisp_eql",
+    "lisp_equal",
+    "list_length",
+    "nreverse",
+    "normalize_number",
+    "sym",
+    "to_list",
+]

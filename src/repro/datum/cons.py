@@ -1,0 +1,145 @@
+"""Cons cells and list utilities.
+
+Every composite Lisp value in the dialect is built from mutable cons cells
+(the paper's ``rplaca`` is one of its canonical *unsafe* operations, so conses
+must be mutable).  ``nil`` (a symbol, see `repro.datum.symbols`) is the empty
+list.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, List, Optional
+
+from .symbols import NIL, Symbol
+
+
+class Cons:
+    """A mutable pair.  Proper lists are chains of Cons ending in NIL."""
+
+    __slots__ = ("car", "cdr")
+
+    def __init__(self, car: Any, cdr: Any):
+        self.car = car
+        self.cdr = cdr
+
+    def __repr__(self) -> str:
+        # Local import avoids a cycle (printer needs Cons).
+        from ..reader.printer import write_to_string
+
+        return write_to_string(self)
+
+    def __iter__(self) -> Iterator[Any]:
+        """Iterate over the cars of a proper list; raises on dotted tails."""
+        node: Any = self
+        while isinstance(node, Cons):
+            yield node.car
+            node = node.cdr
+        if node is not NIL:
+            raise ValueError(f"improper list tail: {node!r}")
+
+
+def cons(car: Any, cdr: Any) -> Cons:
+    return Cons(car, cdr)
+
+
+def from_list(items: Iterable[Any], tail: Any = NIL) -> Any:
+    """Build a Lisp list from a Python iterable (optionally dotted)."""
+    result = tail
+    for item in reversed(list(items)):
+        result = Cons(item, result)
+    return result
+
+
+def to_list(value: Any) -> List[Any]:
+    """Convert a proper Lisp list to a Python list.  NIL -> []."""
+    if value is NIL:
+        return []
+    if not isinstance(value, Cons):
+        raise TypeError(f"not a list: {value!r}")
+    return list(value)
+
+
+def is_proper_list(value: Any) -> bool:
+    seen = set()
+    node = value
+    while isinstance(node, Cons):
+        if id(node) in seen:  # circular structure
+            return False
+        seen.add(id(node))
+        node = node.cdr
+    return node is NIL
+
+
+def list_length(value: Any) -> int:
+    return len(to_list(value))
+
+
+def car(value: Any) -> Any:
+    if value is NIL:
+        return NIL
+    if isinstance(value, Cons):
+        return value.car
+    raise TypeError(f"car of non-list: {value!r}")
+
+
+def cdr(value: Any) -> Any:
+    if value is NIL:
+        return NIL
+    if isinstance(value, Cons):
+        return value.cdr
+    raise TypeError(f"cdr of non-list: {value!r}")
+
+
+def cadr(value: Any) -> Any:
+    return car(cdr(value))
+
+
+def caddr(value: Any) -> Any:
+    return car(cdr(cdr(value)))
+
+
+def cddr(value: Any) -> Any:
+    return cdr(cdr(value))
+
+
+def nreverse(value: Any) -> Any:
+    """Destructively reverse a proper list (classic Lisp primitive)."""
+    prev: Any = NIL
+    node = value
+    while isinstance(node, Cons):
+        next_node = node.cdr
+        node.cdr = prev
+        prev = node
+        node = next_node
+    if node is not NIL:
+        raise TypeError(f"nreverse of improper list tail: {node!r}")
+    return prev
+
+
+def lisp_equal(a: Any, b: Any) -> bool:
+    """Structural equality (CL ``equal`` restricted to our datatypes)."""
+    if a is b:
+        return True
+    if isinstance(a, Cons) and isinstance(b, Cons):
+        return lisp_equal(a.car, b.car) and lisp_equal(a.cdr, b.cdr)
+    if isinstance(a, Symbol) or isinstance(b, Symbol):
+        return a is b
+    if isinstance(a, str) and isinstance(b, str):
+        return a == b
+    if isinstance(a, bool) or isinstance(b, bool):
+        return a is b
+    if isinstance(a, (int, float, complex)) and isinstance(b, (int, float, complex)):
+        # equal on numbers is eql: same type and same value.
+        return type(a) is type(b) and a == b
+    try:
+        from fractions import Fraction
+
+        if isinstance(a, Fraction) and isinstance(b, Fraction):
+            return a == b
+    except ImportError:  # pragma: no cover
+        pass
+    # Other leaf objects (e.g. reader Chars) compare by their own __eq__,
+    # but only within the same type.
+    if type(a) is type(b):
+        return a == b
+    return False

@@ -1,0 +1,128 @@
+"""The dialect's numeric tower and the eq/eql distinction.
+
+The paper's dialect provides "integers of indefinite size, rational numbers,
+floating-point numbers of several precisions, and complex numbers" (Section
+2).  We map these onto Python's numeric tower:
+
+* indefinite-size integers  -> ``int``
+* rationals                 -> ``fractions.Fraction``
+* floats (all S-1 widths)   -> ``float`` (width is a *representation* concern
+  tracked by the compiler's representation analysis, see
+  `repro.annotate.representation`; the front end is width-agnostic)
+* complex floats            -> ``complex``
+
+Section 6.3 is careful that ``eq`` is *not* an object-identity predicate for
+numbers (pdl-number copying may change a number's address) while ``eql``
+compares numeric values.  Those predicates live here so the interpreter,
+compiler constant-folder, and runtime all agree.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any
+
+from .symbols import Symbol
+
+NUMBER_TYPES = (int, float, complex, Fraction)
+
+
+def is_number(value: Any) -> bool:
+    return isinstance(value, NUMBER_TYPES) and not isinstance(value, bool)
+
+
+def is_integer(value: Any) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def is_ratio(value: Any) -> bool:
+    return isinstance(value, Fraction)
+
+
+def is_float(value: Any) -> bool:
+    return isinstance(value, float)
+
+
+def is_complex(value: Any) -> bool:
+    return isinstance(value, complex)
+
+
+def normalize_number(value: Any) -> Any:
+    """Canonicalize rational results: integral Fractions become ints.
+
+    Lisp's rational arithmetic contracts ``6/3`` to ``2``; Python's Fraction
+    already reduces but stays a Fraction, so we collapse it.
+    """
+    if isinstance(value, Fraction) and value.denominator == 1:
+        return int(value)
+    return value
+
+
+def lisp_eq(a: Any, b: Any) -> bool:
+    """Object identity.  NOT guaranteed for numbers (Section 6.3)."""
+    return a is b
+
+
+def lisp_eql(a: Any, b: Any) -> bool:
+    """Identity for non-numbers; type-and-value equality for numbers.
+
+    The paper: "Another predicate, eql, does 'work' as an object identity
+    predicate for all objects, because it compares addresses only for
+    non-numeric objects, and compares values for numeric objects."
+    """
+    if a is b:
+        return True
+    if is_number(a) and is_number(b):
+        if isinstance(a, complex) != isinstance(b, complex):
+            return False
+        if isinstance(a, float) != isinstance(b, float):
+            return False
+        # int vs Fraction are distinct types in the tower.
+        if is_integer(a) != is_integer(b):
+            return False
+        return a == b
+    if isinstance(a, Symbol) or isinstance(b, Symbol):
+        return a is b
+    if isinstance(a, str) and isinstance(b, str):
+        # Strings are composite objects; eql is identity.  Python interning
+        # makes identity unreliable, so we deliberately treat equal strings
+        # as eql only when identical objects.
+        return a is b
+    return False
+
+
+def coerce_pair(a: Any, b: Any):
+    """Numeric contagion for generic binary arithmetic.
+
+    integer < ratio < float < complex, as in Common Lisp.
+    """
+    if isinstance(a, complex) or isinstance(b, complex):
+        return complex(a), complex(b)
+    if isinstance(a, float) or isinstance(b, float):
+        return float(a), float(b)
+    if isinstance(a, Fraction) or isinstance(b, Fraction):
+        return Fraction(a), Fraction(b)
+    return a, b
+
+
+def generic_add(a: Any, b: Any) -> Any:
+    x, y = coerce_pair(a, b)
+    return normalize_number(x + y)
+
+
+def generic_sub(a: Any, b: Any) -> Any:
+    x, y = coerce_pair(a, b)
+    return normalize_number(x - y)
+
+
+def generic_mul(a: Any, b: Any) -> Any:
+    x, y = coerce_pair(a, b)
+    return normalize_number(x * y)
+
+
+def generic_div(a: Any, b: Any) -> Any:
+    """Lisp ``/``: exact rational division on integers."""
+    x, y = coerce_pair(a, b)
+    if isinstance(x, int) and isinstance(y, int):
+        return normalize_number(Fraction(x, y))
+    return normalize_number(x / y)

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the whole reproduction.
+
+Every package raises subclasses of :class:`ReproError`, so callers can catch
+one root type.  The split mirrors the phase structure: reading, conversion to
+IR, analysis/optimization, code generation, and run time (interpreter or
+simulated machine) each have their own class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Root of all errors raised by this library."""
+
+
+class ReaderError(ReproError):
+    """Malformed surface syntax."""
+
+
+class ConversionError(ReproError):
+    """Source program cannot be converted to the internal tree (bad special
+    form, unbound variable in strict mode, malformed lambda list, ...)."""
+
+
+class AnalysisError(ReproError):
+    """An analysis phase found an inconsistency (internal invariant)."""
+
+
+class OptimizerError(ReproError):
+    """The source-level optimizer detected an internal inconsistency."""
+
+
+class CodegenError(ReproError):
+    """Code generation failed (unsupported construct, allocator overflow)."""
+
+
+class LispError(ReproError):
+    """A run-time error signalled by Lisp execution (interpreter or machine):
+    wrong argument types, wrong argument counts, unbound variables, etc."""
+
+
+class MachineError(ReproError):
+    """The simulated S-1 machine trapped (bad opcode, bad address, ...)."""
+
+
+class WrongTypeError(LispError):
+    """Run-time type check failure (e.g. car of a number)."""
+
+
+class UnboundVariableError(LispError):
+    """Reference to an unbound (special) variable."""
+
+
+class WrongNumberOfArgumentsError(LispError):
+    """Function called with an arity its lambda list does not accept."""

@@ -1,0 +1,14 @@
+"""Reference interpreter: the semantics oracle for the compiler."""
+
+from .environment import Cell, DeepBindingStack, LexicalEnvironment, ShallowBindingStack
+from .interpreter import Interpreter, LispClosure, evaluate
+
+__all__ = [
+    "Cell",
+    "DeepBindingStack",
+    "ShallowBindingStack",
+    "Interpreter",
+    "LexicalEnvironment",
+    "LispClosure",
+    "evaluate",
+]

@@ -1,0 +1,142 @@
+"""Back-translation: internal tree -> valid source code.
+
+"The internal tree can always be back-translated into valid source code,
+equivalent to, though not necessarily identical to, the original source.
+(Such a back-translation facility has been written as a debugging aid for
+the compiler writers.)" -- Section 4.1.
+
+Following the paper's printing conventions, constants are internally
+explicitly quoted, "but for readability the back-translator actually omits
+quote-forms around numbers" (and other self-evaluating data).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ..datum import NIL, T, Cons, from_list
+from ..datum.symbols import Symbol, sym
+from .nodes import (
+    CallNode,
+    CaseqNode,
+    CatcherNode,
+    FunctionRefNode,
+    GoNode,
+    IfNode,
+    LambdaNode,
+    LiteralNode,
+    Node,
+    PrognNode,
+    ProgbodyNode,
+    ReturnNode,
+    SetqNode,
+    TagMarker,
+    Variable,
+    VarRefNode,
+)
+
+_SELF_EVALUATING_TYPES = (int, float, complex, str)
+
+
+def _variable_symbol(variable: Variable,
+                     names: Dict[Variable, Symbol]) -> Symbol:
+    """Pick a printable name for a variable, disambiguating duplicates."""
+    chosen = names.get(variable)
+    if chosen is not None:
+        return chosen
+    base = variable.name.name
+    taken = set(s.name for s in names.values())
+    candidate = base
+    counter = 1
+    while candidate in taken:
+        counter += 1
+        candidate = f"{base}.{counter}"
+    chosen = sym(candidate) if variable.name.interned else variable.name
+    if candidate != base:
+        chosen = sym(candidate)
+    names[variable] = chosen
+    return chosen
+
+
+def back_translate(node: Node) -> Any:
+    """Render a subtree as source data (a Lisp form)."""
+    return _bt(node, {})
+
+
+def _quote_literal(value: Any) -> Any:
+    from fractions import Fraction
+
+    if value is NIL or value is T:
+        return value
+    if isinstance(value, _SELF_EVALUATING_TYPES + (Fraction,)) and not isinstance(value, bool):
+        return value
+    return from_list([sym("quote"), value])
+
+
+def _bt(node: Node, names: Dict[Variable, Symbol]) -> Any:
+    if isinstance(node, LiteralNode):
+        return _quote_literal(node.value)
+    if isinstance(node, VarRefNode):
+        return _variable_symbol(node.variable, names)
+    if isinstance(node, FunctionRefNode):
+        return node.name
+    if isinstance(node, IfNode):
+        return from_list([sym("if"), _bt(node.test, names),
+                          _bt(node.then, names), _bt(node.else_, names)])
+    if isinstance(node, LambdaNode):
+        return _bt_lambda(node, names)
+    if isinstance(node, CallNode):
+        head = _bt(node.fn, names)
+        return from_list([head] + [_bt(a, names) for a in node.args])
+    if isinstance(node, PrognNode):
+        return from_list([sym("progn")] + [_bt(f, names) for f in node.forms])
+    if isinstance(node, SetqNode):
+        return from_list([sym("setq"), _variable_symbol(node.variable, names),
+                          _bt(node.value, names)])
+    if isinstance(node, ProgbodyNode):
+        items: List[Any] = []
+        for item in node.items:
+            if isinstance(item, TagMarker):
+                items.append(item.name)
+            else:
+                items.append(_bt(item, names))
+        return from_list([sym("progbody")] + items)
+    if isinstance(node, GoNode):
+        return from_list([sym("go"), node.tag])
+    if isinstance(node, ReturnNode):
+        return from_list([sym("return"), _bt(node.value, names)])
+    if isinstance(node, CaseqNode):
+        clauses: List[Any] = []
+        for keys, body in node.clauses:
+            clauses.append(from_list([from_list(list(keys)), _bt(body, names)]))
+        clauses.append(from_list([T, _bt(node.default, names)]))
+        return from_list([sym("caseq"), _bt(node.key, names)] + clauses)
+    if isinstance(node, CatcherNode):
+        return from_list([sym("catch"), _bt(node.tag, names),
+                          _bt(node.body, names)])
+    raise TypeError(f"cannot back-translate {node!r}")  # pragma: no cover
+
+
+def _bt_lambda(node: LambdaNode, names: Dict[Variable, Symbol]) -> Any:
+    lambda_list: List[Any] = [
+        _variable_symbol(v, names) for v in node.required
+    ]
+    if node.optionals:
+        lambda_list.append(sym("&optional"))
+        for opt in node.optionals:
+            name = _variable_symbol(opt.variable, names)
+            if isinstance(opt.default, LiteralNode) and opt.default.value is NIL:
+                lambda_list.append(name)
+            else:
+                lambda_list.append(from_list([name, _bt(opt.default, names)]))
+    if node.rest is not None:
+        lambda_list.append(sym("&rest"))
+        lambda_list.append(_variable_symbol(node.rest, names))
+    return from_list([sym("lambda"), from_list(lambda_list),
+                      _bt(node.body, names)])
+
+
+def back_translate_to_string(node: Node) -> str:
+    from ..reader.printer import write_to_string
+
+    return write_to_string(back_translate(node))

@@ -1,0 +1,496 @@
+"""Preliminary conversion: source forms -> internal tree.
+
+This is the paper's first phase (Table 1): "Syntax checking.  Resolving of
+variable references.  Expansion of macro calls.  Very simple program
+transformations.  Conversion to internal tree form."
+
+Scoping decisions implemented here:
+
+* A symbol in operator position that is lexically bound is a *variable call*
+  (the dialect follows the paper's Section 5 usage, where ``(f1)`` calls the
+  function that is the value of the lexical variable ``f1``; Rees's
+  SCHEME-flavored port of this compiler did the same).
+* A symbol in operator position that is not lexically bound refers to a
+  global function or primitive: a :class:`FunctionRefNode`.
+* A free value-position symbol is a *special* (dynamically scoped) variable,
+  as is any variable proclaimed special via ``defvar`` or declared with
+  ``(declare (special x))``.
+* ``go``/``return`` resolve lexically to the innermost enclosing progbody
+  (``go`` to the innermost one that has the tag).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..datum import NIL, T, Cons, to_list
+from ..datum.symbols import Symbol, sym
+from ..errors import ConversionError
+from ..reader import read
+from . import macros
+from .nodes import (
+    CallNode,
+    CaseqNode,
+    CatcherNode,
+    FunctionRefNode,
+    GoNode,
+    IfNode,
+    LambdaNode,
+    LiteralNode,
+    Node,
+    OptionalParam,
+    PrognNode,
+    ProgbodyNode,
+    ReturnNode,
+    SetqNode,
+    TagMarker,
+    Variable,
+    VarRefNode,
+)
+
+_QUOTE = sym("quote")
+_FUNCTION = sym("function")
+_IF = sym("if")
+_LAMBDA = sym("lambda")
+_PROGN = sym("progn")
+_SETQ = sym("setq")
+_PROGBODY = sym("progbody")
+_GO = sym("go")
+_RETURN = sym("return")
+_CASEQ = sym("caseq")
+_CATCH = sym("catch")
+_FUNCALL = sym("funcall")
+_DECLARE = sym("declare")
+_THE = sym("the")
+_DEFUN = sym("defun")
+_OPTIONAL = sym("&optional")
+_REST = sym("&rest")
+_OTHERWISE = sym("otherwise")
+
+# Type declarations map onto internal representations (Table 3).
+_DECLARABLE_TYPES = {
+    sym("fixnum"): "SWFIX",
+    sym("integer"): "SWFIX",
+    sym("single-float"): "SWFLO",
+    sym("double-float"): "DWFLO",
+    sym("short-float"): "HWFLO",
+    sym("long-float"): "TWFLO",
+    sym("float"): "SWFLO",
+    sym("complex"): "SWCPLX",
+}
+
+
+class LexicalEnv:
+    """Compile-time lexical environment: symbol -> Variable chains."""
+
+    def __init__(self, parent: Optional["LexicalEnv"] = None):
+        self.parent = parent
+        self.bindings: Dict[Symbol, Variable] = {}
+
+    def bind(self, variable: Variable) -> None:
+        self.bindings[variable.name] = variable
+
+    def lookup(self, name: Symbol) -> Optional[Variable]:
+        env: Optional[LexicalEnv] = self
+        while env is not None:
+            variable = env.bindings.get(name)
+            if variable is not None:
+                return variable
+            env = env.parent
+        return None
+
+
+class Converter:
+    """Converts one top-level form into an internal tree."""
+
+    def __init__(self, special_variables: Optional[Set[Symbol]] = None):
+        # Globally proclaimed specials (defvar) shared across conversions.
+        self.proclaimed_specials: Set[Symbol] = special_variables or set()
+        # Special Variable objects are shared per symbol within a conversion
+        # so that analysis sees one variable per dynamic name.
+        self._special_vars: Dict[Symbol, Variable] = {}
+
+    # -- public API ---------------------------------------------------------
+
+    def convert(self, form: Any) -> Node:
+        """Convert an expression form (not defun) to a tree."""
+        return self._convert(form, LexicalEnv(), [])
+
+    def convert_lambda(self, form: Any) -> LambdaNode:
+        node = self.convert(form)
+        if not isinstance(node, LambdaNode):
+            raise ConversionError(f"not a lambda expression: {form!r}")
+        return node
+
+    def convert_defun(self, form: Any) -> Tuple[Symbol, LambdaNode]:
+        """(defun name lambda-list body...) -> (name, LambdaNode)."""
+        parts = to_list(form)
+        if len(parts) < 3 or parts[0] is not _DEFUN:
+            raise ConversionError(f"malformed defun: {form!r}")
+        name = parts[1]
+        if not isinstance(name, Symbol):
+            raise ConversionError(f"defun: name must be a symbol: {name!r}")
+        from ..datum import from_list
+
+        lambda_form = from_list([_LAMBDA, parts[2]] + parts[3:])
+        node = self.convert_lambda(lambda_form)
+        node.name_hint = name.name
+        return name, node
+
+    def special_variable(self, name: Symbol) -> Variable:
+        variable = self._special_vars.get(name)
+        if variable is None:
+            variable = Variable(name, special=True)
+            self._special_vars[name] = variable
+        return variable
+
+    # -- conversion proper ---------------------------------------------------
+
+    def _convert(self, form: Any, env: LexicalEnv,
+                 progbodies: List[ProgbodyNode]) -> Node:
+        if isinstance(form, Symbol):
+            return self._convert_symbol(form, env)
+        if not isinstance(form, Cons):
+            # Self-evaluating: numbers, strings, characters.
+            node = LiteralNode(form)
+            node.source = form
+            return node
+        head = form.car
+        if isinstance(head, Symbol):
+            handler = _SPECIAL_FORMS.get(head)
+            if handler is not None:
+                node = handler(self, form, env, progbodies)
+                node.source = form
+                return node
+            if macros.is_macro(head):
+                return self._convert(macros.macroexpand_1(form), env, progbodies)
+        return self._convert_call(form, env, progbodies)
+
+    def _convert_symbol(self, name: Symbol, env: LexicalEnv) -> Node:
+        if name is NIL or name is T:
+            return LiteralNode(name)
+        variable = env.lookup(name)
+        if variable is None:
+            # Free variable: dynamically scoped (special).
+            variable = self.special_variable(name)
+        return VarRefNode(variable)
+
+    def _convert_call(self, form: Cons, env: LexicalEnv,
+                      progbodies: List[ProgbodyNode]) -> Node:
+        head = form.car
+        args = [self._convert(arg, env, progbodies) for arg in to_list(form.cdr)]
+        if isinstance(head, Symbol):
+            variable = env.lookup(head)
+            if variable is not None:
+                fn_node: Node = VarRefNode(variable)
+            else:
+                fn_node = FunctionRefNode(head)
+        elif isinstance(head, Cons) and head.car is _LAMBDA:
+            fn_node = self._convert(head, env, progbodies)
+        elif isinstance(head, Cons):
+            # ((foo ...) args) with non-lambda head: treat as computed call.
+            fn_node = self._convert(head, env, progbodies)
+        else:
+            raise ConversionError(f"bad operator {head!r} in {form!r}")
+        node = CallNode(fn_node, args)
+        node.source = form
+        return node
+
+    # -- special forms --------------------------------------------------------
+
+    def _sf_quote(self, form: Cons, env: LexicalEnv,
+                  progbodies: List[ProgbodyNode]) -> Node:
+        parts = to_list(form.cdr)
+        if len(parts) != 1:
+            raise ConversionError(f"quote: one argument required: {form!r}")
+        return LiteralNode(parts[0])
+
+    def _sf_function(self, form: Cons, env: LexicalEnv,
+                     progbodies: List[ProgbodyNode]) -> Node:
+        parts = to_list(form.cdr)
+        if len(parts) != 1:
+            raise ConversionError(f"function: one argument required: {form!r}")
+        target = parts[0]
+        if isinstance(target, Symbol):
+            variable = env.lookup(target)
+            if variable is not None:
+                return VarRefNode(variable)
+            return FunctionRefNode(target)
+        if isinstance(target, Cons) and target.car is _LAMBDA:
+            return self._convert(target, env, progbodies)
+        raise ConversionError(f"function: bad designator {target!r}")
+
+    def _sf_if(self, form: Cons, env: LexicalEnv,
+               progbodies: List[ProgbodyNode]) -> Node:
+        parts = to_list(form.cdr)
+        if len(parts) not in (2, 3):
+            raise ConversionError(f"if: needs 2 or 3 arguments: {form!r}")
+        test = self._convert(parts[0], env, progbodies)
+        then = self._convert(parts[1], env, progbodies)
+        else_ = (self._convert(parts[2], env, progbodies)
+                 if len(parts) == 3 else LiteralNode(NIL))
+        return IfNode(test, then, else_)
+
+    def _sf_progn(self, form: Cons, env: LexicalEnv,
+                  progbodies: List[ProgbodyNode]) -> Node:
+        forms = [self._convert(f, env, progbodies) for f in to_list(form.cdr)]
+        if len(forms) == 1:
+            return forms[0]
+        return PrognNode(forms)
+
+    def _sf_setq(self, form: Cons, env: LexicalEnv,
+                 progbodies: List[ProgbodyNode]) -> Node:
+        parts = to_list(form.cdr)
+        if not parts:
+            return LiteralNode(NIL)
+        if len(parts) % 2 != 0:
+            raise ConversionError(f"setq: odd number of arguments: {form!r}")
+        setqs: List[Node] = []
+        for i in range(0, len(parts), 2):
+            name, value_form = parts[i], parts[i + 1]
+            if not isinstance(name, Symbol):
+                raise ConversionError(f"setq: bad variable {name!r}")
+            if name is NIL or name is T:
+                raise ConversionError(f"setq: cannot assign constant {name!r}")
+            variable = env.lookup(name)
+            if variable is None:
+                variable = self.special_variable(name)
+            value = self._convert(value_form, env, progbodies)
+            setqs.append(SetqNode(variable, value))
+        if len(setqs) == 1:
+            return setqs[0]
+        return PrognNode(setqs)
+
+    def _sf_lambda(self, form: Cons, env: LexicalEnv,
+                   progbodies: List[ProgbodyNode]) -> Node:
+        parts = to_list(form.cdr)
+        if not parts:
+            raise ConversionError(f"lambda: missing lambda-list: {form!r}")
+        lambda_list = parts[0]
+        body_forms = parts[1:]
+        inner_env = LexicalEnv(env)
+
+        declared_specials, declared_types, body_forms = \
+            self._parse_declarations(body_forms)
+
+        required: List[Variable] = []
+        optionals: List[OptionalParam] = []
+        rest: Optional[Variable] = None
+        mode = "required"
+
+        def make_variable(name: Symbol) -> Variable:
+            if not isinstance(name, Symbol):
+                raise ConversionError(f"lambda: bad parameter {name!r}")
+            is_special = (name in declared_specials
+                          or name in self.proclaimed_specials)
+            variable = Variable(name, special=is_special)
+            if name in declared_types:
+                variable.declared_type = declared_types[name]
+            inner_env.bind(variable)
+            return variable
+
+        for item in (to_list(lambda_list) if lambda_list is not NIL else []):
+            if item is _OPTIONAL:
+                if mode != "required":
+                    raise ConversionError(f"lambda: misplaced &optional: {form!r}")
+                mode = "optional"
+                continue
+            if item is _REST:
+                if mode == "rest":
+                    raise ConversionError(f"lambda: duplicate &rest: {form!r}")
+                mode = "rest"
+                continue
+            if mode == "required":
+                required.append(make_variable(item))
+            elif mode == "optional":
+                if isinstance(item, Symbol):
+                    default_node: Node = LiteralNode(NIL)
+                    variable = make_variable(item)
+                else:
+                    spec = to_list(item)
+                    if len(spec) not in (1, 2):
+                        raise ConversionError(
+                            f"lambda: bad optional spec {item!r}")
+                    # Default may refer to earlier parameters: convert in the
+                    # inner env *before* binding this parameter.
+                    default_node = (self._convert(spec[1], inner_env, progbodies)
+                                    if len(spec) == 2 else LiteralNode(NIL))
+                    variable = make_variable(spec[0])
+                optionals.append(OptionalParam(variable, default_node))
+            elif mode == "rest":
+                if rest is not None:
+                    raise ConversionError(f"lambda: two &rest parameters: {form!r}")
+                rest = make_variable(item)
+
+        if mode == "rest" and rest is None:
+            raise ConversionError(f"lambda: &rest without a parameter: {form!r}")
+
+        body = [self._convert(f, inner_env, progbodies) for f in body_forms]
+        body_node: Node = body[0] if len(body) == 1 else PrognNode(
+            body if body else [LiteralNode(NIL)])
+        return LambdaNode(required, optionals, rest, body_node)
+
+    def _parse_declarations(self, body_forms: List[Any]):
+        """Strip leading (declare ...) forms; return specials, types, body."""
+        declared_specials: Set[Symbol] = set()
+        declared_types: Dict[Symbol, str] = {}
+        index = 0
+        while index < len(body_forms):
+            form = body_forms[index]
+            if not (isinstance(form, Cons) and form.car is _DECLARE):
+                break
+            for decl in to_list(form.cdr):
+                decl_parts = to_list(decl)
+                if not decl_parts:
+                    continue
+                kind = decl_parts[0]
+                if kind is sym("special"):
+                    declared_specials.update(decl_parts[1:])
+                elif kind is sym("type") and len(decl_parts) >= 3:
+                    rep = _DECLARABLE_TYPES.get(decl_parts[1])
+                    if rep is not None:
+                        for name in decl_parts[2:]:
+                            declared_types[name] = rep
+                elif kind in _DECLARABLE_TYPES:
+                    for name in decl_parts[1:]:
+                        declared_types[name] = _DECLARABLE_TYPES[kind]
+                # Unknown declarations are advice; ignored.
+            index += 1
+        return declared_specials, declared_types, body_forms[index:]
+
+    def _sf_progbody(self, form: Cons, env: LexicalEnv,
+                     progbodies: List[ProgbodyNode]) -> Node:
+        node = ProgbodyNode([])
+        node.items = []
+        inner = progbodies + [node]
+        for item in to_list(form.cdr):
+            if isinstance(item, Symbol):
+                node.items.append(TagMarker(item))
+            else:
+                converted = self._convert(item, env, inner)
+                converted.parent = node
+                node.items.append(converted)
+        # Resolve forward gos: a (go tag) converted before its tag appeared
+        # was provisionally targeted at the innermost progbody; retarget any
+        # whose provisional target lacks the tag but this progbody has it.
+        for descendant in node.walk():
+            if isinstance(descendant, GoNode):
+                if (descendant.target.find_tag(descendant.tag) is None
+                        and node.find_tag(descendant.tag) is not None):
+                    descendant.target = node
+        return node
+
+    def _sf_go(self, form: Cons, env: LexicalEnv,
+               progbodies: List[ProgbodyNode]) -> Node:
+        parts = to_list(form.cdr)
+        if len(parts) != 1 or not isinstance(parts[0], Symbol):
+            raise ConversionError(f"go: needs one tag symbol: {form!r}")
+        tag = parts[0]
+        for progbody in reversed(progbodies):
+            marker = progbody.find_tag(tag)
+            if marker is not None:
+                node = GoNode(tag, progbody)
+                marker.uses.append(node)
+                return node
+        # Tag may appear later in the progbody currently being converted
+        # (forward go): defer resolution by targeting the innermost progbody.
+        if progbodies:
+            return GoNode(tag, progbodies[-1])
+        raise ConversionError(f"go: no enclosing progbody for tag {tag!r}")
+
+    def _sf_return(self, form: Cons, env: LexicalEnv,
+                   progbodies: List[ProgbodyNode]) -> Node:
+        parts = to_list(form.cdr)
+        if len(parts) > 1:
+            raise ConversionError(f"return: at most one value: {form!r}")
+        if not progbodies:
+            raise ConversionError(f"return: no enclosing progbody: {form!r}")
+        value = (self._convert(parts[0], env, progbodies)
+                 if parts else LiteralNode(NIL))
+        return ReturnNode(value, progbodies[-1])
+
+    def _sf_caseq(self, form: Cons, env: LexicalEnv,
+                  progbodies: List[ProgbodyNode]) -> Node:
+        parts = to_list(form.cdr)
+        if not parts:
+            raise ConversionError(f"caseq: missing key: {form!r}")
+        key = self._convert(parts[0], env, progbodies)
+        clauses: List[Tuple[Tuple[Any, ...], Node]] = []
+        default: Node = LiteralNode(NIL)
+        for clause in parts[1:]:
+            clause_parts = to_list(clause)
+            if not clause_parts:
+                raise ConversionError(f"caseq: empty clause in {form!r}")
+            keys_spec, body_forms = clause_parts[0], clause_parts[1:]
+            body_nodes = [self._convert(f, env, progbodies)
+                          for f in body_forms] or [LiteralNode(NIL)]
+            body: Node = body_nodes[0] if len(body_nodes) == 1 \
+                else PrognNode(body_nodes)
+            if keys_spec is T or keys_spec is _OTHERWISE:
+                default = body
+            elif isinstance(keys_spec, Cons):
+                clauses.append((tuple(to_list(keys_spec)), body))
+            else:
+                clauses.append(((keys_spec,), body))
+        return CaseqNode(key, clauses, default)
+
+    def _sf_catch(self, form: Cons, env: LexicalEnv,
+                  progbodies: List[ProgbodyNode]) -> Node:
+        parts = to_list(form.cdr)
+        if not parts:
+            raise ConversionError(f"catch: missing tag: {form!r}")
+        tag = self._convert(parts[0], env, progbodies)
+        body_nodes = [self._convert(f, env, progbodies) for f in parts[1:]]
+        body: Node = body_nodes[0] if len(body_nodes) == 1 else PrognNode(
+            body_nodes if body_nodes else [LiteralNode(NIL)])
+        return CatcherNode(tag, body)
+
+    def _sf_funcall(self, form: Cons, env: LexicalEnv,
+                    progbodies: List[ProgbodyNode]) -> Node:
+        parts = to_list(form.cdr)
+        if not parts:
+            raise ConversionError(f"funcall: missing function: {form!r}")
+        fn = self._convert(parts[0], env, progbodies)
+        args = [self._convert(a, env, progbodies) for a in parts[1:]]
+        return CallNode(fn, args)
+
+    def _sf_the(self, form: Cons, env: LexicalEnv,
+                progbodies: List[ProgbodyNode]) -> Node:
+        parts = to_list(form.cdr)
+        if len(parts) != 2:
+            raise ConversionError(f"the: needs type and form: {form!r}")
+        node = self._convert(parts[1], env, progbodies)
+        rep = _DECLARABLE_TYPES.get(parts[0])
+        if rep is not None:
+            node.asserted_type = rep
+            node.inferred_type = rep
+        return node
+
+    def _sf_declare(self, form: Cons, env: LexicalEnv,
+                    progbodies: List[ProgbodyNode]) -> Node:
+        # A declare not at the head of a body is a no-op.
+        return LiteralNode(NIL)
+
+
+_SPECIAL_FORMS = {
+    _QUOTE: Converter._sf_quote,
+    _FUNCTION: Converter._sf_function,
+    _IF: Converter._sf_if,
+    _PROGN: Converter._sf_progn,
+    _SETQ: Converter._sf_setq,
+    _LAMBDA: Converter._sf_lambda,
+    _PROGBODY: Converter._sf_progbody,
+    _GO: Converter._sf_go,
+    _RETURN: Converter._sf_return,
+    _CASEQ: Converter._sf_caseq,
+    _CATCH: Converter._sf_catch,
+    _FUNCALL: Converter._sf_funcall,
+    _THE: Converter._sf_the,
+    _DECLARE: Converter._sf_declare,
+}
+
+
+def convert_source(text: str,
+                   special_variables: Optional[Set[Symbol]] = None) -> Node:
+    """Convenience: read one form from text and convert it."""
+    return Converter(special_variables).convert(read(text))

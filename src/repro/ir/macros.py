@@ -1,0 +1,476 @@
+"""Macro expansion: all constructs outside the Table 2 basic set.
+
+"All other program constructs are expanded as macros or otherwise
+re-expressed in terms of the small basic set" (Section 4.1).  Each macro
+maps a source form (Lisp data) to another source form; the converter
+(`repro.ir.convert`) re-expands until it reaches a special form or a call.
+
+The expansions follow the paper where it shows them:
+
+* ``let`` becomes a call to an explicitly appearing lambda-expression,
+* ``cond`` becomes nested ``if``,
+* ``prog`` becomes a ``let`` containing a ``progbody``,
+* ``or`` becomes ``((lambda (v f) (if v v (f))) b (lambda () c))`` "to avoid
+  evaluating b twice" (Section 5, footnote in the derivation).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from ..datum import NIL, T, Cons, from_list, gensym, sym, to_list
+from ..datum.symbols import Symbol
+from ..errors import ConversionError
+
+MacroFn = Callable[[Any], Any]
+
+MACROS: Dict[Symbol, MacroFn] = {}
+
+
+def defmacro(name: str) -> Callable[[MacroFn], MacroFn]:
+    def register(fn: MacroFn) -> MacroFn:
+        MACROS[sym(name)] = fn
+        return fn
+    return register
+
+
+def is_macro(symbol: Any) -> bool:
+    return symbol in MACROS
+
+
+def macroexpand_1(form: Any) -> Any:
+    """Expand the head macro of *form* once (form must be a macro call)."""
+    head = form.car
+    expander = MACROS.get(head)
+    if expander is None:
+        raise ConversionError(f"not a macro call: {form!r}")
+    return expander(form)
+
+
+def _args(form: Any) -> List[Any]:
+    return to_list(form.cdr)
+
+
+def _lst(*items: Any) -> Any:
+    return from_list(list(items))
+
+
+def _progn_body(body: List[Any]) -> Any:
+    """Wrap a body in progn unless it is a single form."""
+    if len(body) == 1:
+        return body[0]
+    return from_list([sym("progn")] + body)
+
+
+# ---------------------------------------------------------------------------
+# Binding forms
+# ---------------------------------------------------------------------------
+
+@defmacro("let")
+def _expand_let(form: Any) -> Any:
+    """(let ((v init)...) body...) => ((lambda (v...) body...) init...)"""
+    parts = _args(form)
+    if not parts:
+        raise ConversionError(f"let: missing binding list in {form!r}")
+    bindings, body = parts[0], parts[1:]
+    variables: List[Any] = []
+    inits: List[Any] = []
+    for binding in (to_list(bindings) if bindings is not NIL else []):
+        if isinstance(binding, Symbol):
+            variables.append(binding)
+            inits.append(NIL)
+        else:
+            pair = to_list(binding)
+            if len(pair) == 1:
+                variables.append(pair[0])
+                inits.append(NIL)
+            elif len(pair) == 2:
+                variables.append(pair[0])
+                inits.append(pair[1])
+            else:
+                raise ConversionError(f"let: bad binding {binding!r}")
+    lambda_form = from_list([sym("lambda"), from_list(variables)] + body)
+    return from_list([lambda_form] + inits)
+
+
+@defmacro("let*")
+def _expand_let_star(form: Any) -> Any:
+    """(let* (b1 b2...) body...) => (let (b1) (let* (b2...) body...))"""
+    parts = _args(form)
+    if not parts:
+        raise ConversionError(f"let*: missing binding list in {form!r}")
+    bindings, body = parts[0], parts[1:]
+    binding_list = to_list(bindings) if bindings is not NIL else []
+    if not binding_list:
+        return _progn_body(body if body else [NIL])
+    first, rest = binding_list[0], binding_list[1:]
+    inner = from_list([sym("let*"), from_list(rest)] + body)
+    return _lst(sym("let"), _lst(first), inner)
+
+
+# ---------------------------------------------------------------------------
+# Conditionals
+# ---------------------------------------------------------------------------
+
+@defmacro("cond")
+def _expand_cond(form: Any) -> Any:
+    clauses = _args(form)
+    if not clauses:
+        return NIL
+    first, rest = clauses[0], clauses[1:]
+    clause = to_list(first)
+    if not clause:
+        raise ConversionError(f"cond: empty clause in {form!r}")
+    test, body = clause[0], clause[1:]
+    rest_form = from_list([sym("cond")] + rest) if rest else NIL
+    if test is T and body:
+        return _progn_body(body)
+    if not body:
+        # (cond (x) ...) returns x if non-nil: or-like; avoid double eval.
+        variable = gensym("v")
+        return _lst(
+            _lst(sym("lambda"), _lst(variable),
+                 _lst(sym("if"), variable, variable, rest_form)),
+            test,
+        )
+    return _lst(sym("if"), test, _progn_body(body), rest_form)
+
+
+@defmacro("and")
+def _expand_and(form: Any) -> Any:
+    parts = _args(form)
+    if not parts:
+        return T
+    if len(parts) == 1:
+        return parts[0]
+    rest = from_list([sym("and")] + parts[1:])
+    return _lst(sym("if"), parts[0], rest, NIL)
+
+
+@defmacro("or")
+def _expand_or(form: Any) -> Any:
+    parts = _args(form)
+    if not parts:
+        return NIL
+    if len(parts) == 1:
+        return parts[0]
+    # The paper's exact expansion: ((lambda (v f) (if v v (f))) b (lambda () c))
+    variable = gensym("v")
+    thunk = gensym("f")
+    rest = from_list([sym("or")] + parts[1:])
+    return _lst(
+        _lst(sym("lambda"), _lst(variable, thunk),
+             _lst(sym("if"), variable, variable, _lst(thunk))),
+        parts[0],
+        _lst(sym("lambda"), NIL, rest),
+    )
+
+
+@defmacro("when")
+def _expand_when(form: Any) -> Any:
+    parts = _args(form)
+    if not parts:
+        raise ConversionError(f"when: missing test in {form!r}")
+    return _lst(sym("if"), parts[0], _progn_body(parts[1:] or [NIL]), NIL)
+
+
+@defmacro("unless")
+def _expand_unless(form: Any) -> Any:
+    parts = _args(form)
+    if not parts:
+        raise ConversionError(f"unless: missing test in {form!r}")
+    return _lst(sym("if"), parts[0], NIL, _progn_body(parts[1:] or [NIL]))
+
+
+@defmacro("case")
+def _expand_case(form: Any) -> Any:
+    """(case key (keys body...) ... (t body...)) => (caseq ...)"""
+    parts = _args(form)
+    if not parts:
+        raise ConversionError(f"case: missing key in {form!r}")
+    return from_list([sym("caseq")] + parts)
+
+
+# ---------------------------------------------------------------------------
+# Sequencing / value forms
+# ---------------------------------------------------------------------------
+
+@defmacro("prog1")
+def _expand_prog1(form: Any) -> Any:
+    parts = _args(form)
+    if not parts:
+        raise ConversionError(f"prog1: missing form in {form!r}")
+    variable = gensym("v")
+    body = parts[1:] + [variable]
+    return _lst(
+        from_list([sym("lambda"), _lst(variable)] + body),
+        parts[0],
+    )
+
+
+@defmacro("prog2")
+def _expand_prog2(form: Any) -> Any:
+    parts = _args(form)
+    if len(parts) < 2:
+        raise ConversionError(f"prog2: needs two forms in {form!r}")
+    return _lst(sym("progn"), parts[0],
+                from_list([sym("prog1")] + parts[1:]))
+
+
+# ---------------------------------------------------------------------------
+# prog / iteration
+# ---------------------------------------------------------------------------
+
+@defmacro("prog")
+def _expand_prog(form: Any) -> Any:
+    """(prog (vars) tag/stmt ...) => (let (vars) (progbody tag/stmt ...))
+
+    "The usual LISP prog construct translates into a let ... containing a
+    progbody" (Table 2).
+    """
+    parts = _args(form)
+    if not parts:
+        raise ConversionError(f"prog: missing binding list in {form!r}")
+    bindings, body = parts[0], parts[1:]
+    progbody = from_list([sym("progbody")] + body)
+    return _lst(sym("let"), bindings, progbody)
+
+
+def _expand_psetq_steps(pairs: List[Any]) -> Any:
+    """Parallel assignment used by do stepping: evaluate all new values,
+    then assign.  (psetq v1 e1 v2 e2) with temporaries."""
+    temps = [gensym("s") for _ in range(len(pairs) // 2)]
+    bindings = []
+    setqs: List[Any] = []
+    for i, temp in enumerate(temps):
+        variable, expr = pairs[2 * i], pairs[2 * i + 1]
+        bindings.append(_lst(temp, expr))
+        setqs.append(_lst(sym("setq"), variable, temp))
+    return from_list([sym("let"), from_list(bindings)] + setqs)
+
+
+@defmacro("psetq")
+def _expand_psetq(form: Any) -> Any:
+    pairs = _args(form)
+    if len(pairs) % 2 != 0:
+        raise ConversionError(f"psetq: odd number of arguments in {form!r}")
+    if not pairs:
+        return NIL
+    return _expand_psetq_steps(pairs)
+
+
+@defmacro("do")
+def _expand_do(form: Any) -> Any:
+    """Full CL-style do with parallel stepping, expressed with prog."""
+    parts = _args(form)
+    if len(parts) < 2:
+        raise ConversionError(f"do: needs bindings and end clause in {form!r}")
+    specs = to_list(parts[0]) if parts[0] is not NIL else []
+    end_clause = to_list(parts[1])
+    if not end_clause:
+        raise ConversionError(f"do: empty end clause in {form!r}")
+    end_test, result_forms = end_clause[0], end_clause[1:]
+    body = parts[2:]
+
+    bindings: List[Any] = []
+    steps: List[Any] = []  # flat [var expr var expr ...]
+    for spec in specs:
+        if isinstance(spec, Symbol):
+            bindings.append(_lst(spec, NIL))
+            continue
+        spec_parts = to_list(spec)
+        variable = spec_parts[0]
+        init = spec_parts[1] if len(spec_parts) > 1 else NIL
+        bindings.append(_lst(variable, init))
+        if len(spec_parts) > 2:
+            steps.extend([variable, spec_parts[2]])
+
+    loop_tag = gensym("loop")
+    result = _progn_body(result_forms) if result_forms else NIL
+    items: List[Any] = [loop_tag,
+                        _lst(sym("if"), end_test,
+                             _lst(sym("return"), result), NIL)]
+    items.extend(body)
+    if steps:
+        items.append(_expand_psetq_steps(steps))
+    items.append(_lst(sym("go"), loop_tag))
+    progbody = from_list([sym("progbody")] + items)
+    return _lst(sym("let"), from_list(bindings), progbody)
+
+
+@defmacro("do*")
+def _expand_do_star(form: Any) -> Any:
+    """Like do but with sequential binding and stepping."""
+    parts = _args(form)
+    if len(parts) < 2:
+        raise ConversionError(f"do*: needs bindings and end clause in {form!r}")
+    specs = to_list(parts[0]) if parts[0] is not NIL else []
+    end_clause = to_list(parts[1])
+    end_test, result_forms = end_clause[0], end_clause[1:]
+    body = parts[2:]
+
+    bindings: List[Any] = []
+    setq_steps: List[Any] = []
+    for spec in specs:
+        if isinstance(spec, Symbol):
+            bindings.append(_lst(spec, NIL))
+            continue
+        spec_parts = to_list(spec)
+        variable = spec_parts[0]
+        init = spec_parts[1] if len(spec_parts) > 1 else NIL
+        bindings.append(_lst(variable, init))
+        if len(spec_parts) > 2:
+            setq_steps.append(_lst(sym("setq"), variable, spec_parts[2]))
+
+    loop_tag = gensym("loop")
+    result = _progn_body(result_forms) if result_forms else NIL
+    items: List[Any] = [loop_tag,
+                        _lst(sym("if"), end_test,
+                             _lst(sym("return"), result), NIL)]
+    items.extend(body)
+    items.extend(setq_steps)
+    items.append(_lst(sym("go"), loop_tag))
+    progbody = from_list([sym("progbody")] + items)
+    return _lst(sym("let*"), from_list(bindings), progbody)
+
+
+@defmacro("dotimes")
+def _expand_dotimes(form: Any) -> Any:
+    parts = _args(form)
+    if not parts:
+        raise ConversionError(f"dotimes: missing spec in {form!r}")
+    spec = to_list(parts[0])
+    if len(spec) < 2:
+        raise ConversionError(f"dotimes: bad spec in {form!r}")
+    variable, count = spec[0], spec[1]
+    result = spec[2] if len(spec) > 2 else NIL
+    limit = gensym("limit")
+    body = parts[1:]
+    return from_list([
+        sym("do"),
+        _lst(_lst(limit, count),
+             _lst(variable, 0, _lst(sym("1+"), variable))),
+        _lst(_lst(sym(">="), variable, limit), result),
+    ] + body)
+
+
+@defmacro("dolist")
+def _expand_dolist(form: Any) -> Any:
+    parts = _args(form)
+    if not parts:
+        raise ConversionError(f"dolist: missing spec in {form!r}")
+    spec = to_list(parts[0])
+    if len(spec) < 2:
+        raise ConversionError(f"dolist: bad spec in {form!r}")
+    variable, list_form = spec[0], spec[1]
+    result = spec[2] if len(spec) > 2 else NIL
+    tail = gensym("tail")
+    body = parts[1:]
+    loop_body = from_list(
+        [sym("let"), _lst(_lst(variable, _lst(sym("car"), tail)))] + body
+    )
+    return from_list([
+        sym("do"),
+        _lst(_lst(tail, list_form, _lst(sym("cdr"), tail))),
+        _lst(_lst(sym("null"), tail), result),
+        loop_body,
+    ])
+
+
+# ---------------------------------------------------------------------------
+# Place modification (variables only -- enough for the paper's examples)
+# ---------------------------------------------------------------------------
+
+@defmacro("incf")
+def _expand_incf(form: Any) -> Any:
+    parts = _args(form)
+    place = parts[0]
+    delta = parts[1] if len(parts) > 1 else 1
+    if not isinstance(place, Symbol):
+        raise ConversionError(f"incf: only variables supported: {form!r}")
+    return _lst(sym("setq"), place, _lst(sym("+"), place, delta))
+
+
+@defmacro("decf")
+def _expand_decf(form: Any) -> Any:
+    parts = _args(form)
+    place = parts[0]
+    delta = parts[1] if len(parts) > 1 else 1
+    if not isinstance(place, Symbol):
+        raise ConversionError(f"decf: only variables supported: {form!r}")
+    return _lst(sym("setq"), place, _lst(sym("-"), place, delta))
+
+
+@defmacro("push")
+def _expand_push(form: Any) -> Any:
+    parts = _args(form)
+    if len(parts) != 2 or not isinstance(parts[1], Symbol):
+        raise ConversionError(f"push: (push item variable) only: {form!r}")
+    item, place = parts
+    return _lst(sym("setq"), place, _lst(sym("cons"), item, place))
+
+
+@defmacro("pop")
+def _expand_pop(form: Any) -> Any:
+    parts = _args(form)
+    if len(parts) != 1 or not isinstance(parts[0], Symbol):
+        raise ConversionError(f"pop: (pop variable) only: {form!r}")
+    place = parts[0]
+    variable = gensym("v")
+    return _lst(
+        _lst(sym("lambda"), _lst(variable),
+             _lst(sym("progn"),
+                  _lst(sym("setq"), place, _lst(sym("cdr"), place)),
+                  variable)),
+        _lst(sym("car"), place),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Quasiquote
+# ---------------------------------------------------------------------------
+
+@defmacro("quasiquote")
+def _expand_quasiquote(form: Any) -> Any:
+    parts = _args(form)
+    if len(parts) != 1:
+        raise ConversionError(f"quasiquote: one argument required: {form!r}")
+    return _qq_expand(parts[0])
+
+
+def _qq_expand(template: Any) -> Any:
+    if isinstance(template, Cons):
+        head = template.car
+        if head is sym("unquote"):
+            return to_list(template.cdr)[0]
+        if head is sym("unquote-splicing"):
+            raise ConversionError(",@ outside of list context")
+        return _qq_expand_list(template)
+    if template is NIL or isinstance(template, Symbol):
+        return _lst(sym("quote"), template)
+    return template  # self-evaluating
+
+
+def _qq_expand_list(template: Cons) -> Any:
+    segments: List[Any] = []
+    node: Any = template
+    while isinstance(node, Cons):
+        item = node.car
+        if isinstance(node, Cons) and node.car is sym("unquote"):
+            # Dotted unquote: (a . ,b)
+            segments.append(to_list(node.cdr)[0])
+            node = NIL
+            break
+        if isinstance(item, Cons) and item.car is sym("unquote-splicing"):
+            segments.append(to_list(item.cdr)[0])
+        else:
+            segments.append(_lst(sym("list"), _qq_expand(item)))
+        node = node.cdr
+    tail = _lst(sym("quote"), node) if node is not NIL else None
+    args = segments + ([tail] if tail is not None else [])
+    if len(args) == 1:
+        single = args[0]
+        # (append (list x)) => hand back a fresh one-element list
+        return single if tail is None and isinstance(single, Cons) \
+            and single.car is sym("list") else from_list([sym("append")] + args)
+    return from_list([sym("append")] + args)

@@ -1,0 +1,44 @@
+"""The simulated S-1 machine: ISA, CPU, heap/GC, runtime values.
+
+This package substitutes for the S-1 Mark IIA hardware the paper targeted
+(see DESIGN.md Section 2 for the substitution argument): every quantity the
+paper's evaluation discusses -- instruction counts, heap allocations, pdl
+certifications, special-variable search work, stack depth -- is measured
+exactly by :class:`Machine`.
+"""
+
+from .cpu import FrameRecord, Machine, UNBOUND
+from .multi import MultiMachine
+from .heap import Heap
+from .isa import (
+    CYCLES,
+    CodeObject,
+    Instruction,
+    Program,
+    env_slot,
+    frame_arg,
+    global_ref,
+    imm,
+    label_ref,
+    name_ref,
+    reg,
+    temp,
+)
+from .values import (
+    Cell,
+    Closure,
+    HeapNumber,
+    PdlNumber,
+    PrimitiveFn,
+    is_pointer_value,
+    is_raw_number,
+    pointer_to_lisp,
+)
+
+__all__ = [
+    "CYCLES", "Cell", "Closure", "CodeObject", "FrameRecord", "Heap",
+    "HeapNumber", "Instruction", "Machine", "MultiMachine", "PdlNumber", "PrimitiveFn",
+    "Program", "UNBOUND", "env_slot", "frame_arg", "global_ref", "imm",
+    "is_pointer_value", "is_raw_number", "label_ref", "name_ref",
+    "pointer_to_lisp", "reg", "temp",
+]

@@ -1,0 +1,161 @@
+"""Assembler: parenthesized-assembly listings -> CodeObjects.
+
+The code generator renders functions in the paper's "parenthesized assembly
+language" (see Table 4).  This module parses that format back into
+executable :class:`CodeObject` form, making the listing a real, stable
+surface: ``parse_listing(code.listing())`` reproduces the function, and
+hand-written assembly can be loaded into the simulator directly.
+
+Line forms::
+
+    ;;; name  (temps: N)          header (function name, scratch size)
+    label:                        label definition
+            (OPCODE op1 op2 ...)  ; optional comment
+    ; anything                    comment line
+
+Operand forms mirror the renderer in `repro.machine.isa`::
+
+    R7 RTA RTB SP FP TP CP NARGS   registers
+    (TP n)   (FP n)                temp slot / frame argument
+    (? datum)                      immediate (any readable Lisp datum)
+    (DATA (n label) ...)           argument-count dispatch table
+    (SQ symbol)                    global function reference
+    (CP n)                         environment slot
+    'symbol                        name operand (specials, primitives)
+    anything-else                  label reference
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..datum import Cons, to_list
+from ..datum.symbols import Symbol, sym
+from ..errors import MachineError
+from ..reader import read
+from ..target.registers import REGISTER_NAMES
+from .isa import CYCLES, CodeObject, Instruction
+
+_NAME_TO_REGISTER = {name: index for index, name in REGISTER_NAMES.items()}
+_HEADER = re.compile(r";;;\s+(\S+)\s+\(temps:\s*(\d+)\)")
+_LABEL_LINE = re.compile(r"^([A-Za-z0-9_$*<>=?!+-]+):\s*$")
+
+
+def parse_listing(text: str) -> CodeObject:
+    """Parse one function listing back into a CodeObject."""
+    name = "anonymous"
+    n_temps = 0
+    instructions: List[Instruction] = []
+    labels: Dict[str, int] = {}
+
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line:
+            continue
+        header = _HEADER.match(line)
+        if header:
+            name = header.group(1)
+            n_temps = int(header.group(2))
+            continue
+        if line.startswith(";"):
+            continue
+        label_match = _LABEL_LINE.match(line)
+        if label_match:
+            labels[label_match.group(1)] = len(instructions)
+            continue
+        instructions.append(_parse_instruction(line))
+
+    return CodeObject(name=name, instructions=instructions, labels=labels,
+                      n_temps=n_temps)
+
+
+def _strip_comment(line: str) -> str:
+    """Drop a trailing ; comment (respecting no strings in operands --
+    immediates with strings are rare; handle the quote-free case)."""
+    depth = 0
+    in_string = False
+    for index, ch in enumerate(line):
+        if in_string:
+            if ch == '"' and line[index - 1] != "\\":
+                in_string = False
+            continue
+        if ch == '"':
+            in_string = True
+        elif ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        elif ch == ";" and depth == 0:
+            return line[:index]
+    return line
+
+
+def _parse_instruction(line: str) -> Instruction:
+    code = _strip_comment(line).strip()
+    form = read(code)
+    if not isinstance(form, Cons):
+        raise MachineError(f"bad assembly line: {line!r}")
+    parts = to_list(form)
+    opcode_sym = parts[0]
+    if not isinstance(opcode_sym, Symbol):
+        raise MachineError(f"bad opcode in: {line!r}")
+    opcode = opcode_sym.name.upper()
+    if opcode not in CYCLES and opcode not in ("LABEL",):
+        raise MachineError(f"unknown opcode {opcode} in: {line!r}")
+    operands = tuple(_parse_operand(part, line) for part in parts[1:])
+    return Instruction(opcode, operands)
+
+
+def _parse_operand(part: Any, line: str) -> Tuple[str, Any]:
+    if isinstance(part, Symbol):
+        upper = part.name.upper()
+        if upper in _NAME_TO_REGISTER:
+            return ("reg", _NAME_TO_REGISTER[upper])
+        if re.fullmatch(r"R\d+", upper):
+            return ("reg", int(upper[1:]))
+        return ("label", part.name)
+    if isinstance(part, Cons):
+        items = to_list(part)
+        head = items[0]
+        if isinstance(head, Symbol):
+            tag = head.name.upper()
+            if tag == "TP":
+                return ("temp", items[1])
+            if tag == "FP":
+                return ("frame", items[1])
+            if tag == "?":
+                return ("imm", items[1] if len(items) > 1 else sym("nil"))
+            if tag == "SQ":
+                return ("global", items[1])
+            if tag == "CP":
+                return ("env", items[1])
+            if tag == "DATA":
+                table = []
+                for entry in items[1:]:
+                    count, label = to_list(entry)
+                    table.append((count, label.name))
+                return ("imm", table)
+            if tag == "QUOTE":
+                return ("name", items[1])
+        raise MachineError(f"bad operand {part!r} in: {line!r}")
+    # Bare datum: an immediate (numbers parse directly from the reader).
+    return ("imm", part)
+
+
+def parse_program(text: str) -> Dict[Symbol, CodeObject]:
+    """Parse a multi-function listing (functions separated by ;;; headers)
+    into a program table."""
+    functions: Dict[Symbol, CodeObject] = {}
+    current: List[str] = []
+    for line in text.splitlines():
+        if line.strip().startswith(";;;") and current:
+            code = parse_listing("\n".join(current))
+            functions[sym(code.name)] = code
+            current = [line]
+        else:
+            current.append(line)
+    if any(l.strip() for l in current):
+        code = parse_listing("\n".join(current))
+        functions[sym(code.name)] = code
+    return functions

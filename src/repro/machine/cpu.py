@@ -1,0 +1,985 @@
+"""The simulated S-1 CPU and runtime system.
+
+Executes :class:`~repro.machine.isa.CodeObject` programs.  The machine is
+*strict about representations*: a raw-arithmetic instruction traps on a
+pointer operand and vice versa, so bugs in the compiler's representation
+analysis surface as traps here rather than wrong answers.
+
+Statistics kept (these are the measured quantities of every performance
+experiment): instructions executed, abstract cycles, per-opcode counts,
+heap allocations by class (via :class:`~repro.machine.heap.Heap`), pdl
+certifications, special-variable search work, calls, and the stack
+high-water mark (the tail-call experiments watch this one).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..datum import NIL, T, Cons, from_list
+from ..datum.symbols import Symbol, sym
+from ..errors import LispError, MachineError, WrongNumberOfArgumentsError
+from ..interp.environment import DeepBindingStack
+from ..primitives import Primitive, lookup_primitive
+from .heap import Heap
+from .isa import CYCLES, CodeObject, Instruction, Program, RAW_BINARY_OPS, RAW_UNARY_OPS
+from .values import (
+    Cell,
+    Closure,
+    HeapNumber,
+    PdlNumber,
+    PrimitiveFn,
+    is_raw_number,
+    lisp_is_true,
+    pointer_to_lisp,
+)
+
+import math
+
+
+class _Unbound:
+    def __repr__(self) -> str:  # pragma: no cover
+        return "#<unbound>"
+
+
+UNBOUND = _Unbound()
+
+
+@dataclass
+class FrameRecord:
+    ret_code: Optional[CodeObject]
+    ret_pc: int
+    old_fp: int
+    old_tp: int
+    old_cp: Optional[List[Any]]
+    nargs: int
+    serial: int
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"#<frame nargs={self.nargs} serial={self.serial}>"
+
+
+@dataclass
+class CatchRecord:
+    tag: Any
+    stack_height: int
+    fp: int
+    tp: int
+    cp: Optional[List[Any]]
+    code: CodeObject
+    target_pc: int
+    specials_depth: int
+    frame_serials: frozenset
+
+
+class Machine:
+    """One simulated processor plus its runtime state."""
+
+    def __init__(self, program: Program, fuel: int = 50_000_000,
+                 gc_threshold: Optional[int] = None):
+        self.program = program
+        self.fuel = fuel
+        # Automatic collection: when the live heap exceeds this many
+        # objects, a GC runs at the next safe point (None = only explicit
+        # GC instructions collect).
+        self.gc_threshold = gc_threshold
+        self.heap = Heap()
+        self.specials = DeepBindingStack()
+        self.regs: List[Any] = [NIL] * 32
+        self.stack: List[Any] = []
+        self.catch_stack: List[CatchRecord] = []
+        self.code: Optional[CodeObject] = None
+        self.pc = 0
+        self.fp = -1
+        self.tp = -1
+        self.cp: Optional[List[Any]] = None
+        self._serial = 0
+        self._live_serials: set = set()
+        self.result: Any = NIL
+        self._halted = False
+        # statistics
+        self.instructions = 0
+        self.cycles = 0
+        self.opcode_counts: Counter = Counter()
+        self.call_count = 0
+        self.max_stack = 0
+
+    # -- public API -----------------------------------------------------------
+
+    def define_global(self, name: Symbol, value: Any) -> None:
+        self.specials.set_global(name, self.lisp_to_pointer(value))
+
+    def run(self, function: Symbol, args: Sequence[Any],
+            fuel: Optional[int] = None) -> Any:
+        """Call a compiled function with Lisp-datum arguments; returns a
+        Lisp datum."""
+        if fuel is not None:
+            self.fuel = fuel
+        code = self.program.get(function)
+        entry_state = (len(self.stack), self.fp, self.tp, self.cp,
+                       len(self.catch_stack), self.specials.depth())
+        for arg in args:
+            self.stack.append(self.lisp_to_pointer(arg))
+        self._push_frame(None, 0, len(args))
+        self.code = code
+        self.pc = 0
+        self._halted = False
+        try:
+            self._execute()
+        except Exception:
+            # A trap mid-run leaves frames, catch records, and dynamic
+            # bindings behind; restore the entry state so the machine stays
+            # usable (the REPL reuses one machine across errors).
+            height, fp, tp, cp, catches, spec_depth = entry_state
+            del self.stack[height:]
+            self.fp, self.tp, self.cp = fp, tp, cp
+            del self.catch_stack[catches:]
+            self.specials.pop_to(spec_depth)
+            self._halted = True
+            raise
+        return self.machine_to_lisp(self.result)
+
+    def frame_alive(self, serial: int) -> bool:
+        return serial in self._live_serials
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "calls": self.call_count,
+            "max_stack": self.max_stack,
+            "heap_allocations": dict(self.heap.allocations),
+            "total_heap_allocations": self.heap.total_allocations(),
+            "certifications": self.heap.certifications,
+            "special_lookups": self.specials.lookups,
+            "special_search_steps": self.specials.search_steps,
+            "opcodes": dict(self.opcode_counts),
+        }
+
+    # -- value conversion --------------------------------------------------------
+
+    def lisp_to_pointer(self, value: Any) -> Any:
+        """Lisp datum -> pointer-world machine word (boxes floats)."""
+        if isinstance(value, (float, complex)):
+            return self.heap.allocate_number(value)
+        return value
+
+    def machine_to_lisp(self, word: Any) -> Any:
+        return pointer_to_lisp(word)
+
+    # -- frame helpers -------------------------------------------------------------
+
+    def _push_frame(self, ret_code: Optional[CodeObject], ret_pc: int,
+                    nargs: int) -> FrameRecord:
+        self._serial += 1
+        record = FrameRecord(ret_code, ret_pc, self.fp, self.tp, self.cp,
+                             nargs, self._serial)
+        self._live_serials.add(self._serial)
+        self.stack.append(record)
+        self.fp = len(self.stack) - 1
+        self.tp = self.fp + 1
+        self.regs[5] = nargs  # NARGS register
+        self.call_count += 1
+        return record
+
+    def _current_record(self) -> FrameRecord:
+        record = self.stack[self.fp]
+        if not isinstance(record, FrameRecord):  # pragma: no cover
+            raise MachineError("corrupt frame")
+        return record
+
+    # -- operand access ---------------------------------------------------------------
+
+    def read(self, operand: Tuple[str, Any]) -> Any:
+        kind, value = operand
+        if kind == "reg":
+            return self.regs[value]
+        if kind == "temp":
+            return self.stack[self.tp + value]
+        if kind == "frame":
+            record = self._current_record()
+            return self.stack[self.fp - record.nargs + value]
+        if kind == "imm":
+            return value
+        if kind == "env":
+            if self.cp is None:
+                raise MachineError("ENVREF outside a closure")
+            return self.cp[value]
+        raise MachineError(f"cannot read operand {operand!r}")
+
+    def write(self, operand: Tuple[str, Any], word: Any) -> None:
+        kind, value = operand
+        if kind == "reg":
+            self.regs[value] = word
+        elif kind == "temp":
+            self.stack[self.tp + value] = word
+        elif kind == "frame":
+            record = self._current_record()
+            self.stack[self.fp - record.nargs + value] = word
+        else:
+            raise MachineError(f"cannot write operand {operand!r}")
+
+    def _need_raw(self, word: Any, opcode: str) -> Any:
+        if is_raw_number(word):
+            return word
+        raise MachineError(
+            f"{opcode}: operand is not a raw machine number: {word!r} "
+            "(representation analysis bug?)")
+
+    # -- the execution loop -------------------------------------------------------------
+
+    def _execute(self) -> None:
+        while not self._halted:
+            self.step_instruction()
+
+    def step_instruction(self) -> None:
+        """Execute exactly one instruction (the multiprocessor scheduler
+        interleaves processors at this granularity)."""
+        if self.pc >= len(self.code.instructions):
+            raise MachineError(
+                f"fell off the end of {self.code.name} at pc={self.pc}")
+        instruction = self.code.instructions[self.pc]
+        self.pc += 1
+        self.instructions += 1
+        if self.instructions > self.fuel:
+            raise MachineError("instruction budget exhausted")
+        self.opcode_counts[instruction.opcode] += 1
+        self.cycles += CYCLES.get(instruction.opcode, 1)
+        handler = _DISPATCH.get(instruction.opcode)
+        if handler is None:
+            raise MachineError(f"bad opcode {instruction.opcode}")
+        handler(self, instruction)
+        if len(self.stack) > self.max_stack:
+            self.max_stack = len(self.stack)
+        if self.gc_threshold is not None \
+                and self.instructions % 64 == 0 \
+                and self.heap.live_count() > self.gc_threshold:
+            self.collect_garbage()
+
+    # -- asynchronous driving (multiprocessor support) ----------------------
+
+    def start(self, function: Symbol, args: Sequence[Any]) -> None:
+        """Set up a call without running it; drive with step()/halted."""
+        code = self.program.get(function)
+        for arg in args:
+            self.stack.append(self.lisp_to_pointer(arg))
+        self._push_frame(None, 0, len(args))
+        self.code = code
+        self.pc = 0
+        self._halted = False
+
+    @property
+    def halted(self) -> bool:
+        return self._halted
+
+    def step(self, quantum: int = 1) -> bool:
+        """Run up to *quantum* instructions; returns True when halted."""
+        for _ in range(quantum):
+            if self._halted:
+                break
+            self.step_instruction()
+        return self._halted
+
+    # -- instruction implementations -----------------------------------------------------
+
+    def _op_mov(self, instruction: Instruction) -> None:
+        dst, src = instruction.operands
+        self.write(dst, self.read(src))
+
+    def _op_unbox(self, instruction: Instruction) -> None:
+        dst, src = instruction.operands
+        word = self.read(src)
+        if isinstance(word, HeapNumber):
+            self.write(dst, word.value)
+        elif isinstance(word, PdlNumber):
+            self.write(dst, word.deref())
+        elif is_raw_number(word) and isinstance(word, int):
+            self.write(dst, word)  # fixnums are immediate
+        elif isinstance(word, Fraction):
+            self.write(dst, float(word))
+        else:
+            # The paper: dereferencing is "often preceded by a run-time
+            # data-type check" -- a non-number here is the *user's* type
+            # error, not a compiler bug.
+            from ..errors import WrongTypeError
+
+            raise WrongTypeError(
+                f"not a number: {pointer_to_lisp(word)!r}")
+
+    def _op_boxf(self, instruction: Instruction) -> None:
+        dst, src = instruction.operands
+        word = self._need_raw(self.read(src), "BOXF")
+        if isinstance(word, int):
+            self.write(dst, word)  # immediates need no box
+        else:
+            self.write(dst, self.heap.allocate_number(word))
+
+    def _op_pdlbox(self, instruction: Instruction) -> None:
+        dst, slot, src = instruction.operands
+        word = self._need_raw(self.read(src), "PDLBOX")
+        if isinstance(word, int):
+            self.write(dst, word)
+            return
+        assert slot[0] == "temp"
+        address = self.tp + slot[1]
+        self.stack[address] = word
+        record = self._current_record()
+        self.write(dst, PdlNumber(self, record.serial, address))
+
+    def _op_certify(self, instruction: Instruction) -> None:
+        dst, src = instruction.operands
+        self.write(dst, self._certify(self.read(src)))
+
+    def _certify(self, word: Any) -> Any:
+        if isinstance(word, PdlNumber):
+            self.heap.certifications += 1
+            return self.heap.allocate_number(word.deref())
+        return word
+
+    def _op_raw_binary(self, instruction: Instruction) -> None:
+        opcode = instruction.opcode
+        dst, a_src, b_src = instruction.operands
+        a = self._need_raw(self.read(a_src), opcode)
+        b = self._need_raw(self.read(b_src), opcode)
+        self.write(dst, _raw_binary(opcode, a, b))
+
+    def _op_raw_unary(self, instruction: Instruction) -> None:
+        opcode = instruction.opcode
+        dst, src = instruction.operands
+        value = self._need_raw(self.read(src), opcode)
+        self.write(dst, _raw_unary(opcode, value))
+
+    def _op_jmp(self, instruction: Instruction) -> None:
+        (label,) = instruction.operands
+        self.pc = self.code.resolve_label(label[1])
+
+    def _op_jumpnil(self, instruction: Instruction) -> None:
+        src, label = instruction.operands
+        if not lisp_is_true(self.read(src)):
+            self.pc = self.code.resolve_label(label[1])
+
+    def _op_jumpnnil(self, instruction: Instruction) -> None:
+        src, label = instruction.operands
+        if lisp_is_true(self.read(src)):
+            self.pc = self.code.resolve_label(label[1])
+
+    _RELATIONS = {
+        "lt": lambda a, b: a < b, "le": lambda a, b: a <= b,
+        "gt": lambda a, b: a > b, "ge": lambda a, b: a >= b,
+        "eq": lambda a, b: a == b, "ne": lambda a, b: a != b,
+    }
+
+    def _op_cmpbr(self, instruction: Instruction) -> None:
+        rel, a_src, b_src, label = instruction.operands
+        a = self._need_raw(self.read(a_src), "CMPBR")
+        b = self._need_raw(self.read(b_src), "CMPBR")
+        relation = rel[1] if isinstance(rel[1], str) else rel[1].name
+        if self._RELATIONS[relation](a, b):
+            self.pc = self.code.resolve_label(label[1])
+
+    def _op_eqlbr(self, instruction: Instruction) -> None:
+        from ..datum.numbers import lisp_eql
+
+        a_src, b_src, label = instruction.operands
+        a = pointer_to_lisp(self.read(a_src))
+        b = pointer_to_lisp(self.read(b_src))
+        if lisp_eql(a, b):
+            self.pc = self.code.resolve_label(label[1])
+
+    def _op_push(self, instruction: Instruction) -> None:
+        (src,) = instruction.operands
+        self.stack.append(self.read(src))
+
+    def _op_pop(self, instruction: Instruction) -> None:
+        (dst,) = instruction.operands
+        self.write(dst, self.stack.pop())
+
+    def _op_alloctemps(self, instruction: Instruction) -> None:
+        (count,) = instruction.operands
+        self.tp = len(self.stack)
+        self.stack.extend([NIL] * count[1])
+
+    def _op_argcheck(self, instruction: Instruction) -> None:
+        low, high = instruction.operands
+        nargs = self.regs[5]
+        if nargs < low[1] or (high[1] is not None and nargs > high[1]):
+            raise WrongNumberOfArgumentsError(
+                f"{self.code.name}: called with {nargs} argument(s)")
+
+    def _op_argdispatch(self, instruction: Instruction) -> None:
+        (table,) = instruction.operands
+        nargs = self.regs[5]
+        for count, label in table[1]:
+            if count == nargs or count is None:
+                self.pc = self.code.resolve_label(label)
+                return
+        raise WrongNumberOfArgumentsError(
+            f"{self.code.name}: called with {nargs} argument(s)")
+
+    def _op_argexpand(self, instruction: Instruction) -> None:
+        (total,) = instruction.operands
+        record = self._current_record()
+        missing = total[1] - record.nargs
+        if missing <= 0:
+            return
+        # Insert empty slots between the existing args and the record.
+        base = self.fp - record.nargs
+        args = self.stack[base:self.fp]
+        del self.stack[base:self.fp + 1]
+        self.stack.extend(args)
+        self.stack.extend([NIL] * missing)
+        record.nargs = total[1]
+        self.stack.append(record)
+        self.fp = len(self.stack) - 1
+        self.tp = self.fp + 1
+
+    def _op_restcollect(self, instruction: Instruction) -> None:
+        (fixed,) = instruction.operands
+        record = self._current_record()
+        base = self.fp - record.nargs
+        args = self.stack[base:self.fp]
+        rest_items = [self.machine_to_lisp(w) for w in args[fixed[1]:]]
+        rest = from_list(rest_items)
+        self.heap.note_allocation("cons", len(rest_items))
+        new_args = args[:fixed[1]] + [rest]
+        del self.stack[base:self.fp + 1]
+        self.stack.extend(new_args)
+        record.nargs = fixed[1] + 1
+        self.stack.append(record)
+        self.fp = len(self.stack) - 1
+        self.tp = self.fp + 1
+
+    # -- calls --------------------------------------------------------------------
+
+    def _target_code(self, operand: Tuple[str, Any]) -> Tuple[CodeObject, int]:
+        kind, value = operand
+        if kind == "global":
+            code = self.program.get(value)
+            return code, 0
+        if kind == "label":
+            return self.code, self.code.resolve_label(value)
+        raise MachineError(f"bad call target {operand!r}")
+
+    def _op_call(self, instruction: Instruction) -> None:
+        target, nargs = instruction.operands[0], instruction.operands[1][1]
+        kind = instruction.operands[0][0]
+        if kind == "global" and instruction.operands[0][1] not in \
+                self.program.functions:
+            name = instruction.operands[0][1]
+            if name is sym("throw") and nargs == 2:
+                value = self.machine_to_lisp(self.stack.pop())
+                tag = self.machine_to_lisp(self.stack.pop())
+                self._do_throw(tag, value)
+                return
+            # Calling an undefined global that is a primitive: generic apply.
+            primitive = lookup_primitive(name)
+            if primitive is not None:
+                self._apply_primitive_from_stack(primitive, nargs)
+                return
+            raise MachineError(f"undefined function {name}")
+        code, entry = self._target_code(target)
+        self._push_frame(self.code, self.pc, nargs)
+        self.code = code
+        self.pc = entry
+
+    def _op_kcall(self, instruction: Instruction) -> None:
+        # Fast linkage: identical mechanics, cheaper cycle cost, and the
+        # callee entry skips ARGCHECK/ARGDISPATCH.
+        self._op_call(instruction)
+
+    def _op_callf(self, instruction: Instruction) -> None:
+        fn_src, nargs_op = instruction.operands
+        nargs = nargs_op[1]
+        fn = self.read(fn_src)
+        self._invoke_value(fn, nargs, tail=False)
+
+    def _invoke_value(self, fn: Any, nargs: int, tail: bool) -> None:
+        if isinstance(fn, PrimitiveFn):
+            self._apply_primitive_from_stack(fn.primitive, nargs)
+            if tail:
+                self._op_ret_value(self.stack.pop())
+            return
+        if isinstance(fn, Closure):
+            if tail:
+                self._replace_frame(nargs)
+            else:
+                self._push_frame(self.code, self.pc, nargs)
+            self.cp = fn.env
+            self.code = fn.code
+            self.pc = fn.entry
+            return
+        raise MachineError(f"not a function: {fn!r}")
+
+    def _apply_primitive_from_stack(self, primitive: Primitive,
+                                    nargs: int) -> None:
+        args = [self.machine_to_lisp(w) for w in self.stack[-nargs:]] \
+            if nargs else []
+        del self.stack[len(self.stack) - nargs:]
+        self.cycles += primitive.cycles
+        result = primitive.apply(args)
+        if primitive.allocates:
+            self.heap.adopt(result)
+        self.stack.append(self.lisp_to_pointer(result))
+
+    def _replace_frame(self, nargs: int) -> None:
+        """Tail call: replace the current frame's arguments with the *nargs*
+        values on top of the stack, keeping the return linkage."""
+        new_args = self.stack[len(self.stack) - nargs:] if nargs else []
+        record = self._current_record()
+        # Pdl pointers into the dying frame's scratch area must be certified
+        # before the area is reused (run-time backstop for the static rule).
+        new_args = [self._certify(word)
+                    if isinstance(word, PdlNumber)
+                    and word.frame_serial == record.serial else word
+                    for word in new_args]
+        self._live_serials.discard(record.serial)
+        base = self.fp - record.nargs
+        del self.stack[base:]
+        self.stack.extend(new_args)
+        self._serial += 1
+        record.serial = self._serial
+        self._live_serials.add(self._serial)
+        record.nargs = nargs
+        self.stack.append(record)
+        self.fp = len(self.stack) - 1
+        self.tp = self.fp + 1
+        self.regs[5] = nargs
+        self.call_count += 1
+
+    def _op_tailcall(self, instruction: Instruction) -> None:
+        target, nargs_op = instruction.operands
+        nargs = nargs_op[1]
+        if target[0] == "global" and target[1] not in self.program.functions:
+            primitive = lookup_primitive(target[1])
+            if primitive is not None:
+                self._apply_primitive_from_stack(primitive, nargs)
+                self._op_ret_value(self.stack.pop())
+                return
+            raise MachineError(f"undefined function {target[1]}")
+        code, entry = self._target_code(target)
+        self._replace_frame(nargs)
+        self.cp = None
+        self.code = code
+        self.pc = entry
+
+    def _op_applyf(self, instruction: Instruction) -> None:
+        """apply: the last pushed argument is a list to spread."""
+        from ..datum import to_list
+
+        fn_src, nargs_op = instruction.operands
+        fn = self.read(fn_src)
+        spread_list = self.machine_to_lisp(self.stack.pop())
+        items = [self.lisp_to_pointer(v) for v in to_list(spread_list)]
+        self.stack.extend(items)
+        nargs = nargs_op[1] - 1 + len(items)
+        self._invoke_value(fn, nargs, tail=False)
+
+    def _op_tailcallf(self, instruction: Instruction) -> None:
+        fn_src, nargs_op = instruction.operands
+        fn = self.read(fn_src)
+        self._invoke_value(fn, nargs_op[1], tail=True)
+
+    def _op_ret(self, instruction: Instruction) -> None:
+        (src,) = instruction.operands
+        self._op_ret_value(self.read(src))
+
+    def _op_ret_value(self, value: Any) -> None:
+        record = self._current_record()
+        # A pdl pointer must never survive its frame: certify on return,
+        # while the frame is still alive.
+        value = self._certify(value)
+        self._live_serials.discard(record.serial)
+        base = self.fp - record.nargs
+        del self.stack[base:]
+        self.fp = record.old_fp
+        self.tp = record.old_tp
+        self.cp = record.old_cp
+        if record.ret_code is None:
+            self.result = value
+            self._halted = True
+            return
+        self.code = record.ret_code
+        self.pc = record.ret_pc
+        self.stack.append(value)
+
+    # -- generic (pointer-world) operations -------------------------------------------
+
+    def _op_generic(self, instruction: Instruction) -> None:
+        name_op, dst = instruction.operands[0], instruction.operands[1]
+        srcs = instruction.operands[2:]
+        name = name_op[1]
+        if name is sym("throw"):
+            words = [self._certify(self.read(src)) for src in srcs]
+            args = [self.machine_to_lisp(w) for w in words]
+            self._do_throw(args[0], args[1])
+            return
+        primitive = lookup_primitive(name)
+        if primitive is None:
+            raise MachineError(f"GENERIC: unknown primitive {name}")
+        self.cycles += primitive.cycles
+        words = [self.read(src) for src in srcs]
+        if not primitive.safe:
+            words = [self._certify(w) for w in words]
+        args = [self.machine_to_lisp(w) for w in words]
+        result = primitive.apply(args)
+        if primitive.allocates:
+            self.heap.adopt(result)
+        self.write(dst, self.lisp_to_pointer(result))
+
+    def _op_gfunc(self, instruction: Instruction) -> None:
+        dst, name_op = instruction.operands
+        name = name_op[1]
+        if name in self.program.functions:
+            code = self.program.get(name)
+            closure = Closure(code, 0, [], name=str(name))
+            self.heap.allocate_closure(closure)
+            self.write(dst, closure)
+            return
+        primitive = lookup_primitive(name)
+        if primitive is not None:
+            self.write(dst, PrimitiveFn(primitive))
+            return
+        raise MachineError(f"GFUNC: undefined function {name}")
+
+    # -- closures ----------------------------------------------------------------------
+
+    def _op_closure(self, instruction: Instruction) -> None:
+        dst, target = instruction.operands[0], instruction.operands[1]
+        srcs = instruction.operands[2:]
+        code, entry = self._target_code(target)
+        env = [self.read(src) for src in srcs]
+        # Captured pdl pointers would dangle; certify them into the heap.
+        env = [self._certify(w) for w in env]
+        closure = Closure(code, entry, env)
+        self.heap.allocate_closure(closure)
+        self.write(dst, closure)
+
+    def _op_envref(self, instruction: Instruction) -> None:
+        dst, slot = instruction.operands
+        if self.cp is None:
+            raise MachineError("ENVREF with no environment")
+        self.write(dst, self.cp[slot[1]])
+
+    def _op_mkcell(self, instruction: Instruction) -> None:
+        dst, src = instruction.operands
+        cell = self.heap.allocate_cell(self._certify(self.read(src)))
+        self.write(dst, cell)
+
+    def _op_cellref(self, instruction: Instruction) -> None:
+        dst, src = instruction.operands
+        cell = self.read(src)
+        if not isinstance(cell, Cell):
+            raise MachineError(f"CELLREF: not a cell: {cell!r}")
+        self.write(dst, cell.value)
+
+    def _op_cellset(self, instruction: Instruction) -> None:
+        cell_src, src = instruction.operands
+        cell = self.read(cell_src)
+        if not isinstance(cell, Cell):
+            raise MachineError(f"CELLSET: not a cell: {cell!r}")
+        cell.value = self._certify(self.read(src))
+
+    # -- special variables ----------------------------------------------------------------
+
+    def _op_specbind(self, instruction: Instruction) -> None:
+        name_op, src = instruction.operands
+        self.specials.push(name_op[1], self._certify(self.read(src)))
+
+    def _op_specunbind(self, instruction: Instruction) -> None:
+        (count,) = instruction.operands
+        self.specials.pop_to(self.specials.depth() - count[1])
+
+    def _op_speclookup(self, instruction: Instruction) -> None:
+        dst, name_op = instruction.operands
+        cell = self.specials.find_cell(name_op[1])
+        if cell is None:
+            from ..interp.environment import Cell as SpecialCell
+
+            cell = SpecialCell(UNBOUND)
+            self.specials.globals[name_op[1]] = cell
+        self.write(dst, cell)
+
+    def _op_specref(self, instruction: Instruction) -> None:
+        dst, src = instruction.operands[0], instruction.operands[1]
+        cell = self.read(src)
+        if cell.value is UNBOUND:
+            name = (instruction.operands[2][1]
+                    if len(instruction.operands) > 2 else "?")
+            raise LispError(f"unbound special variable {name}")
+        self.write(dst, cell.value)
+
+    def _op_specset(self, instruction: Instruction) -> None:
+        cell_src, src = instruction.operands
+        cell = self.read(cell_src)
+        cell.value = self._certify(self.read(src))
+
+    def _op_specgref(self, instruction: Instruction) -> None:
+        dst, name_op = instruction.operands
+        value = self.specials.lookup(name_op[1])
+        if value is UNBOUND:
+            raise LispError(f"unbound special variable {name_op[1]}")
+        self.write(dst, value)
+
+    # -- catch / throw ---------------------------------------------------------------------
+
+    def _op_catchpush(self, instruction: Instruction) -> None:
+        label, tag_src = instruction.operands
+        self.catch_stack.append(CatchRecord(
+            tag=self.machine_to_lisp(self.read(tag_src)),
+            stack_height=len(self.stack),
+            fp=self.fp, tp=self.tp, cp=self.cp,
+            code=self.code, target_pc=self.code.resolve_label(label[1]),
+            specials_depth=self.specials.depth(),
+            frame_serials=frozenset(self._live_serials),
+        ))
+
+    def _op_catchpop(self, instruction: Instruction) -> None:
+        if not self.catch_stack:
+            raise MachineError("CATCHPOP with empty catch stack")
+        self.catch_stack.pop()
+
+    def _do_throw(self, tag: Any, value: Any) -> None:
+        from ..datum.numbers import lisp_eql
+
+        while self.catch_stack:
+            record = self.catch_stack.pop()
+            if lisp_eql(record.tag, tag):
+                del self.stack[record.stack_height:]
+                self.fp = record.fp
+                self.tp = record.tp
+                self.cp = record.cp
+                self.code = record.code
+                self.pc = record.target_pc
+                self.specials.pop_to(record.specials_depth)
+                self._live_serials = set(record.frame_serials)
+                self.stack.append(self.lisp_to_pointer(value))
+                return
+        raise LispError(f"uncaught throw to tag {tag!r}")
+
+    # -- vector hardware (Section 3) -------------------------------------------
+
+    def _vector_operand(self, operand, opcode):
+        from ..primitives import LispVector
+
+        word = self.read(operand)
+        if not isinstance(word, LispVector):
+            raise MachineError(f"{opcode}: not a vector: {word!r}")
+        return word
+
+    def _vector_cycles(self, length: int) -> None:
+        # The hardware processes four elements per cycle (abstract model).
+        self.cycles += max(1, length // 4)
+
+    def _op_vdot(self, instruction: Instruction) -> None:
+        dst, a_src, b_src = instruction.operands
+        a = self._vector_operand(a_src, "VDOT")
+        b = self._vector_operand(b_src, "VDOT")
+        if len(a.data) != len(b.data):
+            raise LispError("VDOT: length mismatch")
+        self._vector_cycles(len(a.data))
+        self.write(dst, float(sum(x * y for x, y in zip(a.data, b.data))))
+
+    def _op_vsum(self, instruction: Instruction) -> None:
+        dst, src = instruction.operands
+        vector = self._vector_operand(src, "VSUM")
+        self._vector_cycles(len(vector.data))
+        self.write(dst, float(sum(vector.data)))
+
+    def _op_vadd(self, instruction: Instruction) -> None:
+        from ..primitives import LispVector
+
+        dst, a_src, b_src = instruction.operands
+        a = self._vector_operand(a_src, "VADD")
+        b = self._vector_operand(b_src, "VADD")
+        if len(a.data) != len(b.data):
+            raise LispError("VADD: length mismatch")
+        self._vector_cycles(len(a.data))
+        result = LispVector([x + y for x, y in zip(a.data, b.data)])
+        self.heap.adopt(result)
+        self.write(dst, result)
+
+    def _op_vscale(self, instruction: Instruction) -> None:
+        from ..primitives import LispVector
+
+        dst, k_src, v_src = instruction.operands
+        factor = self._need_raw(self.read(k_src), "VSCALE")
+        vector = self._vector_operand(v_src, "VSCALE")
+        self._vector_cycles(len(vector.data))
+        result = LispVector([factor * x for x in vector.data])
+        self.heap.adopt(result)
+        self.write(dst, result)
+
+    def _op_nop(self, instruction: Instruction) -> None:
+        pass
+
+    def _op_halt(self, instruction: Instruction) -> None:
+        self._halted = True
+
+    def gc_roots(self) -> List[Any]:
+        """Everything the collector must treat as live: registers, the
+        whole stack (frames hold no heap refs but values do), the current
+        closure environment, special-binding cells, and catch tags."""
+        roots: List[Any] = list(self.regs) + list(self.stack)
+        if self.cp is not None:
+            roots.extend(self.cp)
+        roots.extend(cell.value for cell in self.specials.all_cells())
+        roots.extend(record.tag for record in self.catch_stack)
+        roots.append(self.result)
+        return roots
+
+    def collect_garbage(self) -> int:
+        return self.heap.collect(self.gc_roots())
+
+    def _op_gc(self, instruction: Instruction) -> None:
+        self.collect_garbage()
+
+    # -- synchronization (Section 3: "synchronization instructions are
+    # available to the user") ------------------------------------------------
+
+    # processor_id and locks are plain attributes so a single machine works
+    # standalone; MultiMachine shares one lock table among processors.
+    processor_id: int = 0
+    locks: Optional[Dict[Any, int]] = None
+
+    def _lock_table(self) -> Dict[Any, int]:
+        if self.locks is None:
+            self.locks = {}
+        return self.locks
+
+    def _op_lock(self, instruction: Instruction) -> None:
+        (src,) = instruction.operands
+        key = self.machine_to_lisp(self.read(src))
+        table = self._lock_table()
+        owner = table.get(key)
+        if owner is not None and owner != self.processor_id:
+            # Held elsewhere: spin (retry this instruction next quantum).
+            self.pc -= 1
+            return
+        table[key] = self.processor_id
+
+    def _op_unlock(self, instruction: Instruction) -> None:
+        (src,) = instruction.operands
+        key = self.machine_to_lisp(self.read(src))
+        table = self._lock_table()
+        if table.get(key) != self.processor_id:
+            raise MachineError(f"UNLOCK of lock not held: {key!r}")
+        del table[key]
+
+
+def _raw_binary(opcode: str, a: Any, b: Any) -> Any:
+    if opcode in ("ADD", "FADD"):
+        return a + b
+    if opcode in ("SUB", "FSUB"):
+        return a - b
+    if opcode in ("MULT", "FMULT"):
+        return a * b
+    if opcode == "DIV":
+        if b == 0:
+            raise LispError("integer division by zero")
+        quotient = abs(a) // abs(b)
+        return quotient if (a >= 0) == (b >= 0) else -quotient
+    if opcode == "FDIV":
+        if b == 0:
+            raise LispError("float division by zero")
+        return a / b
+    if opcode == "MOD":
+        return a - b * math.floor(a / b)
+    if opcode == "REM":
+        return a - b * math.trunc(a / b)
+    if opcode == "FMAX":
+        return max(a, b)
+    if opcode == "FMIN":
+        return min(a, b)
+    if opcode == "FATAN":
+        return math.atan2(a, b)
+    raise MachineError(f"bad raw binary op {opcode}")  # pragma: no cover
+
+
+def _raw_unary(opcode: str, value: Any) -> Any:
+    if opcode in ("NEG", "FNEG"):
+        return -value
+    if opcode == "FSIN":  # argument in cycles, like the S-1 instruction
+        return math.sin(value * 2.0 * math.pi)
+    if opcode == "FCOS":
+        return math.cos(value * 2.0 * math.pi)
+    if opcode == "FSINR":
+        return math.sin(value)
+    if opcode == "FCOSR":
+        return math.cos(value)
+    if opcode == "FSQRT":
+        if isinstance(value, complex) or value < 0:
+            import cmath
+
+            return cmath.sqrt(value)
+        return math.sqrt(value)
+    if opcode == "FABS":
+        return abs(value)
+    if opcode == "FEXP":
+        return math.exp(value)
+    if opcode == "FLOG":
+        return math.log(value)
+    if opcode == "FLT":
+        return float(value)
+    if opcode == "FIX":
+        return math.trunc(value)
+    raise MachineError(f"bad raw unary op {opcode}")  # pragma: no cover
+
+
+_DISPATCH = {
+    "MOV": Machine._op_mov,
+    "UNBOX": Machine._op_unbox,
+    "BOXF": Machine._op_boxf,
+    "PDLBOX": Machine._op_pdlbox,
+    "CERTIFY": Machine._op_certify,
+    "JMP": Machine._op_jmp,
+    "JUMPNIL": Machine._op_jumpnil,
+    "JUMPNNIL": Machine._op_jumpnnil,
+    "CMPBR": Machine._op_cmpbr,
+    "EQLBR": Machine._op_eqlbr,
+    "PUSH": Machine._op_push,
+    "POP": Machine._op_pop,
+    "ALLOCTEMPS": Machine._op_alloctemps,
+    "ARGCHECK": Machine._op_argcheck,
+    "ARGDISPATCH": Machine._op_argdispatch,
+    "ARGEXPAND": Machine._op_argexpand,
+    "RESTCOLLECT": Machine._op_restcollect,
+    "CALL": Machine._op_call,
+    "KCALL": Machine._op_kcall,
+    "CALLF": Machine._op_callf,
+    "TAILCALL": Machine._op_tailcall,
+    "TAILCALLF": Machine._op_tailcallf,
+    "APPLYF": Machine._op_applyf,
+    "RET": Machine._op_ret,
+    "GENERIC": Machine._op_generic,
+    "GFUNC": Machine._op_gfunc,
+    "CLOSURE": Machine._op_closure,
+    "ENVREF": Machine._op_envref,
+    "MKCELL": Machine._op_mkcell,
+    "CELLREF": Machine._op_cellref,
+    "CELLSET": Machine._op_cellset,
+    "SPECBIND": Machine._op_specbind,
+    "SPECUNBIND": Machine._op_specunbind,
+    "SPECLOOKUP": Machine._op_speclookup,
+    "SPECREF": Machine._op_specref,
+    "SPECSET": Machine._op_specset,
+    "SPECGREF": Machine._op_specgref,
+    "CATCHPUSH": Machine._op_catchpush,
+    "CATCHPOP": Machine._op_catchpop,
+    "VDOT": Machine._op_vdot,
+    "VSUM": Machine._op_vsum,
+    "VADD": Machine._op_vadd,
+    "VSCALE": Machine._op_vscale,
+    "NOP": Machine._op_nop,
+    "HALT": Machine._op_halt,
+    "GC": Machine._op_gc,
+    "LOCK": Machine._op_lock,
+    "UNLOCK": Machine._op_unlock,
+}
+
+for _opcode in RAW_BINARY_OPS:
+    _DISPATCH[_opcode] = Machine._op_raw_binary
+for _opcode in RAW_UNARY_OPS:
+    _DISPATCH[_opcode] = Machine._op_raw_unary

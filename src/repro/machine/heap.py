@@ -1,0 +1,116 @@
+"""Heap and garbage collector for the simulated runtime.
+
+"The run-time system, and especially the garbage collector, has been
+written with multiprocessing in mind" -- ours is a modest single-threaded
+mark-sweep collector, but it keeps the statistics the experiments need:
+allocation counts by class (number boxes, conses, closures, cells) are the
+measured quantity in the pdl-number and representation ablations (P2/P3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Set
+
+from ..datum import Cons
+from ..datum.symbols import Symbol
+from .values import Cell, Closure, HeapNumber
+
+
+class Heap:
+    def __init__(self) -> None:
+        self.objects: Set[int] = set()
+        self._by_id: Dict[int, Any] = {}
+        self.allocations: Dict[str, int] = {
+            "number-box": 0, "cons": 0, "closure": 0, "cell": 0, "other": 0,
+        }
+        self.certifications = 0  # pdl pointers copied to the heap
+        self.gc_runs = 0
+        self.gc_collected = 0
+
+    # -- allocation -----------------------------------------------------------
+
+    def _register(self, obj: Any, kind: str) -> Any:
+        self.objects.add(id(obj))
+        self._by_id[id(obj)] = obj
+        self.allocations[kind] = self.allocations.get(kind, 0) + 1
+        return obj
+
+    def allocate_number(self, value: Any) -> HeapNumber:
+        return self._register(HeapNumber(value), "number-box")
+
+    def allocate_cons(self, car: Any, cdr: Any) -> Cons:
+        return self._register(Cons(car, cdr), "cons")
+
+    def allocate_closure(self, closure: Closure) -> Closure:
+        return self._register(closure, "closure")
+
+    def allocate_cell(self, value: Any) -> Cell:
+        return self._register(Cell(value), "cell")
+
+    def note_allocation(self, kind: str = "other", count: int = 1) -> None:
+        """Record allocations made inside generic primitives (list, append,
+        ...) that build structure through the datum layer directly."""
+        self.allocations[kind] = self.allocations.get(kind, 0) + count
+
+    def adopt(self, value: Any) -> None:
+        """Register structure built by a generic primitive (cons, list,
+        append ...) so the collector tracks it: walk the result and claim
+        every untracked cons/vector."""
+        from ..primitives import LispVector
+
+        pending = [value]
+        seen: Set[int] = set()
+        while pending:
+            obj = pending.pop()
+            if id(obj) in seen:
+                continue
+            seen.add(id(obj))
+            if isinstance(obj, Cons):
+                if id(obj) not in self.objects:
+                    self._register(obj, "cons")
+                pending.append(obj.car)
+                pending.append(obj.cdr)
+            elif isinstance(obj, LispVector):
+                if id(obj) not in self.objects:
+                    self._register(obj, "other")
+                pending.extend(obj.data)
+
+    def total_allocations(self) -> int:
+        return sum(self.allocations.values())
+
+    def live_count(self) -> int:
+        return len(self.objects)
+
+    # -- garbage collection -----------------------------------------------------
+
+    def collect(self, roots: Iterable[Any]) -> int:
+        """Mark-sweep from the given roots; returns number collected."""
+        self.gc_runs += 1
+        marked: Set[int] = set()
+        pending: List[Any] = list(roots)
+        while pending:
+            obj = pending.pop()
+            oid = id(obj)
+            if oid in marked:
+                continue
+            if oid in self.objects:
+                marked.add(oid)
+            if isinstance(obj, Cons):
+                pending.append(obj.car)
+                pending.append(obj.cdr)
+            elif isinstance(obj, Closure):
+                pending.extend(obj.env)
+            elif isinstance(obj, Cell):
+                pending.append(obj.value)
+            else:
+                from ..primitives import LispVector
+
+                if isinstance(obj, LispVector):
+                    pending.extend(obj.data)
+        dead = self.objects - marked
+        collected = len(dead)
+        for oid in dead:
+            self._by_id.pop(oid, None)
+        self.objects = marked
+        self.gc_collected += collected
+        return collected

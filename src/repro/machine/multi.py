@@ -1,0 +1,131 @@
+"""Multiprocessor configuration (Section 3).
+
+"The standard configuration is a multiprocessor; synchronization
+instructions are available to the user.  (These are in turn made available
+to the LISP user.  Moreover, the run-time system, and especially the
+garbage collector, has been written with multiprocessing in mind.)"
+
+:class:`MultiMachine` runs N :class:`~repro.machine.cpu.Machine` processors
+over one shared program, **sharing**:
+
+* the heap (and its collector — a stop-the-world collection over every
+  processor's roots),
+* the global values of special variables (each processor keeps its *own*
+  deep-binding stack: deep binding's advertised strength is exactly that
+  "fast context switching among processes with different sets of bindings
+  [requires only] to switch stack pointers"),
+* the lock table behind the LOCK/UNLOCK synchronization instructions
+  (spin locks at instruction granularity).
+
+Scheduling is deterministic round-robin with a configurable quantum, so
+interleaving-sensitive tests are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..datum import NIL
+from ..datum.symbols import Symbol
+from ..errors import MachineError
+from .cpu import Machine
+from .isa import Program
+
+
+class MultiMachine:
+    def __init__(self, program: Program, processors: int = 2,
+                 quantum: int = 8, fuel: int = 50_000_000,
+                 gc_threshold: Optional[int] = None):
+        if processors < 1:
+            raise ValueError("need at least one processor")
+        self.quantum = quantum
+        self.processors: List[Machine] = []
+        locks: Dict[Any, int] = {}
+        first = Machine(program, fuel=fuel, gc_threshold=None)
+        first.processor_id = 0
+        first.locks = locks
+        self.processors.append(first)
+        for index in range(1, processors):
+            cpu = Machine(program, fuel=fuel, gc_threshold=None)
+            cpu.processor_id = index
+            cpu.locks = locks
+            cpu.heap = first.heap  # shared heap
+            # Shared special-variable globals, private binding stacks.
+            cpu.specials.globals = first.specials.globals
+            self.processors.append(cpu)
+        self.gc_threshold = gc_threshold
+        self._results: List[Any] = [NIL] * processors
+
+    # -- program-wide state -------------------------------------------------
+
+    @property
+    def heap(self):
+        return self.processors[0].heap
+
+    def define_global(self, name: Symbol, value: Any) -> None:
+        self.processors[0].define_global(name, value)
+
+    def global_value(self, name: Symbol) -> Any:
+        return self.processors[0].machine_to_lisp(
+            self.processors[0].specials.lookup(name))
+
+    # -- running ---------------------------------------------------------------
+
+    def run_tasks(self, tasks: Sequence[Tuple[Symbol, Sequence[Any]]]
+                  ) -> List[Any]:
+        """Run one task per processor (cycled if fewer tasks) to completion
+        under round-robin scheduling; returns each task's result."""
+        if len(tasks) > len(self.processors):
+            raise MachineError(
+                f"{len(tasks)} tasks but only {len(self.processors)}"
+                " processors (queueing is the caller's job)")
+        active = []
+        for index, (function, args) in enumerate(tasks):
+            cpu = self.processors[index]
+            cpu.start(function, list(args))
+            active.append(index)
+        stall_budget = sum(cpu.fuel for cpu in self.processors)
+        steps_without_progress = 0
+        while active:
+            progressed = False
+            for index in list(active):
+                cpu = self.processors[index]
+                before = cpu.instructions
+                cpu.step(self.quantum)
+                if cpu.instructions != before:
+                    progressed = True
+                if cpu.halted:
+                    self._results[index] = cpu.machine_to_lisp(cpu.result)
+                    active.remove(index)
+            self._maybe_collect()
+            if not progressed:
+                steps_without_progress += 1
+                if steps_without_progress > 10:  # pragma: no cover
+                    raise MachineError("multiprocessor deadlock (all "
+                                       "processors spinning on locks)")
+            else:
+                steps_without_progress = 0
+            if sum(cpu.instructions for cpu in self.processors) > stall_budget:
+                raise MachineError("multiprocessor fuel exhausted")
+        return [self._results[i] for i in range(len(tasks))]
+
+    def _maybe_collect(self) -> None:
+        if self.gc_threshold is None:
+            return
+        if self.heap.live_count() <= self.gc_threshold:
+            return
+        # Stop-the-world: roots from every processor.
+        roots: List[Any] = []
+        for cpu in self.processors:
+            roots.extend(cpu.gc_roots())
+        self.heap.collect(roots)
+
+    # -- statistics -----------------------------------------------------------
+
+    def total_instructions(self) -> int:
+        return sum(cpu.instructions for cpu in self.processors)
+
+    def elapsed_cycles(self) -> int:
+        """Wall-clock model: processors run in parallel, so elapsed time is
+        the maximum, not the sum."""
+        return max(cpu.cycles for cpu in self.processors)

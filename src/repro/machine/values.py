@@ -1,0 +1,138 @@
+"""Run-time value model of the simulated S-1.
+
+A machine word holds either a *raw machine number* (Python int / float /
+complex standing for SWFIX / SWFLO / SWCPLX etc.) or a *LISP pointer*.
+
+Pointer-world values:
+
+* immediates: fixnums (small ints), symbols, NIL, T -- represented directly
+  (the S-1's 5-bit tags make these self-identifying single words),
+* heap objects: conses, strings, vectors, closures -- the Python object *is*
+  the pointer for simulation purposes,
+* **boxed numbers**: floats and complexes in pointer form are explicit
+  :class:`HeapNumber` / :class:`PdlNumber` objects.  This is where Section
+  6.3's safe/unsafe pointer discipline lives: a ``PdlNumber`` points into a
+  stack frame's scratch area and is *unsafe* -- it dies when the frame
+  exits, and must be "certified" (copied to the heap) before any unsafe
+  operation captures it.
+
+The simulator enforces the representation discipline strictly: putting a
+raw float where a pointer is required (or vice versa) raises MachineError,
+so representation-analysis bugs surface as simulator traps, not silently
+wrong answers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from ..datum import NIL, T, Cons
+from ..datum.symbols import Symbol
+from ..errors import MachineError
+
+
+class HeapNumber:
+    """A heap-allocated boxed number (safe pointer)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"#<heapnum {self.value}>"
+
+
+class PdlNumber:
+    """A pointer into a stack frame's scratch area (unsafe pointer).
+
+    ``frame_serial`` identifies the owning activation; once that frame
+    exits, dereferencing traps (a dangling pdl pointer is a compiler bug --
+    the lifetime analysis of Section 6.3 must prevent it)."""
+
+    __slots__ = ("machine", "frame_serial", "address")
+
+    def __init__(self, machine: Any, frame_serial: int, address: int):
+        self.machine = machine
+        self.frame_serial = frame_serial
+        self.address = address
+
+    def deref(self) -> Any:
+        if not self.machine.frame_alive(self.frame_serial):
+            raise MachineError(
+                "dangling pdl-number pointer (frame exited); the pdl "
+                "lifetime analysis authorized a lifetime it should not have")
+        return self.machine.stack[self.address]
+
+    def __repr__(self) -> str:
+        return f"#<pdlnum @{self.address}>"
+
+
+class Closure:
+    """A run-time closure object: code entry + captured environment."""
+
+    __slots__ = ("code", "entry", "env", "name")
+
+    def __init__(self, code: Any, entry: int, env: List[Any],
+                 name: Optional[str] = None):
+        self.code = code
+        self.entry = entry
+        self.env = env
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"#<closure {self.name or self.code.name}+{self.entry}>"
+
+
+class Cell:
+    """A heap cell for a mutable variable captured by a closure."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"#<cell {self.value!r}>"
+
+
+class PrimitiveFn:
+    """A primitive as a first-class function value (``#'+``)."""
+
+    __slots__ = ("primitive",)
+
+    def __init__(self, primitive: Any):
+        self.primitive = primitive
+
+    def __repr__(self) -> str:
+        return f"#<primitive {self.primitive.name}>"
+
+
+def is_raw_number(word: Any) -> bool:
+    return isinstance(word, (float, complex)) or (
+        isinstance(word, int) and not isinstance(word, bool))
+
+
+def is_pointer_value(word: Any) -> bool:
+    """Anything legal in the pointer world."""
+    from fractions import Fraction
+    from ..primitives import LispVector
+
+    return isinstance(word, (Symbol, Cons, str, HeapNumber, PdlNumber,
+                             Closure, Cell, PrimitiveFn, LispVector,
+                             Fraction)) or (
+        isinstance(word, int) and not isinstance(word, bool))
+
+
+def pointer_to_lisp(word: Any) -> Any:
+    """Pointer-world machine value -> plain Lisp datum (for primitives and
+    for returning results to the host)."""
+    if isinstance(word, HeapNumber):
+        return word.value
+    if isinstance(word, PdlNumber):
+        return word.deref()
+    return word
+
+
+def lisp_is_true(word: Any) -> bool:
+    return pointer_to_lisp(word) is not NIL

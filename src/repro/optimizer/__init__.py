@@ -1,0 +1,25 @@
+"""Source-level optimization: the meta-evaluator and the optional CSE phase."""
+
+from .cse import eliminate_common_subexpressions
+from .meta import SINC_FACTOR, SourceOptimizer, optimize_tree
+from .transcript import Transcript, TranscriptEntry, render_node
+from .treeutil import (
+    RootHolder,
+    fix_parents,
+    refresh_variable_links,
+    tree_equal,
+)
+
+__all__ = [
+    "RootHolder",
+    "SINC_FACTOR",
+    "SourceOptimizer",
+    "Transcript",
+    "TranscriptEntry",
+    "eliminate_common_subexpressions",
+    "fix_parents",
+    "optimize_tree",
+    "refresh_variable_links",
+    "render_node",
+    "tree_equal",
+]

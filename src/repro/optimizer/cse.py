@@ -1,0 +1,156 @@
+"""Common sub-expression elimination (Section 4.3).
+
+The paper left this phase unimplemented ("Common sub-expression elimination
+has not yet been implemented, because preliminary experiments indicate that
+its contribution to program speed will be smaller than the other techniques
+...  Like the source-level optimization phase, its use is completely
+optional, for it only affects the efficiency of the resulting code and can
+be expressed as a source-level transformation using lambda-expressions.")
+
+We implement it exactly as the paper designed it: as a *separate phase*
+(avoiding the introduction/elimination thrashing problem of Section 4.3)
+whose output is a source-level ``let``: the repeated expression becomes a
+lambda-binding wrapped around the smallest common ancestor.
+
+Only pure, allocation-free expressions are eligible (duplicated evaluation
+of those is what CSE removes; anything with effects must keep its
+evaluation points).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis import analyze, may_be_duplicated
+from ..datum import gensym
+from ..ir.nodes import (
+    CallNode,
+    FunctionRefNode,
+    IfNode,
+    LambdaNode,
+    LiteralNode,
+    Node,
+    Variable,
+    VarRefNode,
+)
+from ..options import CompilerOptions, DEFAULT_OPTIONS
+from .transcript import Transcript, render_node
+from .treeutil import RootHolder, fix_parents, refresh_variable_links, tree_equal
+
+
+def eliminate_common_subexpressions(
+        root: Node, options: Optional[CompilerOptions] = None,
+        transcript: Optional[Transcript] = None) -> Node:
+    """Hoist repeated pure subexpressions into introduced lambda bindings."""
+    options = options or DEFAULT_OPTIONS
+    transcript = transcript or Transcript()
+    holder = RootHolder(root)
+    # Iterate until no more profitable candidates (each round introduces one
+    # binding, largest candidates first).
+    for _round in range(50):
+        refresh_variable_links(holder.child)
+        fix_parents(holder.child)
+        analyze(holder.child)
+        if not _hoist_one(holder, options, transcript):
+            break
+    return holder.child
+
+
+def _hoist_one(holder: RootHolder, options: CompilerOptions,
+               transcript: Transcript) -> bool:
+    groups = _candidate_groups(holder.child, options)
+    if not groups:
+        return False
+    # Largest (most expensive) expression first.
+    groups.sort(key=lambda group: -(group[0].complexity or 0))
+    representative, occurrences = groups[0]
+    ancestor = _common_ancestor(occurrences)
+    if ancestor is None or ancestor.parent is None:
+        return False
+    # A conditional should not force evaluation of an expression that only
+    # some arms use: hoisting above an `if` would evaluate it eagerly.  We
+    # only hoist when every occurrence is on every execution path -- the
+    # simple conservative test: the ancestor is not an IfNode whose arms
+    # split the occurrences.
+    if isinstance(ancestor, IfNode):
+        in_then = [n for n in occurrences if _is_under(n, ancestor.then)]
+        in_else = [n for n in occurrences if _is_under(n, ancestor.else_)]
+        if in_then and in_else and not any(
+                _is_under(n, ancestor.test) for n in occurrences):
+            return False
+
+    before = render_node(ancestor)
+    variable = Variable(gensym("cse"))
+    parent = ancestor.parent  # capture before the wrapper re-parents ancestor
+    for occurrence in occurrences:
+        occurrence.parent.replace_child(occurrence, VarRefNode(variable))
+    wrapper = LambdaNode([variable], [], None, ancestor)
+    call = CallNode(wrapper, [representative])
+    parent.replace_child(ancestor, call)
+    fix_parents(call)
+    transcript.record("META-COMMON-SUBEXPRESSION", before, render_node(call))
+    return True
+
+
+def _candidate_groups(root: Node, options: CompilerOptions
+                      ) -> List[Tuple[Node, List[Node]]]:
+    """Group structurally equal pure subexpressions occurring >= 2 times."""
+    buckets: Dict[str, List[Node]] = {}
+    for node in root.walk():
+        if not isinstance(node, CallNode):
+            continue
+        if not isinstance(node.fn, FunctionRefNode):
+            continue
+        if (node.complexity or 0) < options.cse_min_complexity:
+            continue
+        if not may_be_duplicated(node):
+            continue
+        key = render_node(node)
+        buckets.setdefault(key, []).append(node)
+    groups: List[Tuple[Node, List[Node]]] = []
+    for nodes in buckets.values():
+        if len(nodes) < 2:
+            continue
+        # Nested occurrences (one inside another) are the same computation;
+        # keep only outermost-disjoint occurrences.
+        disjoint = [n for n in nodes
+                    if not any(other is not n and _is_under(n, other)
+                               for other in nodes)]
+        if len(disjoint) < 2:
+            continue
+        if not all(tree_equal(disjoint[0], other) for other in disjoint[1:]):
+            continue
+        groups.append((disjoint[0], disjoint))
+    return groups
+
+
+def _is_under(node: Node, ancestor: Node) -> bool:
+    current: Optional[Node] = node
+    while current is not None:
+        if current is ancestor:
+            return True
+        current = current.parent
+    return False
+
+
+def _common_ancestor(nodes: List[Node]) -> Optional[Node]:
+    paths: List[List[Node]] = []
+    for node in nodes:
+        path: List[Node] = []
+        current: Optional[Node] = node
+        while current is not None:
+            path.append(current)
+            current = current.parent
+        paths.append(list(reversed(path)))
+    shortest = min(len(p) for p in paths)
+    ancestor: Optional[Node] = None
+    for i in range(shortest):
+        candidates = {id(p[i]) for p in paths}
+        if len(candidates) == 1:
+            ancestor = paths[0][i]
+        else:
+            break
+    # Never choose one of the occurrences themselves.
+    if ancestor in nodes:
+        return ancestor.parent
+    return ancestor

@@ -1,0 +1,61 @@
+"""The optimizer's debugging transcript.
+
+Section 7's worked example shows output of the form::
+
+    ;**** Optimizing this form: (+$f a b c)
+    ;**** to be this form: (+$f (+$f c b) a)
+    ;**** courtesy of META-EVALUATE-ASSOC-COMMUT-CALL
+
+Entries are recorded structurally so tests (and the E5 experiment bench) can
+assert on rules fired, and rendered textually in the same style.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+from ..ir.backtranslate import back_translate
+from ..reader.printer import write_to_string
+
+
+@dataclass
+class TranscriptEntry:
+    rule: str
+    before: str
+    after: str
+
+    def render(self) -> str:
+        return (f";**** Optimizing this form: {self.before}\n"
+                f";**** to be this form: {self.after}\n"
+                f";**** courtesy of {self.rule}")
+
+
+class Transcript:
+    def __init__(self, stream: Optional[Any] = None):
+        self.entries: List[TranscriptEntry] = []
+        self.stream = stream
+
+    def record(self, rule: str, before: Any, after: Any) -> None:
+        """Record one transformation.  *before* is pre-rendered text (the
+        tree is about to mutate, so the caller renders it first); *after*
+        may be a Node or pre-rendered text."""
+        after_text = after if isinstance(after, str) else _render(after)
+        entry = TranscriptEntry(rule=rule, before=before, after=after_text)
+        self.entries.append(entry)
+        if self.stream is not None:
+            print(entry.render(), file=self.stream)
+
+    def rules_fired(self) -> List[str]:
+        return [entry.rule for entry in self.entries]
+
+    def render(self) -> str:
+        return "\n".join(entry.render() for entry in self.entries)
+
+
+def _render(node: Any) -> str:
+    return write_to_string(back_translate(node))
+
+
+def render_node(node: Any) -> str:
+    return _render(node)

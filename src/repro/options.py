@@ -1,0 +1,82 @@
+"""Compiler options.
+
+The paper stresses that whole phases are optional ("Like the source-level
+optimization phase, its use is completely optional, for it only affects the
+efficiency of the resulting code").  Every experiment ablation in
+EXPERIMENTS.md flips one of these flags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CompilerOptions:
+    # --- source-level optimization (Section 5) ---
+    optimize: bool = True                  # master switch for the meta-evaluator
+    max_passes: int = 20                   # fixpoint iteration bound
+    enable_beta: bool = True               # the three beta-conversion rules
+    enable_procedure_integration: bool = True
+    enable_constant_folding: bool = True   # compile-time expression evaluation
+    enable_if_distribution: bool = True    # (if (if x y z) v w) transformation
+    enable_dead_code: bool = True          # constant-predicate if/caseq
+    enable_assoc_commut: bool = True       # re-association + identity elimination
+    enable_argument_reversal: bool = True  # constants first (CONSIDER-REVERSING)
+    enable_sin_to_sinc: bool = True        # machine-inspired sin$f -> sinc$f
+    enable_type_specialization: bool = False  # generic ops -> typed ops (extension)
+    substitution_size_limit: int = 2       # copied-code bound for duplicating substitution
+    integration_size_limit: int = 40       # complexity bound for multi-use integration
+
+    # --- global procedure integration (block compilation; the paper's
+    #     loop-unrolling remark in Section 5) ---
+    enable_global_integration: bool = False  # inline known defuns at call sites
+    global_integration_limit: int = 30       # complexity bound for inlining
+    self_unroll_depth: int = 0                # times a fn may inline itself
+                                              # ("achieves loop unrolling")
+
+    # --- common subexpression elimination (Section 4.3; optional phase) ---
+    enable_cse: bool = False               # off by default, like the paper
+    cse_min_complexity: int = 3
+
+    # --- machine-dependent annotation (Section 6) ---
+    enable_representation_analysis: bool = True
+    enable_pdl_numbers: bool = True
+    enable_special_caching: bool = True
+    enable_closure_analysis: bool = True
+
+    # --- codegen / allocator ---
+    target: str = "s1"                     # "s1" | "vax" | "pdp10" (retargeting)
+    enable_tnbind: bool = True             # False: naive stack-slot allocation
+    enable_peephole: bool = False          # linear-block packing (Section 4.5;
+                                           # the paper had none -- extension)
+    enable_tail_calls: bool = True         # False: every call pushes a frame (P6 ablation)
+    registers_available: int = 32
+
+    # --- diagnostics ---
+    transcript: bool = False               # record optimizer transcript entries
+    transcript_stream: object = None       # file-like; None keeps entries only
+
+
+DEFAULT_OPTIONS = CompilerOptions()
+
+
+def naive_options() -> CompilerOptions:
+    """Everything off: the baseline configuration for ablation benches."""
+    return CompilerOptions(
+        optimize=False,
+        enable_beta=False,
+        enable_procedure_integration=False,
+        enable_constant_folding=False,
+        enable_if_distribution=False,
+        enable_dead_code=False,
+        enable_assoc_commut=False,
+        enable_argument_reversal=False,
+        enable_sin_to_sinc=False,
+        enable_cse=False,
+        enable_representation_analysis=False,
+        enable_pdl_numbers=False,
+        enable_special_caching=False,
+        enable_closure_analysis=False,
+        enable_tnbind=False,
+    )

@@ -1,0 +1,170 @@
+;;; The repro prelude: a standard library written in the dialect itself
+;;; and compiled by the compiler it ships with.
+;;;
+;;; Every function here runs both under the reference interpreter and as
+;;; compiled code on the simulated S-1 (tests/test_prelude.py checks both
+;;; agree).  Higher-order functions take function values (#'f or lambdas)
+;;; and invoke them with funcall; list recursion over cdrs is written
+;;; tail-recursively where the operation allows it.
+
+;; ---------------------------------------------------------------------
+;; Higher-order list operations
+;; ---------------------------------------------------------------------
+
+(defun mapcar1 (f lst)
+  ;; Map F over one list.
+  (if (null lst)
+      nil
+      (cons (funcall f (car lst)) (mapcar1 f (cdr lst)))))
+
+(defun mapcar2 (f as bs)
+  ;; Map a binary F over two lists, stopping at the shorter.
+  (if (or (null as) (null bs))
+      nil
+      (cons (funcall f (car as) (car bs))
+            (mapcar2 f (cdr as) (cdr bs)))))
+
+(defun foreach (f lst)
+  ;; Call F on each element for effect; returns nil.
+  (if (null lst)
+      nil
+      (progn (funcall f (car lst)) (foreach f (cdr lst)))))
+
+(defun filter (pred lst)
+  ;; Keep the elements satisfying PRED.
+  (cond ((null lst) nil)
+        ((funcall pred (car lst)) (cons (car lst) (filter pred (cdr lst))))
+        (t (filter pred (cdr lst)))))
+
+(defun remove-if (pred lst)
+  (filter (lambda (x) (not (funcall pred x))) lst))
+
+(defun reduce1 (f init lst)
+  ;; Left fold: (f (f (f init x1) x2) x3) ...; tail recursive.
+  (if (null lst)
+      init
+      (reduce1 f (funcall f init (car lst)) (cdr lst))))
+
+(defun count-if (pred lst)
+  (reduce1 (lambda (acc x) (if (funcall pred x) (+ acc 1) acc)) 0 lst))
+
+(defun find-if (pred lst)
+  ;; First element satisfying PRED, or nil.
+  (cond ((null lst) nil)
+        ((funcall pred (car lst)) (car lst))
+        (t (find-if pred (cdr lst)))))
+
+(defun position1 (item lst)
+  ;; Index of the first element eql to ITEM, or nil.
+  (prog (i)
+    (setq i 0)
+    loop
+    (if (null lst) (return nil))
+    (if (eql (car lst) item) (return i))
+    (setq lst (cdr lst))
+    (setq i (+ i 1))
+    (go loop)))
+
+(defun every1 (pred lst)
+  (cond ((null lst) t)
+        ((funcall pred (car lst)) (every1 pred (cdr lst)))
+        (t nil)))
+
+(defun some1 (pred lst)
+  (cond ((null lst) nil)
+        ((funcall pred (car lst)) t)
+        (t (some1 pred (cdr lst)))))
+
+;; ---------------------------------------------------------------------
+;; List construction and surgery
+;; ---------------------------------------------------------------------
+
+(defun iota (n)
+  ;; (iota 4) => (0 1 2 3)
+  (prog (i acc)
+    (setq i n)
+    (setq acc nil)
+    loop
+    (if (zerop i) (return acc))
+    (setq i (- i 1))
+    (setq acc (cons i acc))
+    (go loop)))
+
+(defun take (n lst)
+  (if (or (zerop n) (null lst))
+      nil
+      (cons (car lst) (take (- n 1) (cdr lst)))))
+
+(defun drop (n lst)
+  (if (or (zerop n) (null lst))
+      lst
+      (drop (- n 1) (cdr lst))))
+
+(defun copy-list1 (lst)
+  (if (null lst) nil (cons (car lst) (copy-list1 (cdr lst)))))
+
+(defun subst1 (new old tree)
+  ;; Replace every eql occurrence of OLD in TREE (a cons tree) by NEW.
+  (cond ((eql tree old) new)
+        ((atom tree) tree)
+        (t (cons (subst1 new old (car tree))
+                 (subst1 new old (cdr tree))))))
+
+(defun flatten (tree)
+  ;; All atoms of a cons tree, left to right (nil leaves vanish).
+  (cond ((null tree) nil)
+        ((atom tree) (list tree))
+        (t (append (flatten (car tree)) (flatten (cdr tree))))))
+
+;; ---------------------------------------------------------------------
+;; Arithmetic over lists
+;; ---------------------------------------------------------------------
+
+(defun sum-list (lst)
+  (reduce1 (lambda (acc x) (+ acc x)) 0 lst))
+
+(defun max-list (lst)
+  (if (null lst)
+      (error "max-list: empty list")
+      (reduce1 (lambda (acc x) (max acc x)) (car lst) (cdr lst))))
+
+(defun min-list (lst)
+  (if (null lst)
+      (error "min-list: empty list")
+      (reduce1 (lambda (acc x) (min acc x)) (car lst) (cdr lst))))
+
+;; ---------------------------------------------------------------------
+;; Sorting (merge sort: recursion + closures + list surgery in one test)
+;; ---------------------------------------------------------------------
+
+(defun merge-lists (less a b)
+  (cond ((null a) b)
+        ((null b) a)
+        ((funcall less (car b) (car a))
+         (cons (car b) (merge-lists less a (cdr b))))
+        (t (cons (car a) (merge-lists less (cdr a) b)))))
+
+(defun sort-list (less lst)
+  (let ((n (length lst)))
+    (if (< n 2)
+        lst
+        (let ((half (floor (/ n 2))))
+          (merge-lists less
+                       (sort-list less (take half lst))
+                       (sort-list less (drop half lst)))))))
+
+;; ---------------------------------------------------------------------
+;; Association lists
+;; ---------------------------------------------------------------------
+
+(defun alist-get (key alist default)
+  (let ((hit (assoc key alist)))
+    (if (null hit) default (cdr hit))))
+
+(defun alist-put (key value alist)
+  ;; Non-destructive update.
+  (cons (cons key value)
+        (remove-if (lambda (entry) (eql (car entry) key)) alist)))
+
+(defun alist-keys (alist)
+  (mapcar1 (lambda (entry) (car entry)) alist))

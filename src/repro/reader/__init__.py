@@ -1,0 +1,6 @@
+"""Surface syntax: the S-expression reader and printer."""
+
+from .parser import Char, Parser, read, read_all
+from .printer import write_to_string
+
+__all__ = ["Char", "Parser", "read", "read_all", "write_to_string"]

@@ -1,0 +1,276 @@
+"""Tokenizer for the S-expression reader.
+
+Handles the surface syntax the paper's examples use: parentheses, quote
+(``'``), dotted pairs, line comments (``;``), block comments (``#| ... |#``),
+strings, characters (``#\\a``), complex literals (``#c(re im)`` handled at the
+parser level via the ``#c`` dispatch token), and the full numeric tower
+(``123``, ``-4/5``, ``3.0``, ``1e10``, ``2.5e-3``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Any, Iterator, List, Optional
+
+from ..errors import ReaderError
+
+# Token kinds
+LPAREN = "LPAREN"
+RPAREN = "RPAREN"
+QUOTE = "QUOTE"
+QUASIQUOTE = "QUASIQUOTE"
+UNQUOTE = "UNQUOTE"
+UNQUOTE_SPLICING = "UNQUOTE_SPLICING"
+DOT = "DOT"
+ATOM = "ATOM"  # value is the parsed atom (symbol name deferred to parser)
+STRING = "STRING"
+CHAR = "CHAR"
+HASH_C = "HASH_C"  # #c -- complex literal prefix
+FUNCTION_QUOTE = "FUNCTION_QUOTE"  # #'
+EOF = "EOF"
+
+
+@dataclass
+class Token:
+    kind: str
+    value: Any
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.value!r}, {self.line}:{self.column})"
+
+
+_DELIMITERS = set("()'\"`,; \t\n\r")
+
+_SYMBOL_STARTERS_NEEDING_CARE = set("0123456789+-.")
+
+
+def _is_terminating(ch: str) -> bool:
+    return ch in _DELIMITERS
+
+
+class Lexer:
+    """A small hand-written scanner with one character of lookahead."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        if index < len(self.text):
+            return self.text[index]
+        return ""
+
+    def _advance(self) -> str:
+        ch = self.text[self.pos]
+        self.pos += 1
+        if ch == "\n":
+            self.line += 1
+            self.column = 1
+        else:
+            self.column += 1
+        return ch
+
+    def _error(self, message: str) -> ReaderError:
+        return ReaderError(f"{message} at line {self.line}, column {self.column}")
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while self.pos < len(self.text):
+            ch = self._peek()
+            if ch in " \t\n\r\f":
+                self._advance()
+            elif ch == ";":
+                while self.pos < len(self.text) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "#" and self._peek(1) == "|":
+                self._advance()
+                self._advance()
+                depth = 1
+                while depth > 0:
+                    if self.pos >= len(self.text):
+                        raise self._error("unterminated block comment")
+                    if self._peek() == "|" and self._peek(1) == "#":
+                        self._advance()
+                        self._advance()
+                        depth -= 1
+                    elif self._peek() == "#" and self._peek(1) == "|":
+                        self._advance()
+                        self._advance()
+                        depth += 1
+                    else:
+                        self._advance()
+            else:
+                return
+
+    def tokens(self) -> Iterator[Token]:
+        while True:
+            token = self.next_token()
+            yield token
+            if token.kind == EOF:
+                return
+
+    def next_token(self) -> Token:
+        self._skip_whitespace_and_comments()
+        line, column = self.line, self.column
+        if self.pos >= len(self.text):
+            return Token(EOF, None, line, column)
+        ch = self._peek()
+        if ch == "(":
+            self._advance()
+            return Token(LPAREN, "(", line, column)
+        if ch == ")":
+            self._advance()
+            return Token(RPAREN, ")", line, column)
+        if ch == "'":
+            self._advance()
+            return Token(QUOTE, "'", line, column)
+        if ch == "`":
+            self._advance()
+            return Token(QUASIQUOTE, "`", line, column)
+        if ch == ",":
+            self._advance()
+            if self._peek() == "@":
+                self._advance()
+                return Token(UNQUOTE_SPLICING, ",@", line, column)
+            return Token(UNQUOTE, ",", line, column)
+        if ch == '"':
+            return self._read_string(line, column)
+        if ch == "#":
+            return self._read_dispatch(line, column)
+        return self._read_atom(line, column)
+
+    def _read_string(self, line: int, column: int) -> Token:
+        self._advance()  # opening quote
+        chars: List[str] = []
+        while True:
+            if self.pos >= len(self.text):
+                raise self._error("unterminated string")
+            ch = self._advance()
+            if ch == '"':
+                break
+            if ch == "\\":
+                if self.pos >= len(self.text):
+                    raise self._error("unterminated string escape")
+                escaped = self._advance()
+                mapping = {"n": "\n", "t": "\t", "r": "\r", "\\": "\\", '"': '"'}
+                chars.append(mapping.get(escaped, escaped))
+            else:
+                chars.append(ch)
+        return Token(STRING, "".join(chars), line, column)
+
+    def _read_dispatch(self, line: int, column: int) -> Token:
+        self._advance()  # '#'
+        ch = self._peek()
+        if ch == "\\":
+            self._advance()
+            return self._read_character(line, column)
+        if ch in "cC":
+            self._advance()
+            return Token(HASH_C, "#c", line, column)
+        if ch == "'":
+            self._advance()
+            return Token(FUNCTION_QUOTE, "#'", line, column)
+        if ch == ":":
+            # Uninterned symbol notation: read the name, mark it.
+            self._advance()
+            token = self._read_atom(line, column)
+            return Token(ATOM, ("uninterned", token.value), line, column)
+        raise self._error(f"unsupported reader dispatch #{ch!r}")
+
+    _CHAR_NAMES = {
+        "space": " ",
+        "newline": "\n",
+        "tab": "\t",
+        "return": "\r",
+        "nul": "\0",
+        "null": "\0",
+    }
+
+    def _read_character(self, line: int, column: int) -> Token:
+        if self.pos >= len(self.text):
+            raise self._error("unterminated character literal")
+        first = self._advance()
+        name = [first]
+        # Multi-character names like #\space.
+        while self.pos < len(self.text) and not _is_terminating(self._peek()):
+            name.append(self._advance())
+        text = "".join(name)
+        if len(text) == 1:
+            return Token(CHAR, text, line, column)
+        value = self._CHAR_NAMES.get(text.lower())
+        if value is None:
+            raise self._error(f"unknown character name #\\{text}")
+        return Token(CHAR, value, line, column)
+
+    def _read_atom(self, line: int, column: int) -> Token:
+        chars: List[str] = []
+        while self.pos < len(self.text) and not _is_terminating(self._peek()):
+            ch = self._advance()
+            if ch == "\\" and self.pos < len(self.text):
+                chars.append(self._advance())
+            elif ch == "|":
+                while True:
+                    if self.pos >= len(self.text):
+                        raise self._error("unterminated |...| symbol escape")
+                    inner = self._advance()
+                    if inner == "|":
+                        break
+                    chars.append(inner)
+            else:
+                chars.append(ch)
+        text = "".join(chars)
+        if not text:
+            raise self._error("empty atom")
+        if text == ".":
+            return Token(DOT, ".", line, column)
+        value = parse_atom(text)
+        return Token(ATOM, value, line, column)
+
+
+def parse_atom(text: str) -> Any:
+    """Classify atom text as a number or a symbol name.
+
+    Returns either a Python number or the string ``("symbol", name)`` tag so
+    the parser interns at one place.
+    """
+    number = try_parse_number(text)
+    if number is not None:
+        return number
+    return ("symbol", text.lower())
+
+
+def try_parse_number(text: str) -> Optional[Any]:
+    """Parse integers, ratios, and floats.  Returns None if not numeric."""
+    if not text:
+        return None
+    # Integers (with optional sign).
+    body = text[1:] if text[0] in "+-" else text
+    if body.isdigit():
+        return int(text)
+    # Ratios: [sign]digits/digits
+    if "/" in text:
+        num, _, den = text.partition("/")
+        num_body = num[1:] if num and num[0] in "+-" else num
+        if num_body.isdigit() and den.isdigit() and int(den) != 0:
+            from ..datum.numbers import normalize_number
+
+            return normalize_number(Fraction(int(num), int(den)))
+        return None
+    # Floats: must contain '.' or exponent marker and parse as float,
+    # while not being a lone '.' / sign.
+    has_float_shape = any(c in text for c in ".eE")
+    if has_float_shape:
+        # Reject things like 'e', '.', '+.', 'a.b'
+        try:
+            candidate = float(text)
+        except ValueError:
+            return None
+        # Ensure there was at least one digit.
+        if any(c.isdigit() for c in text):
+            return candidate
+    return None

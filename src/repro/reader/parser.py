@@ -1,0 +1,184 @@
+"""S-expression parser: token stream -> Lisp data.
+
+``read`` returns the Lisp values the rest of the system consumes: symbols,
+numbers, strings, characters (as 1-char strings wrapped in :class:`Char`),
+and cons-cell lists.  Quote sugar expands here (``'x`` -> ``(quote x)``,
+``#'f`` -> ``(function f)``) so downstream phases see only plain data.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional
+
+from ..datum import NIL, Cons, from_list, intern_symbol, sym
+from ..datum.symbols import Symbol
+from ..errors import ReaderError
+from . import lexer as lx
+
+
+class Char:
+    """A Lisp character object (distinct from 1-character strings)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: str):
+        if len(value) != 1:
+            raise ValueError("Char must wrap exactly one character")
+        self.value = value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Char) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("Char", self.value))
+
+    def __repr__(self) -> str:
+        return f"#\\{self.value}"
+
+
+QUOTE = intern_symbol("quote")
+FUNCTION = intern_symbol("function")
+QUASIQUOTE_SYM = intern_symbol("quasiquote")
+UNQUOTE_SYM = intern_symbol("unquote")
+UNQUOTE_SPLICING_SYM = intern_symbol("unquote-splicing")
+
+
+class Parser:
+    def __init__(self, text: str):
+        self._lexer = lx.Lexer(text)
+        self._pushback: Optional[lx.Token] = None
+
+    def _next(self) -> lx.Token:
+        if self._pushback is not None:
+            token, self._pushback = self._pushback, None
+            return token
+        return self._lexer.next_token()
+
+    def _push(self, token: lx.Token) -> None:
+        assert self._pushback is None
+        self._pushback = token
+
+    def read(self) -> Any:
+        """Read one datum; raises ReaderError at EOF."""
+        datum = self.read_or_eof()
+        if datum is _EOF:
+            raise ReaderError("unexpected end of input")
+        return datum
+
+    def read_or_eof(self) -> Any:
+        token = self._next()
+        return self._parse(token)
+
+    def read_all(self) -> List[Any]:
+        forms: List[Any] = []
+        while True:
+            datum = self.read_or_eof()
+            if datum is _EOF:
+                return forms
+            forms.append(datum)
+
+    def _parse(self, token: lx.Token) -> Any:
+        kind = token.kind
+        if kind == lx.EOF:
+            return _EOF
+        if kind == lx.LPAREN:
+            return self._parse_list(token)
+        if kind == lx.RPAREN:
+            raise ReaderError(
+                f"unbalanced ')' at line {token.line}, column {token.column}"
+            )
+        if kind == lx.QUOTE:
+            return from_list([QUOTE, self.read()])
+        if kind == lx.FUNCTION_QUOTE:
+            return from_list([FUNCTION, self.read()])
+        if kind == lx.QUASIQUOTE:
+            return from_list([QUASIQUOTE_SYM, self.read()])
+        if kind == lx.UNQUOTE:
+            return from_list([UNQUOTE_SYM, self.read()])
+        if kind == lx.UNQUOTE_SPLICING:
+            return from_list([UNQUOTE_SPLICING_SYM, self.read()])
+        if kind == lx.STRING:
+            return token.value
+        if kind == lx.CHAR:
+            return Char(token.value)
+        if kind == lx.HASH_C:
+            return self._parse_complex(token)
+        if kind == lx.DOT:
+            raise ReaderError(
+                f"misplaced '.' at line {token.line}, column {token.column}"
+            )
+        if kind == lx.ATOM:
+            return self._parse_value(token.value)
+        raise ReaderError(f"unexpected token {token!r}")  # pragma: no cover
+
+    def _parse_value(self, value: Any) -> Any:
+        if isinstance(value, tuple):
+            tag = value[0]
+            if tag == "symbol":
+                return intern_symbol(value[1])
+            if tag == "uninterned":
+                inner = value[1]
+                if isinstance(inner, tuple) and inner[0] == "symbol":
+                    return Symbol(inner[1], interned=False)
+                raise ReaderError(f"bad uninterned symbol {value!r}")
+            raise ReaderError(f"bad atom tag {value!r}")  # pragma: no cover
+        return value  # already a number
+
+    def _parse_list(self, open_token: lx.Token) -> Any:
+        items: List[Any] = []
+        tail: Any = NIL
+        while True:
+            token = self._next()
+            if token.kind == lx.EOF:
+                raise ReaderError(
+                    f"unterminated list starting at line {open_token.line},"
+                    f" column {open_token.column}"
+                )
+            if token.kind == lx.RPAREN:
+                break
+            if token.kind == lx.DOT:
+                if not items:
+                    raise ReaderError(
+                        f"dotted pair with no car at line {token.line}"
+                    )
+                tail = self.read()
+                closer = self._next()
+                if closer.kind != lx.RPAREN:
+                    raise ReaderError(
+                        f"expected ')' after dotted tail at line {closer.line}"
+                    )
+                break
+            items.append(self._parse(token))
+        return from_list(items, tail)
+
+    def _parse_complex(self, token: lx.Token) -> Any:
+        form = self.read()
+        if not isinstance(form, Cons):
+            raise ReaderError(f"#c must be followed by (re im), line {token.line}")
+        parts = list(form)
+        if len(parts) != 2:
+            raise ReaderError(f"#c needs exactly two parts, line {token.line}")
+        re_part, im_part = parts
+        from ..datum.numbers import is_number
+
+        if not (is_number(re_part) and is_number(im_part)):
+            raise ReaderError(f"#c parts must be real numbers, line {token.line}")
+        return complex(float(re_part), float(im_part))
+
+
+class _EofSentinel:
+    def __repr__(self) -> str:  # pragma: no cover
+        return "#<eof>"
+
+
+_EOF = _EofSentinel()
+
+
+def read(text: str) -> Any:
+    """Read the first datum in *text*."""
+    return Parser(text).read()
+
+
+def read_all(text: str) -> List[Any]:
+    """Read every datum in *text*, returning a Python list."""
+    return Parser(text).read_all()

@@ -1,0 +1,138 @@
+"""Printer: Lisp data -> surface text.
+
+``write_to_string`` is the inverse of the reader on all readable data: the
+property tests in ``tests/test_reader_properties.py`` check the round trip
+``read(write(x)) == x`` (by structural equality).
+
+The back-translator (`repro.ir.backtranslate`) relies on this printer to
+render recovered source, so its output style matches the paper's listings:
+lower-case symbols, quote sugar, and floats printed with their decimal point.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any, List
+
+from ..datum import NIL, Cons
+from ..datum.symbols import Symbol
+
+_QUOTE_SUGAR = {
+    "quote": "'",
+    "function": "#'",
+    "quasiquote": "`",
+    "unquote": ",",
+    "unquote-splicing": ",@",
+}
+
+
+def _needs_escape(name: str) -> bool:
+    if name == "":
+        return True
+    special = set("()'\"`,; \t\n\r|\\")
+    if any(ch in special for ch in name):
+        return True
+    # A symbol whose name would read back as a number needs escaping.
+    from .lexer import try_parse_number
+
+    return try_parse_number(name) is not None
+
+
+def write_symbol(symbol: Symbol) -> str:
+    prefix = "" if symbol.interned else "#:"
+    name = symbol.name
+    if _needs_escape(name):
+        return prefix + "|" + name.replace("|", "\\|") + "|"
+    return prefix + name
+
+
+def write_float(value: float) -> str:
+    if value != value:  # NaN
+        return "|NaN|"
+    if value in (float("inf"), float("-inf")):
+        return "|+inf|" if value > 0 else "|-inf|"
+    text = repr(value)
+    if "e" in text or "E" in text or "." in text:
+        return text
+    return text + ".0"
+
+
+def write_string(value: str) -> str:
+    escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def write_to_string(value: Any) -> str:
+    out: List[str] = []
+    _write(value, out)
+    return "".join(out)
+
+
+def _write(value: Any, out: List[str]) -> None:
+    if value is NIL:
+        out.append("nil")
+        return
+    if isinstance(value, Symbol):
+        out.append(write_symbol(value))
+        return
+    if isinstance(value, bool):  # appears only from host interop
+        out.append("t" if value else "nil")
+        return
+    if isinstance(value, int):
+        out.append(str(value))
+        return
+    if isinstance(value, float):
+        out.append(write_float(value))
+        return
+    if isinstance(value, Fraction):
+        out.append(f"{value.numerator}/{value.denominator}")
+        return
+    if isinstance(value, complex):
+        out.append(f"#c({write_float(value.real)} {write_float(value.imag)})")
+        return
+    if isinstance(value, str):
+        out.append(write_string(value))
+        return
+    from .parser import Char
+
+    if isinstance(value, Char):
+        out.append(f"#\\{value.value}")
+        return
+    if isinstance(value, Cons):
+        _write_cons(value, out)
+        return
+    # Host objects (compiled functions, machine values) print opaquely.
+    out.append(f"#<{type(value).__name__} {value!r}>")
+
+
+def _write_cons(value: Cons, out: List[str]) -> None:
+    # Quote sugar: (quote x) -> 'x etc.
+    if (
+        isinstance(value.car, Symbol)
+        and value.car.interned
+        and value.car.name in _QUOTE_SUGAR
+        and isinstance(value.cdr, Cons)
+        and value.cdr.cdr is NIL
+    ):
+        out.append(_QUOTE_SUGAR[value.car.name])
+        _write(value.cdr.car, out)
+        return
+    out.append("(")
+    node: Any = value
+    first = True
+    seen = set()
+    while isinstance(node, Cons):
+        if id(node) in seen:
+            out.append(" ...circular...")
+            node = NIL
+            break
+        seen.add(id(node))
+        if not first:
+            out.append(" ")
+        _write(node.car, out)
+        first = False
+        node = node.cdr
+    if node is not NIL:
+        out.append(" . ")
+        _write(node, out)
+    out.append(")")

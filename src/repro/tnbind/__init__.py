@@ -1,0 +1,8 @@
+"""TNBIND: the register/storage allocation technique from BLISS-11 / PQCC,
+as adapted by the paper (Sections 4.4 "Target annotation" and 6.1)."""
+
+from .pack import Packing, pack_tns
+from .tn import KIND_PDL, KIND_TEMP, KIND_VAR, Location, TN
+
+__all__ = ["KIND_PDL", "KIND_TEMP", "KIND_VAR", "Location", "Packing",
+           "TN", "pack_tns"]

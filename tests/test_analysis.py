@@ -1,0 +1,335 @@
+"""Tests for the analysis phases: environment, effects, complexity,
+tail-recursion, and type deduction."""
+
+import pytest
+
+from repro.analysis import (
+    analyze,
+    analyze_effects,
+    analyze_environment,
+    analyze_tail_positions,
+    analyze_types,
+    free_variables,
+    may_be_duplicated,
+    may_be_eliminated,
+    value_producers,
+    variables_closed_over,
+)
+from repro.ir import (
+    CallNode,
+    IfNode,
+    LambdaNode,
+    LiteralNode,
+    VarRefNode,
+    convert_source,
+)
+
+
+def conv(text):
+    return convert_source(text)
+
+
+class TestEnvironmentAnalysis:
+    def test_reads_include_referenced_variables(self):
+        node = conv("(lambda (x y) (+ x y))")
+        analyze_environment(node)
+        assert set(node.reads) == set(node.required)
+
+    def test_writes_from_setq(self):
+        node = conv("(lambda (x) (setq x 1))")
+        analyze_environment(node)
+        assert node.required[0] in node.writes
+        assert node.required[0] not in node.reads
+
+    def test_nested_reads_propagate(self):
+        node = conv("(lambda (x) (if x (+ x 1) 0))")
+        analyze_environment(node)
+        x = node.required[0]
+        assert x in node.body.reads
+        assert x in node.body.test.reads
+
+    def test_free_variables_of_closure(self):
+        node = conv("(lambda (n) (lambda (x) (+ x n)))")
+        analyze_environment(node)
+        inner = node.body
+        assert isinstance(inner, LambdaNode)
+        free = free_variables(inner)
+        assert free == frozenset({node.required[0]})
+
+    def test_no_free_variables(self):
+        node = conv("(lambda (n) (lambda (x) x))")
+        analyze_environment(node)
+        assert free_variables(node.body) == frozenset()
+
+    def test_deeply_nested_capture(self):
+        node = conv("(lambda (a) (lambda (b) (lambda (c) (+ a b c))))")
+        analyze_environment(node)
+        middle = node.body
+        innermost = middle.body
+        assert node.required[0] in free_variables(innermost)
+        assert middle.required[0] in free_variables(innermost)
+        # a and b are free in innermost; only a is free in middle.
+        assert free_variables(middle) == frozenset({node.required[0]})
+
+    def test_variables_closed_over(self):
+        node = conv("(lambda (n m) (lambda () n))")
+        analyze_environment(node)
+        captured = variables_closed_over(node)
+        assert node.required[0] in captured
+        assert node.required[1] not in captured
+
+    def test_specials_not_counted_as_captured(self):
+        node = conv("(lambda (x) (lambda () *special*))")
+        analyze_environment(node)
+        assert variables_closed_over(node) == frozenset()
+
+
+class TestEffectsAnalysis:
+    def test_pure_arithmetic_no_effects(self):
+        node = conv("(+ 1 2)")
+        analyze_effects(node)
+        assert node.effects == frozenset()
+
+    def test_cons_allocates(self):
+        node = conv("(cons 1 2)")
+        analyze_effects(node)
+        assert node.effects == frozenset({"alloc"})
+
+    def test_rplaca_writes(self):
+        node = conv("(lambda (p) (rplaca p 1))")
+        analyze_effects(node)
+        body = node.body
+        assert "write" in body.effects
+
+    def test_unknown_call_is_any(self):
+        node = conv("(frotz 1)")
+        analyze_effects(node)
+        assert "any" in node.effects
+
+    def test_special_read_is_effect(self):
+        node = conv("*dynamic*")
+        analyze_effects(node)
+        assert "read" in node.effects
+
+    def test_special_setq_is_write(self):
+        node = conv("(setq *dyn* 1)")
+        analyze_effects(node)
+        assert "write" in node.effects
+
+    def test_lexical_setq_is_not_global_write(self):
+        node = conv("(lambda (x) (setq x 1))")
+        analyze_effects(node)
+        assert "write" not in node.body.effects
+
+    def test_lambda_value_is_alloc(self):
+        node = conv("(lambda (x) (rplaca x 1))")
+        analyze_effects(node)
+        # The lambda itself only allocates; the body's write is latent.
+        assert node.effects == frozenset({"alloc"})
+
+    def test_direct_lambda_call_exposes_body_effects(self):
+        node = conv("((lambda (x) (rplaca x 1)) p)")
+        analyze_effects(node)
+        assert "write" in node.effects
+
+    def test_throw_is_control(self):
+        node = conv("(throw 'tag 1)")
+        analyze_effects(node)
+        assert "control" in node.effects
+
+    def test_local_go_not_control_outside(self):
+        node = conv("(progbody loop (go loop))")
+        analyze_effects(node)
+        assert "control" not in node.effects
+
+    def test_may_be_eliminated_allows_alloc(self):
+        node = conv("(cons 1 2)")
+        analyze_effects(node)
+        assert may_be_eliminated(node)
+
+    def test_may_be_duplicated_rejects_alloc(self):
+        node = conv("(cons 1 2)")
+        analyze_effects(node)
+        assert not may_be_duplicated(node)
+
+    def test_may_be_duplicated_pure(self):
+        node = conv("(* 3 4)")
+        analyze_effects(node)
+        assert may_be_duplicated(node)
+
+    def test_error_is_control(self):
+        node = conv("(error \"boom\")")
+        analyze_effects(node)
+        assert "control" in node.effects
+
+
+class TestComplexityAnalysis:
+    def test_constant_is_cheap(self):
+        node = conv("42")
+        analyze(node)
+        assert node.complexity == 1
+
+    def test_bigger_tree_costs_more(self):
+        small = conv("(+ 1 2)")
+        big = conv("(+ (* 1 2) (* 3 4) (* 5 6))")
+        analyze(small)
+        analyze(big)
+        assert big.complexity > small.complexity
+
+    def test_if_includes_jumps(self):
+        node = conv("(if p 1 2)")
+        analyze(node)
+        assert node.complexity >= 5  # test + two arms + two jumps
+
+
+class TestTailPositionAnalysis:
+    def test_lambda_body_is_tail(self):
+        node = conv("(lambda (x) (f x))")
+        analyze_tail_positions(node)
+        assert node.body.is_tail_call
+
+    def test_if_arms_inherit_tailness(self):
+        node = conv("(lambda (x) (if x (f x) (g x)))")
+        analyze_tail_positions(node)
+        body = node.body
+        assert body.then.is_tail_call
+        assert body.else_.is_tail_call
+        assert not body.test.tail_position
+
+    def test_test_position_call_is_not_tail(self):
+        node = conv("(lambda (x) (if (f x) 1 2))")
+        analyze_tail_positions(node)
+        assert not node.body.test.is_tail_call
+
+    def test_argument_call_is_not_tail(self):
+        node = conv("(lambda (x) (f (g x)))")
+        analyze_tail_positions(node)
+        outer = node.body
+        inner = outer.args[0]
+        assert outer.is_tail_call
+        assert not inner.is_tail_call
+
+    def test_let_body_inherits_tailness(self):
+        node = conv("(lambda (x) (let ((y (* x 2))) (f y)))")
+        analyze_tail_positions(node)
+        let_call = node.body
+        inner_call = let_call.fn.body
+        assert inner_call.is_tail_call
+
+    def test_progn_last_is_tail(self):
+        node = conv("(lambda (x) (progn (f x) (g x)))")
+        analyze_tail_positions(node)
+        progn = node.body
+        assert not progn.forms[0].is_tail_call
+        assert progn.forms[1].is_tail_call
+
+    def test_exptl_self_calls_are_tail(self):
+        node = conv("""
+            (lambda (x n a)
+              (cond ((zerop n) a)
+                    ((oddp n) (exptl (* x x) (floor (/ n 2)) (* a x)))
+                    (t (exptl (* x x) (floor (/ n 2)) a))))
+        """)
+        analyze_tail_positions(node)
+        calls = [n for n in node.walk()
+                 if isinstance(n, CallNode)
+                 and getattr(n.fn, "name", None) is not None
+                 and n.fn.name.name == "exptl"]
+        assert len(calls) == 2
+        assert all(c.is_tail_call for c in calls)
+
+    def test_catch_body_not_tail(self):
+        node = conv("(lambda (x) (catch 'tag (f x)))")
+        analyze_tail_positions(node)
+        catcher = node.body
+        assert not catcher.body.is_tail_call
+
+
+class TestValueProducers:
+    def test_if_produces_both_arms(self):
+        node = conv("(if p 1 2)")
+        producers = value_producers(node)
+        values = {p.value for p in producers if isinstance(p, LiteralNode)}
+        assert values == {1, 2}
+
+    def test_progn_produces_last(self):
+        node = conv("(progn (f) 7)")
+        producers = value_producers(node)
+        assert len(producers) == 1
+        assert producers[0].value == 7
+
+    def test_let_produces_body(self):
+        node = conv("(let ((x 1)) (if x 'a 'b))")
+        producers = value_producers(node)
+        assert len(producers) == 2
+
+
+class TestTypeAnalysis:
+    def test_float_literal(self):
+        node = conv("3.5")
+        analyze_types(node)
+        assert node.inferred_type == "SWFLO"
+
+    def test_fixnum_literal(self):
+        node = conv("42")
+        analyze_types(node)
+        assert node.inferred_type == "SWFIX"
+
+    def test_bignum_is_pointer(self):
+        node = conv(str(2 ** 80))
+        analyze_types(node)
+        assert node.inferred_type == "POINTER"
+
+    def test_typed_primitive_result(self):
+        node = conv("(+$f 1.0 2.0)")
+        analyze_types(node)
+        assert node.inferred_type == "SWFLO"
+
+    def test_declared_variable(self):
+        node = conv("(lambda (x) (declare (single-float x)) x)")
+        analyze_types(node)
+        assert node.body.inferred_type == "SWFLO"
+
+    def test_generic_op_specializes_on_float_args(self):
+        node = conv("(+ 1.0 2.0)")
+        analyze_types(node)
+        assert node.inferred_type == "SWFLO"
+
+    def test_generic_op_mixed_args_unknown(self):
+        node = conv("(lambda (x) (+ 1.0 x))")
+        analyze_types(node)
+        assert node.body.inferred_type is None
+
+    def test_let_propagates_types_through_body(self):
+        # The inference flows to uses of x without touching declared_type
+        # (inference is advisory; declarations are user promises).
+        node = conv("(let ((x 2.0)) (+ x x))")
+        analyze_types(node)
+        assert node.fn.required[0].declared_type is None
+        assert node.fn.body.inferred_type == "SWFLO"
+
+    def test_if_join_same_type(self):
+        node = conv("(if p 1.0 2.0)")
+        analyze_types(node)
+        assert node.inferred_type == "SWFLO"
+
+    def test_if_join_different_types(self):
+        node = conv("(if p 1.0 'sym)")
+        analyze_types(node)
+        assert node.inferred_type is None
+
+    def test_the_annotation(self):
+        node = conv("(the single-float (frotz))")
+        analyze_types(node)
+        assert node.inferred_type == "SWFLO"
+
+
+class TestAnalyzeDriver:
+    def test_all_annotations_present(self):
+        node = conv("(lambda (x) (if (zerop x) 1 (* x 2)))")
+        analyze(node)
+        for descendant in node.walk():
+            assert descendant.reads is not None
+            assert descendant.effects is not None
+            assert descendant.complexity is not None
+            assert not descendant.needs_reanalysis

@@ -1,0 +1,416 @@
+"""Tests for the machine-dependent annotation phases: binding annotation,
+representation analysis, pdl numbers, special-variable lookup caching."""
+
+import pytest
+
+from repro.analysis import analyze
+from repro.annotate import (
+    annotate,
+    annotate_bindings,
+    annotate_pdl,
+    annotate_representations,
+    annotate_special_lookups,
+    boxing_sites,
+    closure_report,
+    coercion_sites,
+    pdl_sites,
+    wants_pdl_allocation,
+)
+from repro.ir import (
+    CallNode,
+    IfNode,
+    LambdaNode,
+    PrognNode,
+    SetqNode,
+    STRATEGY_FAST_CALL,
+    STRATEGY_FULL_CLOSURE,
+    STRATEGY_JUMP,
+    VarRefNode,
+    convert_source,
+)
+from repro.options import CompilerOptions
+from repro.target.reps import JUMP, NONE, POINTER, SWFIX, SWFLO
+
+
+def prepared(text):
+    tree = convert_source(text)
+    analyze(tree)
+    return tree
+
+
+class TestBindingAnnotation:
+    def test_let_lambda_is_jump(self):
+        tree = prepared("((lambda (x) x) 1)")
+        annotate_bindings(tree)
+        assert tree.fn.strategy == STRATEGY_JUMP
+        assert not tree.fn.escapes
+
+    def test_escaping_lambda_is_closure(self):
+        tree = prepared("(lambda (n) (lambda (x) (+ x n)))")
+        annotate_bindings(tree)
+        inner = tree.body
+        assert inner.strategy == STRATEGY_FULL_CLOSURE
+        assert inner.escapes
+
+    def test_escaping_lambda_forces_heap_variable(self):
+        tree = prepared("(lambda (n) (lambda (x) (+ x n)))")
+        annotate_bindings(tree)
+        assert tree.required[0].heap_allocated
+
+    def test_non_captured_variable_stays_on_stack(self):
+        tree = prepared("(lambda (n) (+ n 1))")
+        annotate_bindings(tree)
+        assert not tree.required[0].heap_allocated
+
+    def test_thunk_called_in_tail_position_is_jump(self):
+        # ((lambda (f) (if p (f) (f))) (lambda () 42))
+        tree = prepared("(lambda (p) ((lambda (f) (if p (f) (f))) (lambda () 42)))")
+        annotate_bindings(tree)
+        thunk = tree.body.args[0]
+        assert isinstance(thunk, LambdaNode)
+        assert thunk.strategy == STRATEGY_JUMP
+
+    def test_known_nontail_calls_get_fast_linkage(self):
+        tree = prepared(
+            "(lambda (p) ((lambda (f) (+ (f) 1)) (lambda () 42)))")
+        annotate_bindings(tree)
+        thunk = tree.body.args[0]
+        assert thunk.strategy == STRATEGY_FAST_CALL
+
+    def test_lambda_stored_then_funcalled_is_closure(self):
+        # f is passed to an unknown function: escapes.
+        tree = prepared("((lambda (f) (frotz f)) (lambda () 42))")
+        annotate_bindings(tree)
+        thunk = tree.args[0]
+        assert thunk.strategy == STRATEGY_FULL_CLOSURE
+
+    def test_assigned_variable_disables_known_calls(self):
+        tree = prepared(
+            "(lambda () ((lambda (f) (setq f (frotz)) (f)) (lambda () 1)))")
+        annotate_bindings(tree)
+        thunk = tree.body.args[0]
+        assert thunk.strategy == STRATEGY_FULL_CLOSURE
+
+    def test_disabled_closure_analysis_everything_escapes(self):
+        tree = prepared("(lambda (p) ((lambda (f) (f)) (lambda () 42)))")
+        annotate_bindings(tree, enable=False)
+        report = closure_report(tree)
+        assert report["strategies"]["jump"] == 0
+
+    def test_closure_report_counts(self):
+        tree = prepared("(lambda (n) ((lambda (x) x) (lambda () n)))")
+        annotate_bindings(tree)
+        report = closure_report(tree)
+        assert report["strategies"]["jump"] >= 1
+        assert report["strategies"]["closure"] >= 1
+
+
+class TestRepresentationAnalysis:
+    def test_if_test_wants_jump(self):
+        tree = prepared("(lambda (p) (if p 1 2))")
+        annotate_representations(tree)
+        assert tree.body.test.wantrep == JUMP
+
+    def test_typed_op_args_want_swflo(self):
+        tree = prepared("(lambda (x y) (+$f x y))")
+        annotate_representations(tree)
+        call = tree.body
+        assert all(arg.wantrep == SWFLO for arg in call.args)
+
+    def test_typed_op_isrep_swflo(self):
+        tree = prepared("(lambda (x y) (+$f x y))")
+        annotate_representations(tree)
+        assert tree.body.isrep == SWFLO
+
+    def test_car_isrep_pointer(self):
+        tree = prepared("(lambda (x) (car x))")
+        annotate_representations(tree)
+        assert tree.body.isrep == POINTER
+
+    def test_progn_nonlast_wants_none(self):
+        tree = prepared("(lambda (x) (progn (frotz x) x))")
+        annotate_representations(tree)
+        progn = tree.body
+        assert progn.forms[0].wantrep == NONE
+
+    def test_paper_if_arm_merge(self):
+        """(+$f (if p (sqrt$f q) (car r)) 3.0): the if's ISREP resolves to
+        SWFLO so the sqrt result needs no conversion; car's result merely
+        gets dereferenced."""
+        tree = prepared("(lambda (p q r) (+$f (if p (sqrt$f q) (car r)) 3.0))")
+        annotate_representations(tree)
+        if_node = tree.body.args[0]
+        assert if_node.wantrep == SWFLO
+        assert if_node.then.isrep == SWFLO
+        assert if_node.else_.isrep == POINTER
+        assert if_node.isrep == SWFLO
+
+    def test_if_arms_agree(self):
+        tree = prepared("(lambda (p) (+$f (if p 1.0 2.0) 3.0))")
+        annotate_representations(tree)
+        if_node = tree.body.args[0]
+        assert if_node.isrep == SWFLO
+
+    def test_let_variable_elected_raw(self):
+        """A let-bound float used only in float contexts is kept raw."""
+        tree = prepared(
+            "(lambda (a b) ((lambda (d) (+$f d d)) (*$f a b)))")
+        annotate_representations(tree)
+        d = tree.body.fn.required[0]
+        assert d.rep == SWFLO
+
+    def test_parameter_is_pointer_by_convention(self):
+        """True procedure parameters arrive as pointers (uniform interface)."""
+        tree = prepared("(lambda (a b) (+$f a b))")
+        annotate_representations(tree)
+        assert tree.required[0].rep == POINTER
+
+    def test_mixed_use_variable_falls_back_to_pointer(self):
+        tree = prepared(
+            "(lambda (a) ((lambda (d) (progn (frotz d) (+$f d 1.0))) (*$f a 2.0)))")
+        annotate_representations(tree)
+        d = tree.body.fn.required[0]
+        assert d.rep == POINTER
+
+    def test_declared_type_wins(self):
+        tree = prepared("(lambda (x) (declare (single-float x)) (+$f x 1.0))")
+        annotate_representations(tree)
+        assert tree.required[0].rep == SWFLO
+
+    def test_coercion_sites_found(self):
+        # (car r) delivers POINTER where SWFLO is wanted: one coercion.
+        tree = prepared("(lambda (r) (+$f (car r) 1.0))")
+        annotate_representations(tree)
+        sites = coercion_sites(tree)
+        assert any(site.isrep == POINTER and site.wantrep == SWFLO
+                   for site in sites)
+
+    def test_boxing_sites(self):
+        # A raw float returned from the function must be boxed.
+        tree = prepared("(lambda (x y) (+$f x y))")
+        annotate_representations(tree)
+        boxed = boxing_sites(tree)
+        assert tree.body in boxed
+
+    def test_disabled_everything_pointer(self):
+        tree = prepared("(lambda (x y) (+$f x y))")
+        annotate_representations(tree, enable=False)
+        assert tree.body.isrep == POINTER
+        assert all(n.isrep == POINTER for n in tree.walk())
+
+
+class TestPdlAnnotation:
+    def test_safe_primitive_authorizes_args(self):
+        tree = prepared("(lambda (x y) (+$f (*$f x y) 1.0))")
+        annotate_representations(tree)
+        annotate_pdl(tree)
+        inner = tree.body.args[0]
+        assert inner.pdlokp is tree.body  # the +$f call authorized it
+
+    def test_unsafe_primitive_does_not_authorize(self):
+        tree = prepared("(lambda (p y) (rplaca p y))")
+        annotate_representations(tree)
+        annotate_pdl(tree)
+        y_ref = tree.body.args[1]
+        assert y_ref.pdlokp is None
+
+    def test_if_passes_authorization_through(self):
+        """(atan (if p x y) 3.0): x's PDLOKP points to the atan node, not
+        the if node."""
+        tree = prepared("(lambda (p x y) (atan (if p x y) 3.0))")
+        annotate_representations(tree)
+        annotate_pdl(tree)
+        atan_call = tree.body
+        if_node = atan_call.args[0]
+        assert if_node.then.pdlokp is atan_call
+
+    def test_if_authorizes_own_predicate(self):
+        tree = prepared("(lambda (x) (if (zerop x) 1 2))")
+        annotate_representations(tree)
+        annotate_pdl(tree)
+        assert tree.body.test.pdlokp is tree.body
+
+    def test_returned_value_not_authorized(self):
+        """Returning a value from a procedure is not a 'safe' operation."""
+        tree = prepared("(lambda (x y) (+$f x y))")
+        annotate_representations(tree)
+        annotate_pdl(tree)
+        assert tree.body.pdlokp is None
+
+    def test_float_op_produces_pdlnump(self):
+        tree = prepared("(lambda (x y) (frotz (+$f x y)))")
+        annotate_representations(tree)
+        annotate_pdl(tree)
+        inner = tree.body.args[0]
+        assert inner.pdlnump
+
+    def test_car_never_pdlnump(self):
+        tree = prepared("(lambda (x) (frotz (car x)))")
+        annotate_representations(tree)
+        annotate_pdl(tree)
+        assert not tree.body.args[0].pdlnump
+
+    def test_pdl_site_at_call_boundary(self):
+        """A raw float passed (as pointer) to an unknown function: the
+        classic pdl-number site."""
+        tree = prepared("(lambda (x y) (progn (frotz (+$f x y)) nil))")
+        annotate_representations(tree)
+        annotate_pdl(tree)
+        inner = [n for n in tree.walk()
+                 if isinstance(n, CallNode)
+                 and getattr(n.fn, "name", None) is not None
+                 and n.fn.name.name == "+$f"][0]
+        assert wants_pdl_allocation(inner)
+
+    def test_returned_float_is_not_pdl_site(self):
+        tree = prepared("(lambda (x y) (+$f x y))")
+        annotate_representations(tree)
+        annotate_pdl(tree)
+        assert not wants_pdl_allocation(tree.body)
+
+    def test_testfn_has_pdl_sites(self):
+        tree = prepared("""
+            (lambda (a &optional (b 3.0) (c a))
+              ((lambda (d e)
+                 (progn (frotz d e (max$f d e))
+                        (sinc$f (*$f 0.159154942 e))))
+               (+$f (+$f c b) a)
+               (*$f (*$f c b) a)))
+        """)
+        annotate_representations(tree)
+        annotate_pdl(tree)
+        sites = pdl_sites(tree)
+        # d, e, and the max$f argument are pdl numbers in Table 4's code.
+        assert len(sites) >= 3
+
+    def test_disabled_no_sites(self):
+        tree = prepared("(lambda (x y) (progn (frotz (+$f x y)) nil))")
+        annotate_representations(tree)
+        annotate_pdl(tree, enable=False)
+        assert pdl_sites(tree) == []
+
+
+class TestSpecialLookupCaching:
+    def test_single_use_cached_at_use(self):
+        tree = prepared("(lambda (x) (+ x *dyn*))")
+        plans = annotate_special_lookups(tree)
+        plan = plans[tree]
+        assert len(plan.cache_points) == 1
+
+    def test_conditional_arm_avoids_lookup(self):
+        """The smallest subtree containing all refs sits inside the if arm:
+        taking the other arm performs no lookup."""
+        tree = prepared("(lambda (p) (if p (+ *dyn* *dyn*) 0))")
+        plans = annotate_special_lookups(tree)
+        from repro.datum import sym
+
+        point = plans[tree].cache_points[sym("*dyn*")]
+        if_node = tree.body
+        # Cache point is within the then-arm, not the whole body.
+        current = point
+        under_then = False
+        while current is not None:
+            if current is if_node.then:
+                under_then = True
+                break
+            current = current.parent
+        assert under_then
+
+    def test_uses_in_both_arms_cache_above(self):
+        tree = prepared("(lambda (p) (if p *dyn* (list *dyn*)))")
+        plans = annotate_special_lookups(tree)
+        from repro.datum import sym
+
+        point = plans[tree].cache_points[sym("*dyn*")]
+        assert point is tree.body
+
+    def test_loop_hoisting(self):
+        """A lookup inside a loop is hoisted out (the 'refined to take loops
+        into account' trick)."""
+        tree = prepared("""
+            (lambda (n)
+              (prog (i)
+                (setq i 0)
+                loop
+                (if (>= i n) (return nil))
+                (frotz *dyn*)
+                (setq i (1+ i))
+                (go loop)))
+        """)
+        plans = annotate_special_lookups(tree)
+        from repro.datum import sym
+        from repro.ir import ProgbodyNode
+
+        point = plans[tree].cache_points[sym("*dyn*")]
+        assert isinstance(point, ProgbodyNode)
+
+    def test_nested_lambda_has_own_plan(self):
+        tree = prepared("(lambda () (lambda () *dyn*))")
+        plans = annotate_special_lookups(tree)
+        inner = tree.body
+        assert plans[inner].cache_points
+        assert not plans[tree].cache_points
+
+    def test_disabled_no_cache_points(self):
+        tree = prepared("(lambda (x) (+ x *dyn*))")
+        plans = annotate_special_lookups(tree, enable=False)
+        assert plans[tree].cache_points == {}
+        assert plans[tree].used
+
+
+class TestAnnotateDriver:
+    def test_full_annotation_runs(self):
+        tree = prepared("""
+            (lambda (a &optional (b 3.0) (c a))
+              ((lambda (d e)
+                 (progn (frotz d e (max$f d e))
+                        (sinc$f (*$f 0.159154942 e))))
+               (+$f (+$f c b) a)
+               (*$f (*$f c b) a)))
+        """)
+        plans = annotate(tree, CompilerOptions())
+        assert plans is not None
+        for node in tree.walk():
+            assert node.wantrep is not None
+            assert node.isrep is not None
+
+
+class TestMidFrameRebinding:
+    """Regression: a cached lookup must not be hoisted above an inline
+    let's deep binding of the same symbol (found when global integration
+    inlined a special-binding function)."""
+
+    def test_inline_let_binding_disables_caching(self):
+        tree = prepared("""
+            (lambda ()
+              (progn
+                ((lambda (*x*) (declare (special *x*)) (frotz *x*)) 10)
+                *x*))
+        """)
+        plans = annotate_special_lookups(tree)
+        from repro.datum import sym
+
+        assert sym("*x*") not in plans[tree].cache_points
+
+    def test_frame_own_parameter_still_cached(self):
+        tree = prepared("""
+            (lambda (*x*)
+              (declare (special *x*))
+              (+ *x* *x*))
+        """)
+        plans = annotate_special_lookups(tree)
+        from repro.datum import sym
+
+        assert sym("*x*") in plans[tree].cache_points
+
+    def test_semantics_with_rebinding_let(self):
+        from repro import compile_and_run
+
+        source = """
+            (defvar *x* 1)
+            (defun probe () *x*)
+            (defun f ()
+              (+ ((lambda (*x*) (probe)) 10) (probe)))
+        """
+        result, _ = compile_and_run(source, "f", [])
+        assert result == 11

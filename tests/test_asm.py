@@ -1,0 +1,174 @@
+"""Tests for the assembler: listing -> CodeObject round trips."""
+
+import pytest
+
+from repro import Compiler, CompilerOptions
+from repro.datum import NIL, T, from_list, lisp_equal, sym, to_list
+from repro.errors import MachineError
+from repro.machine import Machine, Program
+from repro.machine.asm import parse_listing, parse_program
+
+
+def roundtrip_run(source, fn, args, options=None):
+    """Compile, render listings, re-assemble, run both, compare."""
+    compiler = Compiler(options)
+    names = compiler.compile_source(source)
+    direct = compiler.machine().run(sym(fn), list(args))
+
+    program = Program()
+    for name in names:
+        if name not in compiler.functions:
+            continue
+        listing = compiler.functions[name].listing()
+        code = parse_listing(listing)
+        assert code.name == str(name)
+        program.add(name, code)
+    reassembled = Machine(program).run(sym(fn), list(args))
+    return direct, reassembled
+
+
+class TestRoundTrip:
+    CASES = [
+        ("(defun f (x) (* x x))", "f", [7]),
+        ("(defun f (a b) (if (< a b) 'lt 'ge))", "f", [1, 2]),
+        ("(defun f (x) (declare (single-float x)) (+$f (*$f x x) 1.0))",
+         "f", [2.0]),
+        ("""(defun f (n)
+              (let ((s 0)) (dotimes (i n s) (setq s (+ s i)))))""",
+         "f", [10]),
+        ("(defun f (a &optional (b 3) (c a)) (list a b c))", "f", [1]),
+        ("""(defun g (k) (lambda (x) (+ x k)))
+            (defun f (v) (funcall (g 10) v))""", "f", [5]),
+        ("""(defun f (x) (caseq x ((1) 'one) (t 'other)))""", "f", [1]),
+        ("""(defvar *s* 5)
+            (defun f () *s*)""", "f", []),
+        ("""(defun inner () (throw 'tag 42))
+            (defun f () (catch 'tag (inner)))""", "f", []),
+    ]
+
+    @pytest.mark.parametrize("source,fn,args", CASES)
+    def test_reassembled_code_behaves_identically(self, source, fn, args):
+        compiler = Compiler()
+        names = compiler.compile_source(source)
+        machine = compiler.machine()
+        for name, value in compiler.global_values.items():
+            pass
+        direct = machine.run(sym(fn), list(args))
+
+        program = Program()
+        for name in names:
+            if name not in compiler.functions:
+                continue  # defvar names define globals, not code
+            program.add(name, parse_listing(
+                compiler.functions[name].listing()))
+        machine2 = Machine(program)
+        for name, value in compiler.global_values.items():
+            machine2.define_global(name, value)
+        reassembled = machine2.run(sym(fn), list(args))
+        assert lisp_equal(direct, reassembled)
+
+    def test_instruction_streams_identical(self):
+        compiler = Compiler()
+        compiler.compile_source("(defun f (x) (if (zerop x) 1 (* x 2)))")
+        code = compiler.functions[sym("f")].code
+        parsed = parse_listing(code.listing())
+        assert len(parsed.instructions) == len(code.instructions)
+        for ours, theirs in zip(code.instructions, parsed.instructions):
+            assert ours.opcode == theirs.opcode
+            assert ours.operands == theirs.operands
+        assert parsed.labels == code.labels
+        assert parsed.n_temps == code.n_temps
+
+    def test_with_peephole(self):
+        direct, reassembled = roundtrip_run(
+            "(defun f (a b c) (if (and a (or b c)) 1 2))", "f",
+            [T, NIL, T], CompilerOptions(enable_peephole=True))
+        assert direct == reassembled == 1
+
+
+class TestHandWrittenAssembly:
+    def test_minimal_function(self):
+        code = parse_listing("""
+            ;;; double  (temps: 0)
+                    (ALLOCTEMPS (? 0))
+                    (ADD R0 (FP 0) (FP 0))
+                    (RET R0)
+        """)
+        program = Program()
+        program.add(sym("double"), code)
+        assert Machine(program).run(sym("double"), [21]) == 42
+
+    def test_labels_and_branches(self):
+        code = parse_listing("""
+            ;;; sign  (temps: 0)
+                    (ALLOCTEMPS (? 0))
+                    (CMPBR (? lt) (FP 0) (? 0) neg)
+                    (RET (? 1))
+            neg:
+                    (RET (? -1))
+        """)
+        program = Program()
+        program.add(sym("sign"), code)
+        machine = Machine(program)
+        assert machine.run(sym("sign"), [5]) == 1
+        assert Machine(program).run(sym("sign"), [-5]) == -1
+
+    def test_generic_and_name_operands(self):
+        code = parse_listing("""
+            ;;; len  (temps: 0)
+                    (ALLOCTEMPS (? 0))
+                    (GENERIC 'length R0 (FP 0))
+                    (RET R0)
+        """)
+        program = Program()
+        program.add(sym("len"), code)
+        result = Machine(program).run(sym("len"), [from_list([1, 2, 3])])
+        assert result == 3
+
+    def test_float_immediates(self):
+        code = parse_listing("""
+            ;;; k  (temps: 0)
+                    (ALLOCTEMPS (? 0))
+                    (FADD R0 (? 1.5) (? 2.25))
+                    (BOXF R0 R0)
+                    (RET R0)
+        """)
+        program = Program()
+        program.add(sym("k"), code)
+        assert Machine(program).run(sym("k"), []) == 3.75
+
+    def test_comments_ignored(self):
+        code = parse_listing("""
+            ;;; c  (temps: 0)
+            ; a full-line comment
+                    (ALLOCTEMPS (? 0))     ; trailing comment
+                    (RET (? 9))
+        """)
+        program = Program()
+        program.add(sym("c"), code)
+        assert Machine(program).run(sym("c"), []) == 9
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(MachineError):
+            parse_listing(";;; f  (temps: 0)\n        (WARP R0)")
+
+    def test_bad_operand_rejected(self):
+        with pytest.raises(MachineError):
+            parse_listing(";;; f  (temps: 0)\n        (MOV (XX 1) R0)")
+
+
+class TestParseProgram:
+    def test_multiple_functions(self):
+        compiler = Compiler()
+        compiler.compile_source("""
+            (defun a (x) (+ x 1))
+            (defun b (x) (a (a x)))
+        """)
+        combined = "\n".join(compiler.functions[n].listing()
+                             for n in compiler.functions)
+        functions = parse_program(combined)
+        assert set(functions) == {sym("a"), sym("b")}
+        program = Program()
+        for name, code in functions.items():
+            program.add(name, code)
+        assert Machine(program).run(sym("b"), [10]) == 12

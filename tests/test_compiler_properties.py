@@ -1,0 +1,151 @@
+"""Property-based differential testing of the full compiler pipeline.
+
+Random expression trees (same generator family as the optimizer property
+tests) are compiled and executed on the simulated machine, and the result
+must refine the interpreter's: identical values, or an error the compiler
+legitimately removed via dead-code elimination.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Compiler, CompilerOptions, Interpreter, naive_options
+from repro.datum import NIL, T, from_list, lisp_equal, sym
+from repro.errors import ReproError
+from repro.ir import Converter
+
+VARS = [sym("a"), sym("b"), sym("c")]
+
+
+def _leaf():
+    return st.one_of(
+        st.integers(min_value=-20, max_value=20),
+        st.sampled_from(VARS),
+        st.sampled_from([NIL, T]),
+    )
+
+
+def _combine(children):
+    unary = st.sampled_from(["1+", "1-", "zerop", "not", "abs"])
+    binary = st.sampled_from(["+", "-", "*", "max", "min", "<", "=", "cons",
+                              "eql"])
+
+    def mk_unary(op, x):
+        return from_list([sym(op), x])
+
+    def mk_binary(op, x, y):
+        return from_list([sym(op), x, y])
+
+    def mk_if(p, x, y):
+        return from_list([sym("if"), p, x, y])
+
+    def mk_let(value, body):
+        return from_list([
+            from_list([sym("lambda"), from_list([sym("b")]), body]), value])
+
+    def mk_progn(x, y):
+        return from_list([sym("progn"), x, y])
+
+    def mk_setq_let(value, update, body):
+        # (let ((c value)) (setq c update) body) exercises assignment.
+        return from_list([
+            from_list([sym("lambda"), from_list([sym("c")]),
+                       from_list([sym("setq"), sym("c"), update]), body]),
+            value])
+
+    return st.one_of(
+        st.builds(mk_unary, unary, children),
+        st.builds(mk_binary, binary, children, children),
+        st.builds(mk_if, children, children, children),
+        st.builds(mk_let, children, children),
+        st.builds(mk_progn, children, children),
+        st.builds(mk_setq_let, children, children, children),
+    )
+
+
+expressions = st.recursive(_leaf(), _combine, max_leaves=16)
+
+
+def interpret(form, inputs):
+    from repro.interp import LispClosure
+    from repro.interp.environment import LexicalEnvironment
+
+    converter = Converter()
+    wrapped = from_list([sym("lambda"), from_list(VARS), form])
+    tree = converter.convert(wrapped)
+    interp = Interpreter()
+    closure = LispClosure(tree, LexicalEnvironment())
+    try:
+        return ("ok", interp.apply_function(closure, inputs))
+    except ReproError as err:
+        return ("error", type(err).__name__)
+
+
+def compile_run(form, inputs, options):
+    from repro.reader import write_to_string
+
+    source = f"(defun fuzz (a b c) {write_to_string(form)})"
+    compiler = Compiler(options)
+    try:
+        compiler.compile_source(source)
+        return ("ok", compiler.run("fuzz", inputs))
+    except ReproError as err:
+        return ("error", type(err).__name__)
+
+
+def refines(reference, outcome):
+    if reference[0] == "error":
+        return True  # compiler may remove errors via dead-code elimination
+    if outcome[0] == "error":
+        return False
+    return lisp_equal(reference[1], outcome[1])
+
+
+@settings(max_examples=100, deadline=None)
+@given(form=expressions,
+       a=st.integers(min_value=-10, max_value=10),
+       b=st.integers(min_value=-10, max_value=10),
+       c=st.integers(min_value=-10, max_value=10))
+def test_optimizing_compiler_refines_interpreter(form, a, b, c):
+    reference = interpret(form, [a, b, c])
+    outcome = compile_run(form, [a, b, c], None)
+    assert refines(reference, outcome), (
+        f"interpreter={reference} compiled={outcome}")
+
+
+@settings(max_examples=60, deadline=None)
+@given(form=expressions,
+       a=st.integers(min_value=-10, max_value=10),
+       b=st.integers(min_value=-10, max_value=10),
+       c=st.integers(min_value=-10, max_value=10))
+def test_naive_compiler_refines_interpreter(form, a, b, c):
+    reference = interpret(form, [a, b, c])
+    outcome = compile_run(form, [a, b, c], naive_options())
+    assert refines(reference, outcome), (
+        f"interpreter={reference} naive-compiled={outcome}")
+
+
+@settings(max_examples=50, deadline=None)
+@given(form=expressions,
+       a=st.integers(min_value=-10, max_value=10),
+       b=st.integers(min_value=-10, max_value=10),
+       c=st.integers(min_value=-10, max_value=10))
+def test_cse_compiler_refines_interpreter(form, a, b, c):
+    reference = interpret(form, [a, b, c])
+    options = CompilerOptions(enable_cse=True)
+    outcome = compile_run(form, [a, b, c], options)
+    assert refines(reference, outcome), (
+        f"interpreter={reference} cse-compiled={outcome}")
+
+
+@settings(max_examples=50, deadline=None)
+@given(form=expressions,
+       a=st.integers(min_value=-10, max_value=10),
+       b=st.integers(min_value=-10, max_value=10),
+       c=st.integers(min_value=-10, max_value=10))
+def test_optimized_and_naive_agree(form, a, b, c):
+    """Optimized and naive code must agree wherever both succeed."""
+    optimized = compile_run(form, [a, b, c], None)
+    naive = compile_run(form, [a, b, c], naive_options())
+    if optimized[0] == "ok" and naive[0] == "ok":
+        assert lisp_equal(optimized[1], naive[1])

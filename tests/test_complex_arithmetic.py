@@ -1,0 +1,107 @@
+"""Tests for the complex-number path: the dialect's "rich set of numerical
+data types" includes complexes, Table 3 lists complex representations, and
+the S-1 has "single instructions for complex arithmetic" (Section 3)."""
+
+import pytest
+
+from repro import Compiler, CompilerOptions, Interpreter, compile_and_run, evaluate
+from repro.datum import sym
+
+
+class TestTypedComplexPrimitives:
+    def test_add(self):
+        assert evaluate("(+$c (complex 1.0 2.0) (complex 3.0 -1.0))") == \
+            complex(4, 1)
+
+    def test_mul(self):
+        assert evaluate("(*$c (complex 0.0 1.0) (complex 0.0 1.0))") == \
+            complex(-1, 0)
+
+    def test_div(self):
+        assert evaluate("(/$c (complex 1.0 0.0) (complex 0.0 1.0))") == \
+            complex(0, -1)
+
+    def test_div_by_zero(self):
+        from repro.errors import LispError
+
+        with pytest.raises(LispError):
+            evaluate("(/$c (complex 1.0 0.0) (complex 0.0 0.0))")
+
+    def test_unary_minus(self):
+        assert evaluate("(-$c (complex 1.0 2.0))") == complex(-1, -2)
+
+    def test_abs_is_magnitude(self):
+        assert evaluate("(abs$c (complex 3.0 4.0))") == 5.0
+
+    def test_parts(self):
+        assert evaluate("(realpart (complex 2.5 1.0))") == 2.5
+        assert evaluate("(imagpart (complex 2.5 1.0))") == 1.0
+
+    def test_reals_coerce(self):
+        assert evaluate("(+$c 1.0 (complex 0.0 1.0))") == complex(1, 1)
+
+    def test_reader_literal(self):
+        assert evaluate("(*$c #c(0.0 1.0) #c(0.0 1.0))") == complex(-1, 0)
+
+
+class TestCompiledComplex:
+    def test_mandelbrot_step(self):
+        """z <- z^2 + c in complex form, compiled."""
+        source = """
+            (defun step-z (z c) (+$c (*$c z z) c))
+            (defun iterate (c limit)
+              (let ((z (complex 0.0 0.0)) (count 0))
+                (prog ()
+                  loop
+                  (if (>= count limit) (return count))
+                  (if (>$f (abs$c z) 2.0) (return count))
+                  (setq z (step-z z c))
+                  (setq count (1+ count))
+                  (go loop))))
+        """
+        result, machine = compile_and_run(source, "iterate",
+                                          [complex(-0.1, 0.65), 50])
+        # Host reference.
+        z, count = 0j, 0
+        while count < 50 and abs(z) <= 2.0:
+            z = z * z + complex(-0.1, 0.65)
+            count += 1
+        assert result == count
+
+    def test_complex_ops_inlined(self):
+        compiler = Compiler()
+        compiler.compile_source("(defun f (z w) (+$c (*$c z z) w))")
+        opcodes = [i.opcode for i in
+                   compiler.functions[sym("f")].code.instructions]
+        assert "FMULT" in opcodes and "FADD" in opcodes
+        assert "GENERIC" not in opcodes
+
+    def test_interpreter_compiler_agree(self):
+        source = "(defun f (z) (/$c (+$c z 1.0) (-$c z 1.0)))"
+        interp = Interpreter()
+        interp.eval_source(source)
+        z = complex(2.0, 3.0)
+        expected = interp.apply_function(
+            interp.global_functions[sym("f")], [z])
+        got, _ = compile_and_run(source, "f", [z])
+        assert got == expected == (z + 1) / (z - 1)
+
+    def test_complex_boxed_when_returned(self):
+        result, machine = compile_and_run(
+            "(defun f (z) (*$c z z))", "f", [complex(1, 1)])
+        assert result == complex(0, 2)
+        # Argument box + result box.
+        assert machine.heap.allocations["number-box"] >= 2
+
+    def test_abs_feeds_float_compare(self):
+        """SWCPLX -> SWFLO -> BIT chain through raw instructions."""
+        source = "(defun big? (z) (>$f (abs$c z) 2.0))"
+        from repro.datum import NIL, T
+
+        assert compile_and_run(source, "big?", [complex(3, 0)])[0] is T
+        assert compile_and_run(source, "big?", [complex(1, 1)])[0] is NIL
+
+    def test_constant_folding(self):
+        compiler = Compiler()
+        compiler.compile_source("(defun k () (abs$c (complex 3.0 4.0)))")
+        assert "5.0" in compiler.functions[sym("k")].optimized_source

@@ -1,0 +1,87 @@
+"""Unit tests for the common-subexpression-elimination phase (Section 4.3).
+
+The paper designed (but did not implement) this as a separate, optional
+phase whose output is expressible as a source-level let.
+"""
+
+from repro.datum import sym
+from repro.ir import back_translate_to_string, convert_source
+from repro.options import CompilerOptions
+from repro.optimizer import Transcript, eliminate_common_subexpressions
+
+
+def cse(text, **overrides):
+    options = CompilerOptions(enable_cse=True, **overrides)
+    transcript = Transcript()
+    result = eliminate_common_subexpressions(
+        convert_source(text), options, transcript)
+    return back_translate_to_string(result), transcript
+
+
+class TestCse:
+    def test_repeated_expression_hoisted(self):
+        text, transcript = cse("(lambda (x) (+ (* x x) (* x x)))")
+        assert "META-COMMON-SUBEXPRESSION" in transcript.rules_fired()
+        # Only one (* x x) remains, bound to an introduced variable.
+        assert text.count("(* x x)") == 1
+
+    def test_result_is_a_let(self):
+        text, _ = cse("(lambda (x) (+ (* x x) (* x x)))")
+        # Expressed as a lambda-binding (source-level let), per the paper.
+        assert "(lambda (" in text
+
+    def test_impure_not_hoisted(self):
+        text, transcript = cse("(progn (frotz 1) (frotz 1))")
+        assert transcript.rules_fired() == []
+        assert text.count("(frotz 1)") == 2
+
+    def test_allocation_not_hoisted(self):
+        # (cons 1 2) twice must remain two allocations (eq-distinct objects).
+        text, transcript = cse("(lambda () (list (cons 1 2) (cons 1 2)))")
+        assert text.count("(cons 1 2)") == 2
+
+    def test_trivial_not_hoisted(self):
+        text, transcript = cse("(lambda (x) (+ x x))")
+        assert transcript.rules_fired() == []
+
+    def test_different_expressions_not_merged(self):
+        text, transcript = cse("(lambda (x y) (+ (* x x) (* y y)))")
+        assert transcript.rules_fired() == []
+
+    def test_conditional_arms_not_merged_across(self):
+        # Hoisting above the if would evaluate eagerly on the wrong path.
+        text, transcript = cse(
+            "(lambda (p x) (if p (* x x) (* x x)))")
+        assert transcript.rules_fired() == []
+
+    def test_test_plus_arm_is_hoistable(self):
+        # The occurrence in the test always evaluates; hoisting is safe.
+        text, transcript = cse(
+            "(lambda (x) (if (zerop (* x x)) (* x x) 0))")
+        assert "META-COMMON-SUBEXPRESSION" in transcript.rules_fired()
+
+    def test_three_occurrences(self):
+        text, _ = cse("(lambda (x) (+ (* x x) (* x x) (* x x)))")
+        assert text.count("(* x x)") == 1
+
+    def test_nested_repeats_hoist_outermost(self):
+        text, _ = cse(
+            "(lambda (x) (+ (sqrt (* x x)) (sqrt (* x x))))")
+        assert text.count("(sqrt") == 1
+
+    def test_min_complexity_respected(self):
+        text, transcript = cse("(lambda (x) (+ (1+ x) (1+ x)))",
+                               cse_min_complexity=50)
+        assert transcript.rules_fired() == []
+
+    def test_semantics_preserved_simple(self):
+        from repro.interp import Interpreter, LispClosure
+        from repro.interp.environment import LexicalEnvironment
+        from repro.ir import convert_source as conv
+
+        tree = eliminate_common_subexpressions(
+            conv("(lambda (x) (+ (* x x) (* x x)))"),
+            CompilerOptions(enable_cse=True))
+        interp = Interpreter()
+        closure = LispClosure(tree, LexicalEnvironment())
+        assert interp.apply_function(closure, [5]) == 50

@@ -1,0 +1,174 @@
+"""Unit tests for the Lisp data model (symbols, conses, numbers)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.datum import (
+    NIL,
+    T,
+    Cons,
+    cadr,
+    car,
+    cdr,
+    cons,
+    from_list,
+    gensym,
+    generic_add,
+    generic_div,
+    generic_mul,
+    generic_sub,
+    is_number,
+    is_proper_list,
+    lisp_eq,
+    lisp_eql,
+    lisp_equal,
+    list_length,
+    nreverse,
+    sym,
+    to_list,
+)
+
+
+class TestSymbols:
+    def test_interning_gives_identity(self):
+        assert sym("foo") is sym("foo")
+
+    def test_distinct_names_distinct_symbols(self):
+        assert sym("foo") is not sym("bar")
+
+    def test_nil_and_t_are_interned(self):
+        assert sym("nil") is NIL
+        assert sym("t") is T
+
+    def test_gensym_is_uninterned(self):
+        g = gensym("f")
+        assert not g.interned
+        assert g is not sym(g.name)
+
+    def test_gensyms_are_unique(self):
+        assert gensym() is not gensym()
+
+    def test_symbol_repr(self):
+        assert repr(sym("hello")) == "hello"
+        assert repr(gensym("q")).startswith("#:q")
+
+    def test_case_sensitive_interning_lowercased_by_reader_only(self):
+        # intern_symbol itself is case sensitive; the reader lowercases.
+        assert sym("Foo") is not sym("foo")
+
+
+class TestCons:
+    def test_from_list_and_back(self):
+        data = from_list([1, 2, 3])
+        assert to_list(data) == [1, 2, 3]
+
+    def test_empty_list_is_nil(self):
+        assert from_list([]) is NIL
+        assert to_list(NIL) == []
+
+    def test_dotted_tail(self):
+        pair = from_list([1], tail=2)
+        assert pair.car == 1
+        assert pair.cdr == 2
+        assert not is_proper_list(pair)
+
+    def test_proper_list_detection(self):
+        assert is_proper_list(from_list([1, 2]))
+        assert is_proper_list(NIL)
+        assert not is_proper_list(cons(1, 2))
+
+    def test_circular_list_is_not_proper(self):
+        node = cons(1, NIL)
+        node.cdr = node
+        assert not is_proper_list(node)
+
+    def test_car_cdr_of_nil(self):
+        assert car(NIL) is NIL
+        assert cdr(NIL) is NIL
+
+    def test_car_of_non_list_raises(self):
+        with pytest.raises(TypeError):
+            car(42)
+
+    def test_cadr(self):
+        assert cadr(from_list([1, 2, 3])) == 2
+
+    def test_list_length(self):
+        assert list_length(from_list(list(range(5)))) == 5
+
+    def test_nreverse(self):
+        data = from_list([1, 2, 3])
+        assert to_list(nreverse(data)) == [3, 2, 1]
+
+    def test_nreverse_nil(self):
+        assert nreverse(NIL) is NIL
+
+    def test_iteration_over_improper_list_raises(self):
+        with pytest.raises(ValueError):
+            list(cons(1, 2))
+
+    def test_cons_mutability(self):
+        cell = cons(1, NIL)
+        cell.car = 99
+        assert cell.car == 99
+
+
+class TestEquality:
+    def test_eq_is_identity(self):
+        a = cons(1, NIL)
+        assert lisp_eq(a, a)
+        assert not lisp_eq(a, cons(1, NIL))
+
+    def test_eql_on_numbers_compares_value_and_type(self):
+        assert lisp_eql(3, 3)
+        assert not lisp_eql(3, 3.0)
+        assert not lisp_eql(3.0, complex(3.0, 0.0))
+        assert lisp_eql(Fraction(1, 2), Fraction(1, 2))
+        assert not lisp_eql(Fraction(1, 2), 0.5)
+
+    def test_eql_on_symbols(self):
+        assert lisp_eql(sym("x"), sym("x"))
+        assert not lisp_eql(sym("x"), sym("y"))
+
+    def test_equal_is_structural(self):
+        assert lisp_equal(from_list([1, from_list([2, 3])]),
+                          from_list([1, from_list([2, 3])]))
+        assert not lisp_equal(from_list([1, 2]), from_list([1, 3]))
+
+    def test_equal_on_strings(self):
+        assert lisp_equal("abc", "ab" + "c")
+
+    def test_equal_numbers_require_same_type(self):
+        assert not lisp_equal(1, 1.0)
+
+
+class TestGenericArithmetic:
+    def test_integer_addition_stays_exact(self):
+        assert generic_add(2**100, 1) == 2**100 + 1
+
+    def test_rational_contagion(self):
+        assert generic_add(Fraction(1, 2), Fraction(1, 2)) == 1
+        assert isinstance(generic_add(Fraction(1, 2), Fraction(1, 2)), int)
+
+    def test_float_contagion(self):
+        assert generic_mul(Fraction(1, 2), 2.0) == 1.0
+        assert isinstance(generic_mul(Fraction(1, 2), 2.0), float)
+
+    def test_complex_contagion(self):
+        result = generic_add(1, complex(0, 1))
+        assert result == complex(1, 1)
+
+    def test_exact_division(self):
+        assert generic_div(1, 3) == Fraction(1, 3)
+        assert generic_div(6, 3) == 2
+        assert isinstance(generic_div(6, 3), int)
+
+    def test_subtraction(self):
+        assert generic_sub(5, 7) == -2
+
+    def test_is_number_excludes_bool(self):
+        assert is_number(3)
+        assert is_number(3.5)
+        assert not is_number(True)
+        assert not is_number(sym("x"))

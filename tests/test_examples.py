@@ -1,0 +1,54 @@
+"""Smoke tests: every example script must run to completion.
+
+Each example's main() performs its own internal assertions (root checks,
+parallel-total checks, derivative identities), so "runs without raising"
+carries real verification weight.
+"""
+
+import importlib.util
+import io
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(name):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name):
+    module = load_example(name)
+    assert hasattr(module, "main"), f"{name}.py must define main()"
+    captured = io.StringIO()
+    with redirect_stdout(captured):
+        module.main()
+    assert captured.getvalue().strip(), f"{name}.py produced no output"
+
+
+def test_example_inventory():
+    """The deliverable floor: a quickstart plus domain scenarios."""
+    assert "quickstart" in EXAMPLES
+    assert len(EXAMPLES) >= 3
+
+
+class TestQuickstartOutput:
+    def test_shows_the_story(self):
+        module = load_example("quickstart")
+        captured = io.StringIO()
+        with redirect_stdout(captured):
+            module.main()
+        text = captured.getvalue()
+        assert "Optimized source" in text
+        assert "TAILCALL" in text
+        assert "1267650600228229401496703205376" in text  # 2^100
+        assert "Phase structure" in text

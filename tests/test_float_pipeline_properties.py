@@ -1,0 +1,142 @@
+"""Property-based differential testing of the *numeric* pipeline: random
+typed-float programs through representation analysis, pdl numbers, and
+TNBIND, compared against the interpreter.
+
+This fuzzes exactly the machinery the paper contributes (Section 6); the
+strict simulator turns any representation or lifetime bug into a trap, and
+the interpreter comparison catches silent numeric divergence.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Compiler, CompilerOptions, Interpreter, naive_options
+from repro.datum import from_list, sym
+from repro.errors import ReproError
+from repro.ir import Converter
+from repro.reader import write_to_string
+
+FLOAT_VARS = [sym("a"), sym("b"), sym("c")]
+
+
+def _leaf():
+    return st.one_of(
+        st.floats(min_value=-8, max_value=8, allow_nan=False,
+                  allow_infinity=False).map(lambda f: round(f, 3)),
+        st.sampled_from(FLOAT_VARS),
+    )
+
+
+def _combine(children):
+    binary = st.sampled_from(["+$f", "-$f", "*$f", "max$f", "min$f"])
+    unary = st.sampled_from(["abs$f", "-$f"])
+    compare = st.sampled_from(["<$f", ">$f", "=$f"])
+
+    def mk_binary(op, x, y):
+        return from_list([sym(op), x, y])
+
+    def mk_unary(op, x):
+        return from_list([sym(op), x])
+
+    def mk_if(op, p, q, x, y):
+        return from_list([sym("if"), from_list([sym(op), p, q]), x, y])
+
+    def mk_let(value, body):
+        return from_list([
+            from_list([sym("lambda"), from_list([sym("b")]), body]), value])
+
+    def mk_nary(op, x, y, z):
+        return from_list([sym(op), x, y, z])
+
+    def mk_call_boundary(x):
+        # Pass a boxed float through an opaque user function: the classic
+        # pdl-number situation.
+        return from_list([sym("opaque"), x])
+
+    return st.one_of(
+        st.builds(mk_binary, binary, children, children),
+        st.builds(mk_unary, unary, children),
+        st.builds(mk_if, compare, children, children, children, children),
+        st.builds(mk_let, children, children),
+        st.builds(mk_nary, st.sampled_from(["+$f", "*$f"]),
+                  children, children, children),
+        st.builds(mk_call_boundary, children),
+    )
+
+
+float_expressions = st.recursive(_leaf(), _combine, max_leaves=14)
+
+PRELUDE = "(defun opaque (x) x)\n"
+
+
+def interpret(form, inputs):
+    from repro.interp import LispClosure
+    from repro.interp.environment import LexicalEnvironment
+
+    interp = Interpreter()
+    interp.eval_source(PRELUDE)
+    converter = interp.converter
+    wrapped = from_list([sym("lambda"), from_list(FLOAT_VARS), form])
+    tree = converter.convert(wrapped)
+    closure = LispClosure(tree, LexicalEnvironment())
+    try:
+        return ("ok", interp.apply_function(closure, inputs))
+    except ReproError as err:
+        return ("error", type(err).__name__)
+
+
+def compile_run(form, inputs, options):
+    source = PRELUDE + (
+        f"(defun fuzz (a b c)"
+        f" (declare (single-float a) (single-float b) (single-float c))"
+        f" {write_to_string(form)})")
+    compiler = Compiler(options)
+    try:
+        compiler.compile_source(source)
+        return ("ok", compiler.run("fuzz", inputs))
+    except ReproError as err:
+        return ("error", type(err).__name__)
+
+
+def refines(reference, outcome):
+    if reference[0] == "error":
+        return True
+    if outcome[0] == "error":
+        return False
+    a, b = reference[1], outcome[1]
+    if isinstance(a, float) and isinstance(b, float):
+        return a == pytest.approx(b, rel=1e-9, abs=1e-12)
+    return a is b or a == b
+
+
+FLOATS = st.floats(min_value=-4, max_value=4, allow_nan=False,
+                   allow_infinity=False).map(lambda f: round(f, 3))
+
+
+@settings(max_examples=80, deadline=None)
+@given(form=float_expressions, a=FLOATS, b=FLOATS, c=FLOATS)
+def test_float_pipeline_refines_interpreter(form, a, b, c):
+    reference = interpret(form, [a, b, c])
+    outcome = compile_run(form, [a, b, c], None)
+    assert refines(reference, outcome), (
+        f"interpreter={reference} compiled={outcome}")
+
+
+@settings(max_examples=40, deadline=None)
+@given(form=float_expressions, a=FLOATS, b=FLOATS, c=FLOATS)
+def test_float_pipeline_no_pdl_agrees(form, a, b, c):
+    """Pdl allocation is transparent: turning it off never changes values."""
+    with_pdl = compile_run(form, [a, b, c], None)
+    without = compile_run(form, [a, b, c],
+                          CompilerOptions(enable_pdl_numbers=False))
+    if with_pdl[0] == "ok" and without[0] == "ok":
+        assert refines(with_pdl, without)
+
+
+@settings(max_examples=40, deadline=None)
+@given(form=float_expressions, a=FLOATS, b=FLOATS, c=FLOATS)
+def test_float_pipeline_naive_agrees(form, a, b, c):
+    optimized = compile_run(form, [a, b, c], None)
+    naive = compile_run(form, [a, b, c], naive_options())
+    if optimized[0] == "ok" and naive[0] == "ok":
+        assert refines(optimized, naive)

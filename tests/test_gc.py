@@ -1,0 +1,121 @@
+"""Tests for the garbage collector and automatic collection triggering."""
+
+import pytest
+
+from repro import Compiler
+from repro.datum import sym, to_list
+from repro.machine import Machine
+
+CHURN = """
+    (defun churn (n)
+      ;; Allocates a fresh 3-element list per iteration, keeps none.
+      (dotimes (i n 'done)
+        (list i (* i i) (+ i 1))))
+"""
+
+KEEPER = """
+    (defun keeper (n)
+      ;; Builds and returns an n-element list: all of it must survive GC.
+      (let ((acc nil))
+        (dotimes (i n acc)
+          (setq acc (cons i acc)))))
+"""
+
+
+def machine_for(source, gc_threshold=None):
+    compiler = Compiler()
+    compiler.compile_source(source)
+    machine = Machine(compiler.program, gc_threshold=gc_threshold)
+    return machine
+
+
+class TestAutomaticCollection:
+    def test_churn_stays_bounded(self):
+        machine = machine_for(CHURN, gc_threshold=100)
+        machine.run(sym("churn"), [500])
+        assert machine.heap.gc_runs >= 1
+        assert machine.heap.gc_collected > 500
+        # Live set stays near the threshold, not near total allocations.
+        assert machine.heap.live_count() < 300
+        assert machine.heap.total_allocations() >= 1500
+
+    def test_no_threshold_never_collects(self):
+        machine = machine_for(CHURN)
+        machine.run(sym("churn"), [100])
+        assert machine.heap.gc_runs == 0
+        assert machine.heap.live_count() >= 300
+
+    def test_live_data_survives_collection(self):
+        machine = machine_for(KEEPER, gc_threshold=50)
+        result = machine.run(sym("keeper"), [200])
+        assert machine.heap.gc_runs >= 1
+        assert to_list(result) == list(range(199, -1, -1))
+
+    def test_closure_environments_survive(self):
+        source = """
+            (defun make-adder (n) (lambda (x) (+ x n)))
+            (defun stress (k)
+              (let ((adder (make-adder 100)))
+                (dotimes (i k 'ok) (list i i i))   ; garbage pressure
+                (funcall adder k)))
+        """
+        machine = machine_for(source, gc_threshold=40)
+        assert machine.run(sym("stress"), [200]) == 300
+        assert machine.heap.gc_runs >= 1
+
+    def test_special_bindings_survive(self):
+        source = """
+            (defvar *kept* nil)
+            (defun stress (k)
+              (setq *kept* (list 'a 'b 'c))
+              (dotimes (i k 'ok) (list i i i))
+              (car *kept*))
+        """
+        compiler = Compiler()
+        compiler.compile_source(source)
+        machine = Machine(compiler.program, gc_threshold=40)
+        for name, value in compiler.global_values.items():
+            machine.define_global(name, value)
+        assert machine.run(sym("stress"), [200]) is sym("a")
+        assert machine.heap.gc_runs >= 1
+
+    def test_boxed_numbers_collected(self):
+        source = """
+            (defun float-churn (n)
+              ;; Generic float arithmetic boxes every intermediate.
+              (let ((acc 0.0))
+                (dotimes (i n 'done)
+                  (setq acc (* 1.0 (+ acc 1.0))))))
+        """
+        from repro import CompilerOptions
+
+        compiler = Compiler(CompilerOptions(
+            enable_representation_analysis=False))
+        compiler.compile_source(source)
+        machine = Machine(compiler.program, gc_threshold=60)
+        machine.run(sym("float-churn"), [300])
+        assert machine.heap.gc_runs >= 1
+        assert machine.heap.live_count() < 200
+
+
+class TestCollectorMechanics:
+    def test_gc_roots_include_registers_and_stack(self):
+        machine = machine_for(CHURN)
+        machine.run(sym("churn"), [3])
+        roots = machine.gc_roots()
+        assert len(roots) >= 32  # at least the register file
+
+    def test_explicit_collect(self):
+        machine = machine_for(CHURN)
+        machine.run(sym("churn"), [50])
+        before = machine.heap.live_count()
+        collected = machine.collect_garbage()
+        assert collected > 0
+        assert machine.heap.live_count() < before
+
+    def test_gc_statistics(self):
+        machine = machine_for(CHURN, gc_threshold=30)
+        machine.run(sym("churn"), [100])
+        stats = machine.stats()
+        assert stats["total_heap_allocations"] >= 300
+        assert machine.heap.gc_runs >= 1

@@ -1,0 +1,403 @@
+"""Tests for preliminary conversion (source -> internal tree) and the
+Table 2 node set."""
+
+import pytest
+
+from repro.datum import NIL, T, sym, to_list
+from repro.errors import ConversionError
+from repro.ir import (
+    CallNode,
+    CaseqNode,
+    CatcherNode,
+    Converter,
+    FunctionRefNode,
+    GoNode,
+    IfNode,
+    LambdaNode,
+    LiteralNode,
+    PrognNode,
+    ProgbodyNode,
+    ReturnNode,
+    SetqNode,
+    VarRefNode,
+    convert_source,
+)
+from repro.reader import read
+
+
+def conv(text):
+    return convert_source(text)
+
+
+class TestBasicConstructs:
+    def test_number_literal(self):
+        node = conv("42")
+        assert isinstance(node, LiteralNode)
+        assert node.value == 42
+
+    def test_quote(self):
+        node = conv("'(1 2)")
+        assert isinstance(node, LiteralNode)
+        assert to_list(node.value) == [1, 2]
+
+    def test_nil_is_literal(self):
+        node = conv("nil")
+        assert isinstance(node, LiteralNode)
+        assert node.value is NIL
+
+    def test_t_is_literal(self):
+        node = conv("t")
+        assert isinstance(node, LiteralNode)
+        assert node.value is T
+
+    def test_free_symbol_is_special_varref(self):
+        node = conv("x")
+        assert isinstance(node, VarRefNode)
+        assert node.variable.special
+
+    def test_if_three_parts(self):
+        node = conv("(if p 1 2)")
+        assert isinstance(node, IfNode)
+        assert isinstance(node.test, VarRefNode)
+        assert node.then.value == 1
+        assert node.else_.value == 2
+
+    def test_if_defaults_else_to_nil(self):
+        node = conv("(if p 1)")
+        assert isinstance(node.else_, LiteralNode)
+        assert node.else_.value is NIL
+
+    def test_if_wrong_arity(self):
+        with pytest.raises(ConversionError):
+            conv("(if p)")
+
+    def test_progn(self):
+        node = conv("(progn 1 2 3)")
+        assert isinstance(node, PrognNode)
+        assert len(node.forms) == 3
+
+    def test_progn_single_form_collapses(self):
+        node = conv("(progn 5)")
+        assert isinstance(node, LiteralNode)
+
+    def test_call_to_global_function(self):
+        node = conv("(frotz 1 2)")
+        assert isinstance(node, CallNode)
+        assert isinstance(node.fn, FunctionRefNode)
+        assert node.fn.name is sym("frotz")
+        assert len(node.args) == 2
+
+    def test_call_to_primitive(self):
+        node = conv("(+ 1 2)")
+        assert node.primitive_name() is sym("+")
+
+    def test_funcall(self):
+        node = conv("(funcall f 1)")
+        assert isinstance(node, CallNode)
+        assert isinstance(node.fn, VarRefNode)
+
+    def test_catch(self):
+        node = conv("(catch 'done (f) (g))")
+        assert isinstance(node, CatcherNode)
+        assert isinstance(node.body, PrognNode)
+
+
+class TestLambdaAndScoping:
+    def test_simple_lambda(self):
+        node = conv("(lambda (x y) (+ x y))")
+        assert isinstance(node, LambdaNode)
+        assert len(node.required) == 2
+        assert node.is_simple()
+
+    def test_lambda_body_references_resolve(self):
+        node = conv("(lambda (x) x)")
+        body = node.body
+        assert isinstance(body, VarRefNode)
+        assert body.variable is node.required[0]
+        assert not body.variable.special
+
+    def test_variable_backpointers(self):
+        node = conv("(lambda (x) (+ x x))")
+        x = node.required[0]
+        assert len(x.refs) == 2
+        assert all(ref.variable is x for ref in x.refs)
+
+    def test_shadowing_creates_distinct_variables(self):
+        node = conv("(lambda (x) ((lambda (x) x) x))")
+        outer_x = node.required[0]
+        call = node.body
+        inner_lambda = call.fn
+        inner_x = inner_lambda.required[0]
+        assert outer_x is not inner_x
+        assert isinstance(inner_lambda.body, VarRefNode)
+        assert inner_lambda.body.variable is inner_x
+        assert call.args[0].variable is outer_x
+
+    def test_lexical_call_head_is_variable_call(self):
+        node = conv("(lambda (f) (f 1))")
+        call = node.body
+        assert isinstance(call.fn, VarRefNode)
+        assert call.fn.variable is node.required[0]
+
+    def test_optional_parameters(self):
+        node = conv("(lambda (a &optional (b 3.0) (c a)) c)")
+        assert len(node.required) == 1
+        assert len(node.optionals) == 2
+        assert node.optionals[0].default.value == 3.0
+        # Default (c a) refers to parameter a.
+        c_default = node.optionals[1].default
+        assert isinstance(c_default, VarRefNode)
+        assert c_default.variable is node.required[0]
+
+    def test_optional_default_sees_earlier_optional(self):
+        node = conv("(lambda (&optional (a 1) (b a)) b)")
+        b_default = node.optionals[1].default
+        assert isinstance(b_default, VarRefNode)
+        assert b_default.variable is node.optionals[0].variable
+
+    def test_rest_parameter(self):
+        node = conv("(lambda (a &rest more) more)")
+        assert node.rest is not None
+        assert node.max_args() is None
+
+    def test_min_max_args(self):
+        node = conv("(lambda (a b &optional c) a)")
+        assert node.min_args() == 2
+        assert node.max_args() == 3
+
+    def test_setq_lexical(self):
+        node = conv("(lambda (x) (setq x 5))")
+        body = node.body
+        assert isinstance(body, SetqNode)
+        assert body.variable is node.required[0]
+        assert node.required[0].is_assigned()
+
+    def test_setq_multiple_pairs(self):
+        node = conv("(lambda (x y) (setq x 1 y 2))")
+        assert isinstance(node.body, PrognNode)
+        assert len(node.body.forms) == 2
+
+    def test_special_declaration(self):
+        node = conv("(lambda (x) (declare (special x)) x)")
+        assert node.required[0].special
+
+    def test_type_declaration(self):
+        node = conv("(lambda (x) (declare (single-float x)) x)")
+        assert node.required[0].declared_type == "SWFLO"
+
+    def test_defun_conversion(self):
+        converter = Converter()
+        name, node = converter.convert_defun(
+            read("(defun add1 (n) (+ n 1))"))
+        assert name is sym("add1")
+        assert isinstance(node, LambdaNode)
+        assert node.name_hint == "add1"
+
+    def test_malformed_lambda_list(self):
+        with pytest.raises(ConversionError):
+            conv("(lambda (&rest) 1)")
+
+
+class TestProgbodyGoReturn:
+    def test_prog_macro_produces_let_of_progbody(self):
+        node = conv("(prog (x) (setq x 1) (return x))")
+        assert isinstance(node, CallNode)
+        assert isinstance(node.fn, LambdaNode)
+        assert isinstance(node.fn.body, ProgbodyNode)
+
+    def test_go_targets_enclosing_progbody(self):
+        node = conv("(progbody loop (go loop))")
+        assert isinstance(node, ProgbodyNode)
+        go_nodes = [n for n in node.walk() if isinstance(n, GoNode)]
+        assert len(go_nodes) == 1
+        assert go_nodes[0].target is node
+
+    def test_forward_go(self):
+        node = conv("(progbody (go end) (f) end)")
+        go_nodes = [n for n in node.walk() if isinstance(n, GoNode)]
+        assert go_nodes[0].target is node
+
+    def test_return_targets_progbody(self):
+        node = conv("(progbody (return 5))")
+        returns = [n for n in node.walk() if isinstance(n, ReturnNode)]
+        assert returns[0].target is node
+
+    def test_nested_progbody_go_targets_inner(self):
+        node = conv("(progbody outer (progbody inner (go inner)))")
+        inner = [n for n in node.walk()
+                 if isinstance(n, ProgbodyNode) and n is not node][0]
+        go = [n for n in node.walk() if isinstance(n, GoNode)][0]
+        assert go.target is inner
+
+    def test_nested_go_to_outer_tag(self):
+        node = conv("(progbody outer (progbody (go outer)))")
+        go = [n for n in node.walk() if isinstance(n, GoNode)][0]
+        assert go.target is node
+
+    def test_go_without_progbody_raises(self):
+        with pytest.raises(ConversionError):
+            conv("(go nowhere)")
+
+    def test_return_without_progbody_raises(self):
+        with pytest.raises(ConversionError):
+            conv("(return 1)")
+
+
+class TestCaseq:
+    def test_caseq_structure(self):
+        node = conv("(caseq x ((1 2) 'small) ((3) 'three) (t 'big))")
+        assert isinstance(node, CaseqNode)
+        assert len(node.clauses) == 2
+        assert node.clauses[0][0] == (1, 2)
+
+    def test_caseq_default(self):
+        node = conv("(caseq x (1 'one))")
+        assert isinstance(node.default, LiteralNode)
+        assert node.default.value is NIL
+
+    def test_case_macro(self):
+        node = conv("(case x (1 'one) (otherwise 'other))")
+        assert isinstance(node, CaseqNode)
+
+
+class TestMacros:
+    def test_let_becomes_lambda_call(self):
+        node = conv("(let ((x 1) (y 2)) (+ x y))")
+        assert isinstance(node, CallNode)
+        assert isinstance(node.fn, LambdaNode)
+        assert len(node.args) == 2
+
+    def test_let_star_nests(self):
+        node = conv("(let* ((x 1) (y x)) y)")
+        assert isinstance(node, CallNode)
+        inner = node.fn.body
+        assert isinstance(inner, CallNode)
+        # y's init refers to x bound by the outer lambda.
+        assert inner.args[0].variable is node.fn.required[0]
+
+    def test_cond_becomes_if(self):
+        node = conv("(cond ((< x 0) 'neg) ((> x 0) 'pos) (t 'zero))")
+        assert isinstance(node, IfNode)
+        assert isinstance(node.else_, IfNode)
+
+    def test_cond_test_only_clause(self):
+        node = conv("(cond (x) (t 'no))")
+        # Expansion binds the test to avoid double evaluation.
+        assert isinstance(node, CallNode)
+        assert isinstance(node.fn, LambdaNode)
+
+    def test_and_expansion(self):
+        node = conv("(and a b)")
+        assert isinstance(node, IfNode)
+        assert isinstance(node.else_, LiteralNode)
+        assert node.else_.value is NIL
+
+    def test_and_empty(self):
+        node = conv("(and)")
+        assert node.value is T
+
+    def test_or_expansion_avoids_double_eval(self):
+        node = conv("(or (f) (g))")
+        # ((lambda (v f) (if v v (f))) (f) (lambda () (g)))
+        assert isinstance(node, CallNode)
+        assert isinstance(node.fn, LambdaNode)
+        assert isinstance(node.args[1], LambdaNode)
+
+    def test_when(self):
+        node = conv("(when p 1 2)")
+        assert isinstance(node, IfNode)
+        assert isinstance(node.then, PrognNode)
+
+    def test_unless(self):
+        node = conv("(unless p 1)")
+        assert isinstance(node, IfNode)
+        assert node.then.value is NIL
+
+    def test_dotimes_converts(self):
+        node = conv("(dotimes (i 10) (f i))")
+        # Should convert without error into a let+progbody loop.
+        progbodies = [n for n in node.walk() if isinstance(n, ProgbodyNode)]
+        assert len(progbodies) == 1
+
+    def test_dolist_converts(self):
+        node = conv("(dolist (x '(1 2 3)) (f x))")
+        progbodies = [n for n in node.walk() if isinstance(n, ProgbodyNode)]
+        assert len(progbodies) == 1
+
+    def test_do_with_steps(self):
+        node = conv("(do ((i 0 (1+ i)) (acc 1 (* acc i))) ((= i 5) acc))")
+        progbodies = [n for n in node.walk() if isinstance(n, ProgbodyNode)]
+        assert len(progbodies) == 1
+
+    def test_incf(self):
+        node = conv("(lambda (x) (incf x))")
+        assert isinstance(node.body, SetqNode)
+
+    def test_push(self):
+        node = conv("(lambda (stack) (push 1 stack))")
+        assert isinstance(node.body, SetqNode)
+
+    def test_prog1(self):
+        node = conv("(prog1 (f) (g))")
+        assert isinstance(node, CallNode)
+        assert isinstance(node.fn, LambdaNode)
+
+    def test_quasiquote_simple(self):
+        node = conv("`(a ,b)")
+        # Expands to list/append calls.
+        assert isinstance(node, CallNode)
+
+    def test_parent_pointers_consistent(self):
+        node = conv("(let ((x 1)) (if x (+ x 1) 0))")
+        for descendant in node.walk():
+            for child in descendant.children():
+                assert child.parent is descendant
+
+
+class TestPaperExamples:
+    """The paper's own example programs must convert."""
+
+    EXPTL = """
+        (defun exptl (x n a)
+          (cond ((zerop n) a)
+                ((oddp n) (exptl (* x x) (floor (/ n 2)) (* a x)))
+                (t (exptl (* x x) (floor (/ n 2)) a))))
+    """
+
+    QUADRATIC = """
+        (defun quadratic (a b c)
+          (let ((d (- (* b b) (* 4.0 a c))))
+            (cond ((< d 0) '())
+                  ((= d 0) (list (/ (- b) (* 2.0 a))))
+                  (t (let ((2a (* 2.0 a)) (sd (sqrt d)))
+                       (list (/ (+ (- b) sd) 2a)
+                             (/ (- (- b) sd) 2a)))))))
+    """
+
+    TESTFN = """
+        (defun testfn (a &optional (b 3.0) (c a))
+          (let ((d (+$f a b c)) (e (*$f a b c)))
+            (let ((q (sin$f e)))
+              (frotz d e (max$f d e))
+              q)))
+    """
+
+    def test_exptl_converts(self):
+        name, node = Converter().convert_defun(read(self.EXPTL))
+        assert name is sym("exptl")
+        assert len(node.required) == 3
+
+    def test_quadratic_converts(self):
+        name, node = Converter().convert_defun(read(self.QUADRATIC))
+        assert name is sym("quadratic")
+        # let -> lambda call binding d
+        assert isinstance(node.body, CallNode)
+        assert isinstance(node.body.fn, LambdaNode)
+
+    def test_testfn_converts(self):
+        name, node = Converter().convert_defun(read(self.TESTFN))
+        assert len(node.optionals) == 2
+        # (c a): default references parameter a.
+        c_default = node.optionals[1].default
+        assert isinstance(c_default, VarRefNode)
+        assert c_default.variable is node.required[0]

@@ -1,0 +1,466 @@
+"""Tests for the simulated S-1 machine, using hand-assembled programs.
+
+These validate the CPU semantics independently of the compiler: frames,
+tail-call frame replacement, pdl-number lifetimes, boxing discipline,
+specials, closures, and catch/throw.
+"""
+
+import pytest
+
+from repro.datum import NIL, T, sym, to_list
+from repro.errors import LispError, MachineError, WrongNumberOfArgumentsError
+from repro.machine import (
+    CodeObject,
+    Instruction,
+    Machine,
+    Program,
+    frame_arg,
+    global_ref,
+    imm,
+    label_ref,
+    name_ref,
+    reg,
+    temp,
+)
+
+
+def ins(opcode, *operands, comment=None):
+    return Instruction(opcode, tuple(operands), comment)
+
+
+def make_program(**functions):
+    program = Program()
+    for name, code in functions.items():
+        program.add(sym(name), code)
+    return program
+
+
+def run(program, name, args, **kwargs):
+    machine = Machine(program)
+    result = machine.run(sym(name), args, **kwargs)
+    return result, machine
+
+
+class TestBasicExecution:
+    def test_return_constant(self):
+        code = CodeObject("k", [ins("RET", imm(42))])
+        result, _ = run(make_program(k=code), "k", [])
+        assert result == 42
+
+    def test_return_argument(self):
+        code = CodeObject("ident", [ins("RET", frame_arg(0))])
+        result, _ = run(make_program(ident=code), "ident", [7])
+        assert result == 7
+
+    def test_raw_arithmetic(self):
+        code = CodeObject("addmul", [
+            ins("ALLOCTEMPS", imm(0)),
+            ins("ADD", reg(0), frame_arg(0), frame_arg(1)),
+            ins("MULT", reg(0), reg(0), imm(2)),
+            ins("RET", reg(0)),
+        ])
+        result, _ = run(make_program(addmul=code), "addmul", [3, 4])
+        assert result == 14
+
+    def test_float_requires_unbox(self):
+        # Args arrive boxed; FADD on the box must trap.
+        code = CodeObject("bad", [
+            ins("FADD", reg(0), frame_arg(0), frame_arg(1)),
+            ins("RET", reg(0)),
+        ])
+        with pytest.raises(MachineError):
+            run(make_program(bad=code), "bad", [1.0, 2.0])
+
+    def test_unbox_then_float_add(self):
+        code = CodeObject("fadd", [
+            ins("UNBOX", reg(0), frame_arg(0)),
+            ins("UNBOX", reg(1), frame_arg(1)),
+            ins("FADD", reg(0), reg(0), reg(1)),
+            ins("BOXF", reg(0), reg(0)),
+            ins("RET", reg(0)),
+        ])
+        result, machine = run(make_program(fadd=code), "fadd", [1.5, 2.25])
+        assert result == 3.75
+        assert machine.heap.allocations["number-box"] >= 3  # 2 args + result
+
+    def test_jumps(self):
+        code = CodeObject("sign", [
+            ins("UNBOX", reg(0), frame_arg(0)),
+            ins("CMPBR", ("imm", "lt"), reg(0), imm(0), label_ref("neg")),
+            ins("RET", imm(sym("non-negative"))),
+            ins("RET", imm(sym("negative"))),
+        ], labels={"neg": 3})
+        result, _ = run(make_program(sign=code), "sign", [5])
+        assert result is sym("non-negative")
+        result, _ = run(make_program(sign=code), "sign", [-5])
+        assert result is sym("negative")
+
+    def test_fell_off_end_traps(self):
+        code = CodeObject("bad", [ins("NOP")])
+        with pytest.raises(MachineError):
+            run(make_program(bad=code), "bad", [])
+
+    def test_fuel_exhaustion(self):
+        code = CodeObject("spin", [ins("JMP", label_ref("top"))],
+                          labels={"top": 0})
+        with pytest.raises(MachineError):
+            run(make_program(spin=code), "spin", [], fuel=100)
+
+
+class TestCalls:
+    def test_call_and_return(self):
+        double = CodeObject("double", [
+            ins("ALLOCTEMPS", imm(0)),
+            ins("ADD", reg(0), frame_arg(0), frame_arg(0)),
+            ins("RET", reg(0)),
+        ])
+        main = CodeObject("main", [
+            ins("ALLOCTEMPS", imm(0)),
+            ins("PUSH", imm(21)),
+            ins("CALL", global_ref(sym("double")), imm(1)),
+            ins("POP", reg(0)),
+            ins("RET", reg(0)),
+        ])
+        result, _ = run(make_program(double=double, main=main), "main", [])
+        assert result == 42
+
+    def test_argcheck_traps(self):
+        f = CodeObject("f", [
+            ins("ARGCHECK", imm(2), imm(2)),
+            ins("RET", frame_arg(0)),
+        ])
+        with pytest.raises(WrongNumberOfArgumentsError):
+            run(make_program(f=f), "f", [1])
+
+    def test_generic_primitive_via_call(self):
+        main = CodeObject("main", [
+            ins("ALLOCTEMPS", imm(0)),
+            ins("PUSH", imm(1)),
+            ins("PUSH", imm(2)),
+            ins("CALL", global_ref(sym("+")), imm(2)),
+            ins("POP", reg(0)),
+            ins("RET", reg(0)),
+        ])
+        result, _ = run(make_program(main=main), "main", [])
+        assert result == 3
+
+    def test_tail_call_constant_stack(self):
+        countdown = CodeObject("countdown", [
+            ins("ALLOCTEMPS", imm(0)),
+            ins("CMPBR", ("imm", "eq"), frame_arg(0), imm(0),
+                label_ref("done")),
+            ins("SUB", reg(0), frame_arg(0), imm(1)),
+            ins("PUSH", reg(0)),
+            ins("TAILCALL", global_ref(sym("countdown")), imm(1)),
+            ins("RET", imm(sym("done"))),
+        ], labels={"done": 5})
+        result, machine = run(make_program(countdown=countdown),
+                              "countdown", [20000])
+        assert result is sym("done")
+        assert machine.max_stack < 50  # constant-depth iteration
+
+    def test_argdispatch(self):
+        f = CodeObject("f", [
+            ins("ARGDISPATCH", imm([(1, "one"), (2, "two")])),
+            # one arg: expand frame to two, default second to 99
+            ins("ARGEXPAND", imm(2)),
+            ins("ALLOCTEMPS", imm(0)),
+            ins("MOV", frame_arg(1), imm(99)),
+            ins("JMP", label_ref("body")),
+            # two args
+            ins("ARGEXPAND", imm(2)),
+            ins("ALLOCTEMPS", imm(0)),
+            ins("ADD", reg(0), frame_arg(0), frame_arg(1)),
+            ins("RET", reg(0)),
+        ], labels={"one": 1, "two": 5, "body": 7})
+        program = make_program(f=f)
+        assert run(program, "f", [1])[0] == 100
+        assert run(program, "f", [1, 2])[0] == 3
+
+    def test_restcollect(self):
+        f = CodeObject("f", [
+            ins("RESTCOLLECT", imm(1)),
+            ins("ALLOCTEMPS", imm(0)),
+            ins("RET", frame_arg(1)),
+        ])
+        result, _ = run(make_program(f=f), "f", [1, 2, 3, 4])
+        assert to_list(result) == [2, 3, 4]
+
+
+class TestPdlNumbers:
+    def test_pdlbox_creates_stack_pointer(self):
+        f = CodeObject("f", [
+            ins("ALLOCTEMPS", imm(2)),
+            ins("UNBOX", reg(0), frame_arg(0)),
+            ins("FADD", reg(0), reg(0), reg(0)),
+            ins("PDLBOX", reg(1), temp(0), reg(0)),
+            # Pass the pdl pointer to a safe generic operation.
+            ins("GENERIC", name_ref(sym("numberp")), reg(2), reg(1)),
+            ins("RET", reg(2)),
+        ])
+        result, machine = run(make_program(f=f), "f", [2.0])
+        assert result is T
+        # No heap box was made for the intermediate (only the boxed arg).
+        assert machine.heap.allocations["number-box"] == 1
+
+    def test_pdl_pointer_certified_on_return(self):
+        f = CodeObject("f", [
+            ins("ALLOCTEMPS", imm(1)),
+            ins("UNBOX", reg(0), frame_arg(0)),
+            ins("PDLBOX", reg(1), temp(0), reg(0)),
+            ins("RET", reg(1)),
+        ])
+        result, machine = run(make_program(f=f), "f", [3.5])
+        assert result == 3.5
+        assert machine.heap.certifications == 1
+
+    def test_unsafe_generic_certifies(self):
+        f = CodeObject("f", [
+            ins("ALLOCTEMPS", imm(1)),
+            ins("UNBOX", reg(0), frame_arg(1)),
+            ins("PDLBOX", reg(1), temp(0), reg(0)),
+            # rplaca is unsafe: the pdl pointer must be copied to the heap.
+            ins("GENERIC", name_ref(sym("rplaca")), reg(2), frame_arg(0),
+                reg(1)),
+            ins("GENERIC", name_ref(sym("car")), reg(3), frame_arg(0)),
+            ins("RET", reg(3)),
+        ])
+        from repro.datum import cons
+
+        result, machine = run(make_program(f=f), "f", [cons(1, NIL), 9.5])
+        assert result == 9.5
+        assert machine.heap.certifications == 1
+
+    def test_fixnums_never_boxed(self):
+        f = CodeObject("f", [
+            ins("ALLOCTEMPS", imm(1)),
+            ins("ADD", reg(0), frame_arg(0), imm(1)),
+            ins("BOXF", reg(1), reg(0)),
+            ins("RET", reg(1)),
+        ])
+        result, machine = run(make_program(f=f), "f", [41])
+        assert result == 42
+        assert machine.heap.allocations["number-box"] == 0
+
+
+class TestClosures:
+    def test_closure_capture_and_call(self):
+        # make-adder: returns closure adding its captured arg.
+        make_adder = CodeObject("make-adder", [
+            ins("ALLOCTEMPS", imm(0)),
+            ins("CLOSURE", reg(0), label_ref("adder-entry"), frame_arg(0)),
+            ins("RET", reg(0)),
+            # adder body: env[0] + arg0
+            ins("ALLOCTEMPS", imm(0)),
+            ins("ENVREF", reg(1), imm(0)),
+            ins("ADD", reg(0), reg(1), frame_arg(0)),
+            ins("RET", reg(0)),
+        ], labels={"adder-entry": 3})
+        main = CodeObject("main", [
+            ins("ALLOCTEMPS", imm(1)),
+            ins("PUSH", imm(10)),
+            ins("CALL", global_ref(sym("make-adder")), imm(1)),
+            ins("POP", temp(0)),
+            ins("PUSH", imm(32)),
+            ins("CALLF", temp(0), imm(1)),
+            ins("POP", reg(0)),
+            ins("RET", reg(0)),
+        ])
+        result, machine = run(make_program(**{"make-adder": make_adder,
+                                              "main": main}), "main", [])
+        assert result == 42
+        assert machine.heap.allocations["closure"] == 1
+
+    def test_mutable_cell(self):
+        f = CodeObject("f", [
+            ins("ALLOCTEMPS", imm(1)),
+            ins("MKCELL", temp(0), imm(0)),
+            ins("CELLSET", temp(0), imm(5)),
+            ins("CELLREF", reg(0), temp(0)),
+            ins("RET", reg(0)),
+        ])
+        result, machine = run(make_program(f=f), "f", [])
+        assert result == 5
+        assert machine.heap.allocations["cell"] == 1
+
+    def test_gfunc_primitive(self):
+        f = CodeObject("f", [
+            ins("ALLOCTEMPS", imm(0)),
+            ins("GFUNC", reg(0), name_ref(sym("+"))),
+            ins("PUSH", imm(1)),
+            ins("PUSH", imm(2)),
+            ins("CALLF", reg(0), imm(2)),
+            ins("POP", reg(1)),
+            ins("RET", reg(1)),
+        ])
+        result, _ = run(make_program(f=f), "f", [])
+        assert result == 3
+
+
+class TestSpecials:
+    def test_bind_lookup_unbind(self):
+        f = CodeObject("f", [
+            ins("ALLOCTEMPS", imm(1)),
+            ins("SPECBIND", name_ref(sym("*x*")), imm(42)),
+            ins("SPECLOOKUP", temp(0), name_ref(sym("*x*"))),
+            ins("SPECREF", reg(0), temp(0)),
+            ins("SPECUNBIND", imm(1)),
+            ins("RET", reg(0)),
+        ])
+        result, machine = run(make_program(f=f), "f", [])
+        assert result == 42
+        assert machine.specials.depth() == 0
+
+    def test_cached_cell_constant_time(self):
+        # One SPECLOOKUP, many SPECREFs: search work stays at one lookup.
+        body = [ins("ALLOCTEMPS", imm(1)),
+                ins("SPECBIND", name_ref(sym("*x*")), imm(1)),
+                ins("SPECLOOKUP", temp(0), name_ref(sym("*x*")))]
+        for _ in range(10):
+            body.append(ins("SPECREF", reg(0), temp(0)))
+        body.append(ins("SPECUNBIND", imm(1)))
+        body.append(ins("RET", reg(0)))
+        f = CodeObject("f", body)
+        _, machine = run(make_program(f=f), "f", [])
+        assert machine.specials.lookups == 1
+
+    def test_unbound_special_traps(self):
+        f = CodeObject("f", [
+            ins("ALLOCTEMPS", imm(1)),
+            ins("SPECLOOKUP", temp(0), name_ref(sym("*nope*"))),
+            ins("SPECREF", reg(0), temp(0)),
+            ins("RET", reg(0)),
+        ])
+        with pytest.raises(LispError):
+            run(make_program(f=f), "f", [])
+
+    def test_global_special(self):
+        f = CodeObject("f", [
+            ins("ALLOCTEMPS", imm(0)),
+            ins("SPECGREF", reg(0), name_ref(sym("*g*"))),
+            ins("RET", reg(0)),
+        ])
+        machine = Machine(make_program(f=f))
+        machine.define_global(sym("*g*"), 77)
+        assert machine.run(sym("f"), []) == 77
+
+
+class TestCatchThrow:
+    def test_catch_throw(self):
+        f = CodeObject("f", [
+            ins("ALLOCTEMPS", imm(0)),
+            ins("CATCHPUSH", label_ref("caught"), imm(sym("tag"))),
+            ins("GENERIC", name_ref(sym("throw")), reg(0),
+                imm(sym("tag")), imm(99)),
+            ins("RET", imm(sym("not-reached"))),
+            # caught: thrown value is on the stack
+            ins("POP", reg(0)),
+            ins("RET", reg(0)),
+        ], labels={"caught": 4})
+        result, _ = run(make_program(f=f), "f", [])
+        assert result == 99
+
+    def test_catch_no_throw(self):
+        f = CodeObject("f", [
+            ins("ALLOCTEMPS", imm(0)),
+            ins("CATCHPUSH", label_ref("caught"), imm(sym("tag"))),
+            ins("CATCHPOP"),
+            ins("RET", imm(1)),
+            ins("POP", reg(0)),
+            ins("RET", reg(0)),
+        ], labels={"caught": 4})
+        result, _ = run(make_program(f=f), "f", [])
+        assert result == 1
+
+    def test_uncaught_throw(self):
+        f = CodeObject("f", [
+            ins("ALLOCTEMPS", imm(0)),
+            ins("GENERIC", name_ref(sym("throw")), reg(0),
+                imm(sym("zap")), imm(1)),
+            ins("RET", imm(0)),
+        ])
+        with pytest.raises(LispError):
+            run(make_program(f=f), "f", [])
+
+
+class TestGc:
+    def test_collect_reclaims_garbage(self):
+        body = [ins("ALLOCTEMPS", imm(0))]
+        for _ in range(50):
+            body.append(ins("GENERIC", name_ref(sym("cons")), reg(0),
+                            imm(1), imm(2)))
+        body.append(ins("GC"))
+        body.append(ins("RET", imm(0)))
+        f = CodeObject("f", body)
+        _, machine = run(make_program(f=f), "f", [])
+        assert machine.heap.gc_runs == 1
+        assert machine.heap.gc_collected >= 49  # all but the rooted last one
+
+    def test_live_data_survives(self):
+        f = CodeObject("f", [
+            ins("ALLOCTEMPS", imm(1)),
+            ins("GENERIC", name_ref(sym("cons")), temp(0), imm(1), imm(2)),
+            ins("GC"),
+            ins("GENERIC", name_ref(sym("car")), reg(0), temp(0)),
+            ins("RET", reg(0)),
+        ])
+        result, machine = run(make_program(f=f), "f", [])
+        assert result == 1
+        assert machine.heap.live_count() >= 1
+
+
+class TestReviewRegressions:
+    """Regressions from the session's code review."""
+
+    def test_unbox_of_non_number_is_a_lisp_type_error(self):
+        from repro import Compiler
+        from repro.errors import WrongTypeError
+
+        compiler = Compiler()
+        compiler.compile_source(
+            "(defun f (x) (declare (single-float x)) (*$f x x))")
+        with pytest.raises(WrongTypeError):
+            compiler.run("f", [sym("not-a-number")])
+
+    def test_unbound_special_error_names_the_variable(self):
+        from repro import Compiler
+        from repro.errors import LispError
+
+        compiler = Compiler()
+        compiler.compile_source("(defun f () (+ *ghost* 1))")
+        with pytest.raises(LispError, match=r"\*ghost\*"):
+            compiler.run("f", [])
+
+    def test_machine_usable_after_trap(self):
+        from repro import Compiler
+        from repro.errors import ReproError
+
+        compiler = Compiler()
+        compiler.compile_source("""
+            (defun boom (x) (catch 'tag (car x)))
+            (defun fine (x) (* x x))
+        """)
+        machine = compiler.machine()
+        with pytest.raises(ReproError):
+            machine.run(sym("boom"), [5])   # traps inside a catch
+        # Same machine: state restored, later runs unaffected.
+        assert machine.run(sym("fine"), [6]) == 36
+        assert machine.catch_stack == []
+        assert machine.specials.depth() == 0
+
+    def test_specials_unwound_after_trap(self):
+        from repro import Compiler
+        from repro.errors import ReproError
+
+        compiler = Compiler()
+        compiler.compile_source("""
+            (defvar *x* 'global)
+            (defun probe () *x*)
+            (defun boom (*x*) (car 5))
+        """)
+        machine = compiler.machine()
+        for name, value in compiler.global_values.items():
+            machine.define_global(name, value)
+        with pytest.raises(ReproError):
+            machine.run(sym("boom"), [sym("inner")])
+        assert machine.run(sym("probe"), []) is sym("global")

@@ -1,0 +1,85 @@
+"""Tests for CompilerOptions and the ablation configurations."""
+
+import dataclasses
+
+import pytest
+
+from repro import Compiler, CompilerOptions, DEFAULT_OPTIONS, naive_options
+
+
+class TestDefaults:
+    def test_paper_faithful_defaults(self):
+        options = CompilerOptions()
+        # On by default: everything the paper's compiler did.
+        assert options.optimize
+        assert options.enable_representation_analysis
+        assert options.enable_pdl_numbers
+        assert options.enable_tnbind
+        assert options.enable_closure_analysis
+        assert options.enable_special_caching
+        assert options.enable_tail_calls
+        # Off by default: what the paper deferred or never built.
+        assert not options.enable_cse
+        assert not options.enable_peephole
+        assert not options.enable_type_specialization
+        assert not options.enable_global_integration
+        assert options.self_unroll_depth == 0
+        assert options.target == "s1"
+
+    def test_default_options_shared_instance_unmutated(self):
+        # Compiler must not mutate the module-level default options.
+        snapshot = dataclasses.asdict(DEFAULT_OPTIONS)
+        compiler = Compiler()
+        compiler.compile_source("(defun f (x) x)")
+        assert dataclasses.asdict(DEFAULT_OPTIONS) == snapshot
+
+    def test_naive_options_all_off(self):
+        options = naive_options()
+        assert not options.optimize
+        assert not options.enable_representation_analysis
+        assert not options.enable_pdl_numbers
+        assert not options.enable_tnbind
+        assert not options.enable_closure_analysis
+        assert not options.enable_special_caching
+        # Semantics-bearing pieces stay on.
+        assert options.enable_tail_calls
+
+    def test_naive_options_fresh_each_call(self):
+        a = naive_options()
+        a.optimize = True
+        assert not naive_options().optimize
+
+
+class TestAblationIndependence:
+    SOURCE = "(defun f (x) (declare (single-float x)) (+$f (*$f x x) 1.0))"
+
+    FLAGS = [
+        "enable_representation_analysis",
+        "enable_pdl_numbers",
+        "enable_tnbind",
+        "enable_closure_analysis",
+        "enable_special_caching",
+        "optimize",
+    ]
+
+    @pytest.mark.parametrize("flag", FLAGS)
+    def test_each_flag_independently_disableable(self, flag):
+        options = CompilerOptions(**{flag: False})
+        compiler = Compiler(options)
+        compiler.compile_source(self.SOURCE)
+        assert compiler.run("f", [3.0]) == 10.0
+
+    def test_all_extensions_together(self):
+        options = CompilerOptions(
+            enable_cse=True, enable_peephole=True,
+            enable_type_specialization=True,
+            enable_global_integration=True, self_unroll_depth=2)
+        compiler = Compiler(options)
+        compiler.compile_source("""
+            (defun helper (x) (+ x 1))
+            (defun f (n)
+              (declare (fixnum n))
+              (let ((s 0))
+                (dotimes (i n s) (setq s (+ s (helper i))))))
+        """)
+        assert compiler.run("f", [10]) == 55

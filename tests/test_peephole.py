@@ -1,0 +1,229 @@
+"""Tests for the linear-block packing (peephole) phase: branch tensioning,
+cross-jumping, unreachable-code removal, fallthrough jump elision."""
+
+import pytest
+
+from repro import Compiler, CompilerOptions
+from repro.codegen import optimize_code
+from repro.datum import NIL, T, sym
+from repro.machine import CodeObject, Instruction, Machine, Program
+
+
+def ins(opcode, *operands, comment=None):
+    return Instruction(opcode, tuple(operands), comment)
+
+
+def run_code(code, args=()):
+    program = Program()
+    program.add(sym("f"), code)
+    machine = Machine(program)
+    return machine.run(sym("f"), list(args)), machine
+
+
+class TestBranchTensioning:
+    def test_jump_chain_collapsed(self):
+        code = CodeObject("f", [
+            ins("ALLOCTEMPS", ("imm", 0)),
+            ins("JMP", ("label", "a")),
+            ins("RET", ("imm", 1)),       # unreachable filler
+            ins("JMP", ("label", "b")),   # a:
+            ins("RET", ("imm", 2)),       # unreachable filler
+            ins("JMP", ("label", "c")),   # b:
+            ins("RET", ("imm", 42)),      # c:
+        ], labels={"a": 3, "b": 5, "c": 6})
+        optimized, stats = optimize_code(code)
+        assert stats.branches_tensioned >= 1
+        result, machine = run_code(optimized)
+        assert result == 42
+        # The chain is gone entirely: no JMP-to-JMP remains.
+        for i, instruction in enumerate(optimized.instructions):
+            if instruction.opcode == "JMP":
+                target = optimized.resolve_label(
+                    instruction.operands[0][1])
+                assert optimized.instructions[target].opcode != "JMP"
+
+    def test_jump_to_ret_becomes_ret(self):
+        code = CodeObject("f", [
+            ins("ALLOCTEMPS", ("imm", 0)),
+            ins("JUMPNIL", ("frame", 0), ("label", "out")),
+            ins("JMP", ("label", "done")),
+            ins("RET", ("imm", sym("was-nil"))),   # out:
+            ins("RET", ("imm", sym("was-true"))),  # done:
+        ], labels={"out": 3, "done": 4})
+        optimized, stats = optimize_code(code)
+        assert run_code(optimized, [T])[0] is sym("was-true")
+        assert run_code(optimized, [NIL])[0] is sym("was-nil")
+
+    def test_conditional_branch_tensioned(self):
+        code = CodeObject("f", [
+            ins("ALLOCTEMPS", ("imm", 0)),
+            ins("JUMPNIL", ("frame", 0), ("label", "hop")),
+            ins("RET", ("imm", 1)),
+            ins("JMP", ("label", "final")),  # hop:
+            ins("RET", ("imm", 2)),          # final:
+        ], labels={"hop": 3, "final": 4})
+        optimized, stats = optimize_code(code)
+        assert stats.branches_tensioned >= 1
+        jumpnil = next(i for i in optimized.instructions
+                       if i.opcode == "JUMPNIL")
+        target = optimized.resolve_label(jumpnil.operands[1][1])
+        assert optimized.instructions[target].opcode == "RET"
+        assert run_code(optimized, [NIL])[0] == 2
+
+
+class TestUnreachableRemoval:
+    def test_dead_block_dropped(self):
+        code = CodeObject("f", [
+            ins("ALLOCTEMPS", ("imm", 0)),
+            ins("RET", ("imm", 1)),
+            ins("GENERIC", ("name", sym("cons")), ("reg", 0),
+                ("imm", 1), ("imm", 2)),  # dead
+            ins("RET", ("imm", 2)),       # dead
+        ])
+        optimized, stats = optimize_code(code)
+        assert stats.blocks_removed >= 1
+        assert len(optimized.instructions) == 2
+        assert run_code(optimized)[0] == 1
+
+    def test_closure_entry_stays_reachable(self):
+        """Code reached only through a CLOSURE operand must survive."""
+        code = CodeObject("f", [
+            ins("ALLOCTEMPS", ("imm", 0)),
+            ins("CLOSURE", ("reg", 0), ("label", "entry")),
+            ins("PUSH", ("imm", 5)),
+            ins("CALLF", ("reg", 0), ("imm", 1)),
+            ins("POP", ("reg", 1)),
+            ins("RET", ("reg", 1)),
+            # entry:
+            ins("ALLOCTEMPS", ("imm", 0)),
+            ins("ADD", ("reg", 0), ("frame", 0), ("imm", 1)),
+            ins("RET", ("reg", 0)),
+        ], labels={"entry": 6})
+        optimized, _ = optimize_code(code)
+        assert run_code(optimized)[0] == 6
+
+    def test_catch_target_stays_reachable(self):
+        code = CodeObject("f", [
+            ins("ALLOCTEMPS", ("imm", 0)),
+            ins("CATCHPUSH", ("label", "caught"), ("imm", sym("tag"))),
+            ins("GENERIC", ("name", sym("throw")), ("reg", 0),
+                ("imm", sym("tag")), ("imm", 9)),
+            ins("RET", ("imm", 0)),
+            ins("POP", ("reg", 0)),       # caught:
+            ins("RET", ("reg", 0)),
+        ], labels={"caught": 4})
+        optimized, _ = optimize_code(code)
+        assert run_code(optimized)[0] == 9
+
+
+class TestCrossJumping:
+    def test_identical_tails_merged(self):
+        shared = [
+            ins("GENERIC", ("name", sym("1+")), ("reg", 0), ("frame", 0)),
+            ins("RET", ("reg", 0)),
+        ]
+        code = CodeObject("f", [
+            ins("ALLOCTEMPS", ("imm", 0)),
+            ins("JUMPNIL", ("frame", 0), ("label", "other")),
+            *[Instruction(i.opcode, i.operands) for i in shared],
+            *[Instruction(i.opcode, i.operands) for i in shared],  # other:
+        ], labels={"other": 4})
+        optimized, stats = optimize_code(code)
+        assert stats.blocks_merged == 1
+        assert run_code(optimized, [5])[0] == 6
+        # Only one copy of the GENERIC remains.
+        count = sum(1 for i in optimized.instructions
+                    if i.opcode == "GENERIC")
+        assert count == 1
+
+    def test_different_tails_not_merged(self):
+        code = CodeObject("f", [
+            ins("ALLOCTEMPS", ("imm", 0)),
+            ins("JUMPNIL", ("frame", 0), ("label", "other")),
+            ins("RET", ("imm", 1)),
+            ins("RET", ("imm", 2)),  # other:
+        ], labels={"other": 3})
+        optimized, stats = optimize_code(code)
+        assert stats.blocks_merged == 0
+        assert run_code(optimized, [T])[0] == 1
+        assert run_code(optimized, [NIL])[0] == 2
+
+
+class TestFallthroughElision:
+    def test_jump_to_next_removed(self):
+        code = CodeObject("f", [
+            ins("ALLOCTEMPS", ("imm", 0)),
+            ins("JMP", ("label", "next")),
+            ins("RET", ("imm", 7)),  # next:
+        ], labels={"next": 2})
+        optimized, stats = optimize_code(code)
+        # Either elided as a fallthrough or already tensioned into the RET.
+        assert stats.jumps_elided + stats.branches_tensioned >= 1
+        assert all(i.opcode != "JMP" for i in optimized.instructions)
+        assert len(optimized.instructions) == 2
+        assert run_code(optimized)[0] == 7
+
+    def test_fallthrough_after_conditional(self):
+        code = CodeObject("f", [
+            ins("ALLOCTEMPS", ("imm", 0)),
+            ins("JUMPNIL", ("frame", 0), ("label", "no")),
+            ins("JMP", ("label", "yes")),
+            ins("PUSH", ("imm", 0)),      # yes: (non-terminator start)
+            ins("POP", ("reg", 0)),
+            ins("RET", ("imm", 1)),
+            ins("RET", ("imm", 2)),       # no:
+        ], labels={"yes": 3, "no": 6})
+        optimized, stats = optimize_code(code)
+        assert stats.jumps_elided >= 1
+        assert run_code(optimized, [T])[0] == 1
+        assert run_code(optimized, [NIL])[0] == 2
+
+
+class TestEndToEnd:
+    PROGRAMS = [
+        ("(defun f (a b c) (if (and a (or b c)) 1 2))",
+         "f", [T, NIL, T]),
+        ("(defun f (n) (let ((s 0)) (dotimes (i n s) (setq s (+ s i)))))",
+         "f", [10]),
+        ("""(defun f (x) (caseq x ((1) 'one) ((2) 'two) (t 'many)))""",
+         "f", [2]),
+        ("""(defun f (n)
+              (prog (acc)
+                (setq acc 1)
+                loop
+                (if (zerop n) (return acc))
+                (setq acc (* acc n))
+                (setq n (- n 1))
+                (go loop)))""", "f", [5]),
+        ("""(defun g (k) (lambda (x) (+ x k)))
+            (defun f (v) (funcall (g 10) v))""", "f", [3]),
+        ("""(defun f (a &optional (b 3) (c a)) (list a b c))""", "f", [1, 2]),
+    ]
+
+    @pytest.mark.parametrize("source,fn,args", PROGRAMS)
+    def test_peephole_preserves_semantics(self, source, fn, args):
+        plain = Compiler()
+        plain.compile_source(source)
+        packed = Compiler(CompilerOptions(enable_peephole=True))
+        packed.compile_source(source)
+        from repro.datum import lisp_equal
+
+        expected = plain.run(fn, args)
+        got = packed.run(fn, args)
+        assert lisp_equal(expected, got)
+
+    @pytest.mark.parametrize("source,fn,args", PROGRAMS)
+    def test_peephole_never_grows_code(self, source, fn, args):
+        plain = Compiler()
+        names = plain.compile_source(source)
+        packed = Compiler(CompilerOptions(enable_peephole=True))
+        packed.compile_source(source)
+        for name in names:
+            before = len(plain.functions[name].code.instructions)
+            after = len(packed.functions[name].code.instructions)
+            assert after <= before
+
+    def test_phase_appears_in_report(self):
+        compiler = Compiler(CompilerOptions(enable_peephole=True))
+        compiler.compile_source("(defun f (x) x)")
+        assert "peephole" in compiler.phase_report()

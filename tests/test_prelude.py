@@ -1,0 +1,238 @@
+"""Tests for the bundled Lisp prelude, compiled and interpreted.
+
+Every prelude function is exercised on the simulated machine; a subset is
+also differentially checked against the reference interpreter running the
+same source.
+"""
+
+import pytest
+
+from repro import Compiler, Interpreter
+from repro.compiler import prelude_source
+from repro.datum import NIL, T, from_list, lisp_equal, sym, to_list
+from repro.errors import LispError
+from repro.machine import PrimitiveFn
+from repro.primitives import lookup_primitive
+
+
+@pytest.fixture(scope="module")
+def machine():
+    compiler = Compiler()
+    compiler.load_prelude()
+    return compiler.machine()
+
+
+def fn_value(name):
+    return PrimitiveFn(lookup_primitive(sym(name)))
+
+
+def lst(*items):
+    return from_list(list(items))
+
+
+class TestHigherOrder:
+    def test_mapcar1(self, machine):
+        result = machine.run(sym("mapcar1"), [fn_value("1+"), lst(1, 2, 3)])
+        assert to_list(result) == [2, 3, 4]
+
+    def test_mapcar1_empty(self, machine):
+        assert machine.run(sym("mapcar1"), [fn_value("1+"), NIL]) is NIL
+
+    def test_mapcar2(self, machine):
+        result = machine.run(sym("mapcar2"),
+                             [fn_value("+"), lst(1, 2, 3), lst(10, 20)])
+        assert to_list(result) == [11, 22]
+
+    def test_filter(self, machine):
+        result = machine.run(sym("filter"),
+                             [fn_value("oddp"), lst(1, 2, 3, 4, 5)])
+        assert to_list(result) == [1, 3, 5]
+
+    def test_remove_if(self, machine):
+        result = machine.run(sym("remove-if"),
+                             [fn_value("oddp"), lst(1, 2, 3, 4, 5)])
+        assert to_list(result) == [2, 4]
+
+    def test_reduce1(self, machine):
+        assert machine.run(sym("reduce1"),
+                           [fn_value("+"), 0, lst(1, 2, 3, 4)]) == 10
+
+    def test_reduce1_is_left_fold(self, machine):
+        # (((10 - 1) - 2) - 3) = 4
+        assert machine.run(sym("reduce1"),
+                           [fn_value("-"), 10, lst(1, 2, 3)]) == 4
+
+    def test_count_if(self, machine):
+        assert machine.run(sym("count-if"),
+                           [fn_value("evenp"), lst(1, 2, 3, 4)]) == 2
+
+    def test_find_if(self, machine):
+        assert machine.run(sym("find-if"),
+                           [fn_value("evenp"), lst(1, 3, 4, 5)]) == 4
+
+    def test_find_if_missing(self, machine):
+        assert machine.run(sym("find-if"),
+                           [fn_value("evenp"), lst(1, 3, 5)]) is NIL
+
+    def test_position1(self, machine):
+        assert machine.run(sym("position1"), [3, lst(1, 2, 3, 4)]) == 2
+        assert machine.run(sym("position1"), [9, lst(1, 2)]) is NIL
+
+    def test_every1_some1(self, machine):
+        assert machine.run(sym("every1"),
+                           [fn_value("oddp"), lst(1, 3, 5)]) is T
+        assert machine.run(sym("every1"),
+                           [fn_value("oddp"), lst(1, 2)]) is NIL
+        assert machine.run(sym("some1"),
+                           [fn_value("evenp"), lst(1, 2)]) is T
+        assert machine.run(sym("some1"),
+                           [fn_value("evenp"), lst(1, 3)]) is NIL
+
+    def test_every1_vacuous(self, machine):
+        assert machine.run(sym("every1"), [fn_value("oddp"), NIL]) is T
+
+
+class TestConstruction:
+    def test_iota(self, machine):
+        assert to_list(machine.run(sym("iota"), [4])) == [0, 1, 2, 3]
+        assert machine.run(sym("iota"), [0]) is NIL
+
+    def test_take_drop(self, machine):
+        data = lst(1, 2, 3, 4, 5)
+        assert to_list(machine.run(sym("take"), [2, data])) == [1, 2]
+        assert to_list(machine.run(sym("drop"), [2, data])) == [3, 4, 5]
+        assert machine.run(sym("take"), [0, data]) is NIL
+        assert to_list(machine.run(sym("take"), [99, data])) == [1, 2, 3, 4, 5]
+
+    def test_copy_list1_fresh(self, machine):
+        original = lst(1, 2, 3)
+        copy = machine.run(sym("copy-list1"), [original])
+        assert lisp_equal(copy, original)
+        assert copy is not original
+
+    def test_subst1(self, machine):
+        tree = from_list([sym("a"), from_list([sym("b"), sym("a")])])
+        result = machine.run(sym("subst1"), [sym("x"), sym("a"), tree])
+        assert to_list(result)[0] is sym("x")
+        assert to_list(to_list(result)[1]) == [sym("b"), sym("x")]
+
+    def test_flatten(self, machine):
+        tree = from_list([1, from_list([2, from_list([3]), 4]), 5])
+        assert to_list(machine.run(sym("flatten"), [tree])) == [1, 2, 3, 4, 5]
+
+
+class TestArithmetic:
+    def test_sum_list(self, machine):
+        assert machine.run(sym("sum-list"), [lst(1, 2, 3, 4, 5)]) == 15
+
+    def test_max_min(self, machine):
+        assert machine.run(sym("max-list"), [lst(3, 9, 2)]) == 9
+        assert machine.run(sym("min-list"), [lst(3, 9, 2)]) == 2
+
+    def test_max_list_empty_errors(self, machine):
+        with pytest.raises(LispError):
+            machine.run(sym("max-list"), [NIL])
+
+
+class TestSorting:
+    def test_sort_numbers(self, machine):
+        result = machine.run(sym("sort-list"),
+                             [fn_value("<"), lst(5, 1, 4, 2, 3)])
+        assert to_list(result) == [1, 2, 3, 4, 5]
+
+    def test_sort_descending(self, machine):
+        result = machine.run(sym("sort-list"),
+                             [fn_value(">"), lst(5, 1, 4, 2, 3)])
+        assert to_list(result) == [5, 4, 3, 2, 1]
+
+    def test_sort_empty_and_singleton(self, machine):
+        assert machine.run(sym("sort-list"), [fn_value("<"), NIL]) is NIL
+        assert to_list(machine.run(sym("sort-list"),
+                                   [fn_value("<"), lst(7)])) == [7]
+
+    def test_sort_is_stable_merge(self, machine):
+        result = machine.run(sym("sort-list"),
+                             [fn_value("<"), lst(2, 1, 2, 1)])
+        assert to_list(result) == [1, 1, 2, 2]
+
+    def test_sort_larger(self, machine):
+        import random
+
+        values = list(range(30))
+        random.Random(7).shuffle(values)
+        result = machine.run(sym("sort-list"),
+                             [fn_value("<"), from_list(values)])
+        assert to_list(result) == sorted(values)
+
+
+class TestAlists:
+    def test_alist_get_found(self, machine):
+        alist = from_list([
+            from_list([sym("a"), 1]), from_list([sym("b"), 2])])
+        # assoc-style alist entries here are (key value) lists; cdr = (value)
+        result = machine.run(sym("alist-get"), [sym("b"), alist, NIL])
+        assert to_list(result) == [2]
+
+    def test_alist_get_default(self, machine):
+        assert machine.run(sym("alist-get"),
+                           [sym("z"), NIL, sym("fallback")]) is sym("fallback")
+
+    def test_alist_put_and_keys(self, machine):
+        from repro.datum import cons
+
+        alist = from_list([cons(sym("a"), 1)])
+        updated = machine.run(sym("alist-put"), [sym("a"), 99, alist])
+        keys = machine.run(sym("alist-keys"), [updated])
+        assert to_list(keys) == [sym("a")]
+        assert machine.run(sym("alist-get"),
+                           [sym("a"), updated, NIL]) == 99
+
+
+class TestDifferentialAgainstInterpreter:
+    """The same prelude source interpreted must agree with compiled runs."""
+
+    CASES = [
+        ("mapcar1", lambda: [fn_value("1+"), lst(1, 2, 3)]),
+        ("filter", lambda: [fn_value("oddp"), lst(1, 2, 3, 4)]),
+        ("reduce1", lambda: [fn_value("+"), 0, lst(5, 6, 7)]),
+        ("iota", lambda: [6]),
+        ("flatten", lambda: [from_list([1, from_list([2, 3])])]),
+        ("sort-list", lambda: [fn_value("<"), lst(3, 1, 2)]),
+        ("sum-list", lambda: [lst(2, 4, 6)]),
+    ]
+
+    @pytest.mark.parametrize("name,make_args",
+                             CASES, ids=[c[0] for c in CASES])
+    def test_agreement(self, machine, name, make_args):
+        compiled = machine.run(sym(name), make_args())
+
+        interp = Interpreter()
+        interp.eval_source(prelude_source())
+        # Interpreter function values: primitives work directly.
+        interp_args = []
+        for arg in make_args():
+            if isinstance(arg, PrimitiveFn):
+                interp_args.append(arg.primitive)
+            else:
+                interp_args.append(arg)
+        expected = interp.apply_function(
+            interp.global_functions[sym(name)], interp_args)
+        assert lisp_equal(compiled, expected)
+
+
+class TestPreludeMetadata:
+    def test_all_functions_compiled(self):
+        compiler = Compiler()
+        names = compiler.load_prelude()
+        assert len(names) >= 24
+        assert sym("mapcar1") in names
+        assert sym("sort-list") in names
+
+    def test_prelude_compiles_with_peephole(self):
+        from repro import CompilerOptions
+
+        compiler = Compiler(CompilerOptions(enable_peephole=True,
+                                            enable_cse=True))
+        compiler.load_prelude()
+        machine = compiler.machine()
+        assert to_list(machine.run(sym("iota"), [3])) == [0, 1, 2]

@@ -1,0 +1,247 @@
+"""Unit tests for the S-expression reader and printer."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.datum import NIL, Cons, sym, to_list
+from repro.errors import ReaderError
+from repro.reader import Char, read, read_all, write_to_string
+
+
+class TestAtoms:
+    def test_integer(self):
+        assert read("42") == 42
+
+    def test_negative_integer(self):
+        assert read("-17") == -17
+
+    def test_plus_integer(self):
+        assert read("+5") == 5
+
+    def test_bignum(self):
+        assert read(str(10**40)) == 10**40
+
+    def test_ratio(self):
+        assert read("1/3") == Fraction(1, 3)
+
+    def test_negative_ratio(self):
+        assert read("-2/4") == Fraction(-1, 2)
+
+    def test_ratio_normalizes_to_int(self):
+        value = read("6/3")
+        assert value == 2
+        assert isinstance(value, int)
+
+    def test_float(self):
+        assert read("3.0") == 3.0
+
+    def test_float_exponent(self):
+        assert read("2.5e-3") == 2.5e-3
+
+    def test_float_paper_constant(self):
+        assert read("0.159154942") == pytest.approx(0.159154942)
+
+    def test_symbol(self):
+        assert read("foo") is sym("foo")
+
+    def test_symbol_lowercased(self):
+        assert read("FOO") is sym("foo")
+
+    def test_symbol_with_dollar(self):
+        # The paper's type-specific operators: +$f, *$f, sin$f ...
+        assert read("+$f") is sym("+$f")
+
+    def test_plus_is_symbol(self):
+        assert read("+") is sym("+")
+
+    def test_minus_is_symbol(self):
+        assert read("-") is sym("-")
+
+    def test_1plus_style_symbol(self):
+        assert read("1+") is sym("1+")
+
+    def test_nil(self):
+        assert read("nil") is NIL
+
+    def test_string(self):
+        assert read('"hello world"') == "hello world"
+
+    def test_string_escapes(self):
+        assert read(r'"a\"b\\c\n"') == 'a"b\\c\n'
+
+    def test_character(self):
+        assert read(r"#\a") == Char("a")
+
+    def test_named_character(self):
+        assert read(r"#\space") == Char(" ")
+
+    def test_complex_literal(self):
+        assert read("#c(1.0 2.0)") == complex(1.0, 2.0)
+
+    def test_uninterned_symbol(self):
+        value = read("#:temp")
+        assert value.name == "temp"
+        assert not value.interned
+
+
+class TestLists:
+    def test_empty_list(self):
+        assert read("()") is NIL
+
+    def test_flat_list(self):
+        assert to_list(read("(1 2 3)")) == [1, 2, 3]
+
+    def test_nested_list(self):
+        outer = to_list(read("(a (b c) d)"))
+        assert outer[0] is sym("a")
+        assert to_list(outer[1]) == [sym("b"), sym("c")]
+
+    def test_dotted_pair(self):
+        pair = read("(1 . 2)")
+        assert isinstance(pair, Cons)
+        assert pair.car == 1 and pair.cdr == 2
+
+    def test_dotted_list(self):
+        value = read("(1 2 . 3)")
+        assert value.car == 1
+        assert value.cdr.car == 2
+        assert value.cdr.cdr == 3
+
+    def test_quote_sugar(self):
+        assert to_list(read("'x")) == [sym("quote"), sym("x")]
+
+    def test_function_sugar(self):
+        assert to_list(read("#'f")) == [sym("function"), sym("f")]
+
+    def test_quote_list(self):
+        value = to_list(read("'(1 2)"))
+        assert value[0] is sym("quote")
+        assert to_list(value[1]) == [1, 2]
+
+    def test_comments_skipped(self):
+        assert read("; leading comment\n42") == 42
+
+    def test_block_comments(self):
+        assert read("#| ignore #| nested |# this |# 7") == 7
+
+    def test_read_all(self):
+        assert read_all("1 2 3") == [1, 2, 3]
+
+    def test_read_all_empty(self):
+        assert read_all("  ; nothing\n") == []
+
+    def test_paper_defun_parses(self):
+        form = read(
+            """
+            (defun exptl (x n a)
+              (cond ((zerop n) a)
+                    ((oddp n) (exptl (* x x) (floor (/ n 2)) (* a x)))
+                    (t (exptl (* x x) (floor (/ n 2)) a))))
+            """
+        )
+        parts = to_list(form)
+        assert parts[0] is sym("defun")
+        assert parts[1] is sym("exptl")
+
+
+class TestReaderErrors:
+    def test_unbalanced_close(self):
+        with pytest.raises(ReaderError):
+            read(")")
+
+    def test_unterminated_list(self):
+        with pytest.raises(ReaderError):
+            read("(1 2")
+
+    def test_unterminated_string(self):
+        with pytest.raises(ReaderError):
+            read('"abc')
+
+    def test_misplaced_dot(self):
+        with pytest.raises(ReaderError):
+            read("(. 1)")
+
+    def test_eof(self):
+        with pytest.raises(ReaderError):
+            read("   ")
+
+    def test_bad_dispatch(self):
+        with pytest.raises(ReaderError):
+            read("#z")
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(ReaderError):
+            read("#| never ends")
+
+    def test_dot_with_extra_tail(self):
+        with pytest.raises(ReaderError):
+            read("(1 . 2 3)")
+
+
+class TestPrinter:
+    def test_symbol(self):
+        assert write_to_string(sym("foo")) == "foo"
+
+    def test_nil(self):
+        assert write_to_string(NIL) == "nil"
+
+    def test_integer(self):
+        assert write_to_string(42) == "42"
+
+    def test_float_keeps_point(self):
+        assert write_to_string(3.0) == "3.0"
+
+    def test_ratio(self):
+        assert write_to_string(Fraction(1, 3)) == "1/3"
+
+    def test_string(self):
+        assert write_to_string('a"b') == '"a\\"b"'
+
+    def test_list(self):
+        assert write_to_string(read("(1 2 3)")) == "(1 2 3)"
+
+    def test_nested(self):
+        assert write_to_string(read("(a (b . c))")) == "(a (b . c))"
+
+    def test_quote_sugar_printed(self):
+        assert write_to_string(read("'(a b)")) == "'(a b)"
+
+    def test_symbol_needing_escape(self):
+        weird = sym("has space")
+        assert write_to_string(weird) == "|has space|"
+
+    def test_complex(self):
+        assert write_to_string(complex(1.0, -2.0)) == "#c(1.0 -2.0)"
+
+    def test_circular_list_terminates(self):
+        from repro.datum import cons
+
+        node = cons(1, NIL)
+        node.cdr = node
+        text = write_to_string(node)
+        assert "circular" in text
+
+
+class TestRoundTrip:
+    CASES = [
+        "42",
+        "-7",
+        "1/3",
+        "3.5",
+        "foo",
+        "(1 2 3)",
+        "(a . b)",
+        "'(quote x)",
+        "(defun f (x) (+ x 1))",
+        '("str" #\\a 1.5e10)',
+        "(((deeply) nested) (lists (here)))",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_round_trip(self, text):
+        from repro.datum import lisp_equal
+
+        once = read(text)
+        again = read(write_to_string(once))
+        assert lisp_equal(once, again)

@@ -1,0 +1,102 @@
+"""Tests for the compile-and-go REPL driver (python -m repro)."""
+
+import io
+
+import pytest
+
+from repro.__main__ import Repl
+
+
+def session(*lines):
+    out = io.StringIO()
+    repl = Repl(out=out)
+    alive = True
+    for line in lines:
+        alive = repl.handle(line)
+    return out.getvalue(), alive, repl
+
+
+class TestEvaluation:
+    def test_expression(self):
+        output, _, _ = session("(+ 1 2 3)")
+        assert output.strip() == "6"
+
+    def test_defun_then_call(self):
+        output, _, _ = session("(defun sq (x) (* x x))", "(sq 9)")
+        assert output.splitlines() == ["sq", "81"]
+
+    def test_defvar_persists_across_entries(self):
+        output, _, _ = session("(defvar *x* 10)", "(+ *x* 5)")
+        assert output.splitlines() == ["*x*", "15"]
+
+    def test_setq_persists_in_session_machine(self):
+        output, _, _ = session("(defvar *n* 0)",
+                               "(setq *n* 42)",
+                               "*n*")
+        assert output.splitlines()[-1] == "42"
+
+    def test_list_result_printed_as_lisp(self):
+        output, _, _ = session("(list 1 2 3)")
+        assert output.strip() == "(1 2 3)"
+
+    def test_error_reported_not_fatal(self):
+        output, alive, _ = session("(car 5)", "(+ 1 1)")
+        lines = output.splitlines()
+        assert lines[0].startswith("error:")
+        assert lines[1] == "2"
+        assert alive
+
+    def test_reader_error_reported(self):
+        output, alive, _ = session("(unclosed")
+        assert "error:" in output
+        assert alive
+
+
+class TestMetaCommands:
+    def test_quit(self):
+        _, alive, _ = session(":quit")
+        assert not alive
+
+    def test_listing(self):
+        output, _, _ = session("(defun f (x) (+ x 1))", ":listing f")
+        assert ";;; f" in output
+        assert "(RET" in output
+
+    def test_listing_unknown(self):
+        output, _, _ = session(":listing nothing")
+        assert "no such function" in output
+
+    def test_source(self):
+        output, _, _ = session("(defun f (x) (+ x 0))", ":source f")
+        assert "(lambda (x) x)" in output
+
+    def test_transcript(self):
+        output, _, _ = session("(defun f (x) (+ x 0))", ":transcript f")
+        assert "META-EVALUATE-ASSOC-COMMUT-CALL" in output
+
+    def test_stats(self):
+        output, _, _ = session("(+ 1 1)", ":stats")
+        assert "instructions:" in output
+
+    def test_stats_before_any_run(self):
+        output, _, _ = session(":stats")
+        assert "nothing run" in output
+
+    def test_phases(self):
+        output, _, _ = session("(defun f (x) x)", ":phases")
+        assert "code generation" in output
+
+    def test_prelude(self):
+        output, _, _ = session(":prelude", "(sum-list (iota 5))")
+        assert "loaded" in output
+        assert output.strip().endswith("10")
+
+    def test_unknown_command(self):
+        output, alive, _ = session(":frobnicate")
+        assert "unknown command" in output
+        assert alive
+
+    def test_blank_line(self):
+        output, alive, _ = session("", "   ")
+        assert output == ""
+        assert alive

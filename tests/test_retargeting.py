@@ -1,0 +1,82 @@
+"""Unit tests for target descriptions and cross-target compilation."""
+
+import pytest
+
+from repro import Compiler, CompilerOptions
+from repro.datum import lisp_equal, sym
+from repro.target import PDP10, S1, TARGETS, VAX, get_target
+
+
+class TestTargetDescriptions:
+    def test_known_targets(self):
+        assert set(TARGETS) == {"s1", "vax", "pdp10"}
+
+    def test_lookup(self):
+        assert get_target("s1") is S1
+        assert get_target("vax") is VAX
+
+    def test_unknown_target(self):
+        with pytest.raises(KeyError):
+            get_target("cray")
+
+    def test_s1_properties(self):
+        assert S1.has_rt_constraint
+        assert S1.sin_in_cycles
+        assert S1.registers == 32
+
+    def test_vax_properties(self):
+        assert not VAX.has_rt_constraint
+        assert not VAX.sin_in_cycles
+        assert VAX.registers == 16
+
+    def test_pdp10_mixed(self):
+        assert PDP10.has_rt_constraint
+        assert not PDP10.sin_in_cycles
+
+    def test_descriptions_immutable(self):
+        with pytest.raises(Exception):
+            S1.registers = 8  # type: ignore[misc]
+
+
+PROGRAMS = [
+    ("(defun f (x) (* x x))", "f", [9]),
+    ("(defun f (x) (declare (single-float x)) (+$f (*$f x x) 1.0))",
+     "f", [2.0]),
+    ("""(defun f (n)
+          (let ((s 0)) (dotimes (i n s) (setq s (+ s i)))))""", "f", [10]),
+    ("""(defun g (k) (lambda (x) (+ x k)))
+        (defun f (v) (funcall (g 10) v))""", "f", [5]),
+    ("(defun f (a &optional (b 3)) (list a b))", "f", [1]),
+]
+
+
+class TestCrossTargetAgreement:
+    @pytest.mark.parametrize("source,fn,args", PROGRAMS)
+    @pytest.mark.parametrize("target", ["vax", "pdp10"])
+    def test_alt_target_matches_s1(self, source, fn, args, target):
+        reference = Compiler(CompilerOptions(target="s1"))
+        reference.compile_source(source)
+        other = Compiler(CompilerOptions(target=target))
+        other.compile_source(source)
+        assert lisp_equal(reference.run(fn, args), other.run(fn, args))
+
+    def test_vax_never_inserts_staging_movs(self):
+        source = """
+            (defun update (a b c d)
+              (declare (single-float a) (single-float b)
+                       (single-float c) (single-float d))
+              (+$f (*$f a b) (*$f c d)))
+        """
+        compiler = Compiler(CompilerOptions(target="vax"))
+        compiler.compile_source(source)
+        assert compiler.functions[sym("update")].code.moves_inserted == 0
+        assert compiler.run("update", [1.0, 2.0, 3.0, 4.0]) == 14.0
+
+    def test_prelude_compiles_on_all_targets(self):
+        from repro.datum import to_list
+
+        for target in TARGETS:
+            compiler = Compiler(CompilerOptions(target=target))
+            compiler.load_prelude()
+            machine = compiler.machine()
+            assert to_list(machine.run(sym("iota"), [3])) == [0, 1, 2]

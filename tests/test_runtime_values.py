@@ -1,0 +1,191 @@
+"""Unit tests for the machine's value model and the interpreter's
+environment structures -- the corners integration tests pass through but
+rarely isolate."""
+
+import pytest
+
+from repro.datum import NIL, T, cons, sym
+from repro.errors import MachineError, UnboundVariableError
+from repro.interp.environment import Cell, DeepBindingStack, LexicalEnvironment
+from repro.ir.nodes import Variable
+from repro.machine.values import (
+    Cell as RuntimeCell,
+    Closure,
+    HeapNumber,
+    PdlNumber,
+    PrimitiveFn,
+    is_pointer_value,
+    is_raw_number,
+    lisp_is_true,
+    pointer_to_lisp,
+)
+
+
+class TestValuePredicates:
+    def test_raw_numbers(self):
+        assert is_raw_number(3)
+        assert is_raw_number(3.5)
+        assert is_raw_number(complex(1, 2))
+        assert not is_raw_number(True)
+        assert not is_raw_number(sym("x"))
+
+    def test_pointer_values(self):
+        assert is_pointer_value(sym("x"))
+        assert is_pointer_value(cons(1, 2))
+        assert is_pointer_value("str")
+        assert is_pointer_value(HeapNumber(1.0))
+        assert is_pointer_value(5)       # fixnums are immediate
+        assert not is_pointer_value(5.0)  # raw floats are not pointers
+
+    def test_pointer_to_lisp_unboxes(self):
+        assert pointer_to_lisp(HeapNumber(2.5)) == 2.5
+        assert pointer_to_lisp(sym("q")) is sym("q")
+
+    def test_truthiness(self):
+        assert not lisp_is_true(NIL)
+        assert lisp_is_true(T)
+        assert lisp_is_true(0)
+        assert lisp_is_true(HeapNumber(0.0))
+
+
+class TestPdlNumberLifetime:
+    class FakeMachine:
+        def __init__(self):
+            self.stack = [0.0, 1.25, 2.5]
+            self._alive = {7}
+
+        def frame_alive(self, serial):
+            return serial in self._alive
+
+    def test_deref_live_frame(self):
+        machine = self.FakeMachine()
+        pointer = PdlNumber(machine, 7, 1)
+        assert pointer.deref() == 1.25
+
+    def test_deref_dead_frame_traps(self):
+        machine = self.FakeMachine()
+        pointer = PdlNumber(machine, 99, 1)
+        with pytest.raises(MachineError):
+            pointer.deref()
+
+    def test_pointer_to_lisp_derefs(self):
+        machine = self.FakeMachine()
+        assert pointer_to_lisp(PdlNumber(machine, 7, 2)) == 2.5
+
+
+class TestRuntimeObjects:
+    def test_cell_repr_and_mutation(self):
+        cell = RuntimeCell(1)
+        cell.value = 2
+        assert cell.value == 2
+        assert "2" in repr(cell)
+
+    def test_primitive_fn_repr(self):
+        from repro.primitives import lookup_primitive
+
+        fn = PrimitiveFn(lookup_primitive(sym("+")))
+        assert "+" in repr(fn)
+
+    def test_closure_repr(self):
+        from repro.machine import CodeObject
+
+        closure = Closure(CodeObject("foo"), 0, [], name="foo")
+        assert "foo" in repr(closure)
+
+
+class TestLexicalEnvironment:
+    def test_bind_and_lookup(self):
+        env = LexicalEnvironment()
+        variable = Variable(sym("x"))
+        env.bind(variable, 42)
+        assert env.lookup(variable) == 42
+
+    def test_chain_lookup(self):
+        parent = LexicalEnvironment()
+        variable = Variable(sym("x"))
+        parent.bind(variable, 1)
+        child = LexicalEnvironment(parent)
+        assert child.lookup(variable) == 1
+
+    def test_shadowing_distinct_variables(self):
+        parent = LexicalEnvironment()
+        outer = Variable(sym("x"))
+        inner = Variable(sym("x"))
+        parent.bind(outer, 1)
+        child = LexicalEnvironment(parent)
+        child.bind(inner, 2)
+        assert child.lookup(inner) == 2
+        assert child.lookup(outer) == 1  # distinct objects never collide
+
+    def test_assignment_through_chain(self):
+        parent = LexicalEnvironment()
+        variable = Variable(sym("x"))
+        parent.bind(variable, 1)
+        child = LexicalEnvironment(parent)
+        child.assign(variable, 99)
+        assert parent.lookup(variable) == 99
+
+    def test_unbound_lookup(self):
+        env = LexicalEnvironment()
+        with pytest.raises(UnboundVariableError):
+            env.lookup(Variable(sym("ghost")))
+
+    def test_unbound_assignment(self):
+        env = LexicalEnvironment()
+        with pytest.raises(UnboundVariableError):
+            env.assign(Variable(sym("ghost")), 1)
+
+    def test_cells_shared(self):
+        env = LexicalEnvironment()
+        variable = Variable(sym("x"))
+        cell = env.bind(variable, 1)
+        env.assign(variable, 2)
+        assert cell.value == 2
+
+
+class TestDeepBindingStack:
+    def test_push_shadows_global(self):
+        stack = DeepBindingStack()
+        stack.set_global(sym("*v*"), 1)
+        stack.push(sym("*v*"), 2)
+        assert stack.lookup(sym("*v*")) == 2
+        stack.pop_to(0)
+        assert stack.lookup(sym("*v*")) == 1
+
+    def test_nested_shadowing_unwinds_in_order(self):
+        stack = DeepBindingStack()
+        stack.push(sym("*v*"), 1)
+        depth = stack.depth()
+        stack.push(sym("*v*"), 2)
+        stack.push(sym("*v*"), 3)
+        assert stack.lookup(sym("*v*")) == 3
+        stack.pop_to(depth)
+        assert stack.lookup(sym("*v*")) == 1
+
+    def test_assign_targets_innermost(self):
+        stack = DeepBindingStack()
+        stack.push(sym("*v*"), 1)
+        stack.push(sym("*v*"), 2)
+        stack.assign(sym("*v*"), 99)
+        assert stack.lookup(sym("*v*")) == 99
+        stack.pop_to(1)
+        assert stack.lookup(sym("*v*")) == 1
+
+    def test_assign_unbound_creates_global(self):
+        stack = DeepBindingStack()
+        stack.assign(sym("*new*"), 5)
+        assert stack.lookup(sym("*new*")) == 5
+
+    def test_search_instrumentation(self):
+        stack = DeepBindingStack()
+        for i in range(5):
+            stack.push(sym(f"*v{i}*"), i)
+        stack.lookup(sym("*v0*"))  # deepest: 5 steps
+        assert stack.lookups == 1
+        assert stack.search_steps == 5
+
+    def test_all_cells_covers_stack_and_globals(self):
+        stack = DeepBindingStack()
+        stack.set_global(sym("*g*"), 1)
+        stack.push(sym("*s*"), 2)
+        assert len(list(stack.all_cells())) == 2

@@ -1,0 +1,120 @@
+"""Tests for the string-processing primitives (the S-1's string hardware
+family, Section 3), interpreted and compiled."""
+
+import pytest
+
+from repro import Compiler, Interpreter, compile_and_run, evaluate
+from repro.datum import NIL, T, sym
+from repro.errors import LispError, WrongTypeError
+from repro.reader import Char
+
+
+class TestStringPrimitives:
+    def test_string_eq(self):
+        assert evaluate('(string= "abc" "abc")') is T
+        assert evaluate('(string= "abc" "abd")') is NIL
+
+    def test_string_lt(self):
+        assert evaluate('(string< "abc" "abd")') is T
+        assert evaluate('(string< "b" "a")') is NIL
+
+    def test_string_length(self):
+        assert evaluate('(string-length "hello")') == 5
+        assert evaluate('(string-length "")') == 0
+
+    def test_char(self):
+        assert evaluate('(char "abc" 1)') == Char("b")
+
+    def test_char_out_of_bounds(self):
+        with pytest.raises(LispError):
+            evaluate('(char "abc" 9)')
+
+    def test_substring(self):
+        assert evaluate('(substring "hello world" 6)') == "world"
+        assert evaluate('(substring "hello world" 0 5)') == "hello"
+
+    def test_substring_bad_range(self):
+        with pytest.raises(LispError):
+            evaluate('(substring "abc" 2 1)')
+
+    def test_string_append(self):
+        assert evaluate('(string-append "a" "b" "c")') == "abc"
+        assert evaluate('(string-append)') == ""
+
+    def test_string_search_found(self):
+        assert evaluate('(string-search "wor" "hello world")') == 6
+
+    def test_string_search_missing(self):
+        assert evaluate('(string-search "xyz" "hello")') is NIL
+
+    def test_case_conversion(self):
+        assert evaluate('(string-upcase "MiXeD")') == "MIXED"
+        assert evaluate('(string-downcase "MiXeD")') == "mixed"
+
+    def test_string_reverse(self):
+        assert evaluate('(string-reverse "abc")') == "cba"
+
+    def test_intern_round_trip(self):
+        assert evaluate('(intern (symbol-name \'hello))') is sym("hello")
+
+    def test_char_code_round_trip(self):
+        assert evaluate('(code-char (char-code (char "A" 0)))') == Char("A")
+
+    def test_type_errors(self):
+        with pytest.raises(WrongTypeError):
+            evaluate('(string-length 5)')
+        with pytest.raises(WrongTypeError):
+            evaluate("(string= 'sym \"s\")")
+
+
+class TestCompiledStrings:
+    def test_tokenizer_program(self):
+        """A small word-splitter built from the string primitives, compiled
+        and run on the simulated machine."""
+        source = """
+            (defun split-words (s)
+              (let ((cut (string-search " " s)))
+                (if (null cut)
+                    (if (zerop (string-length s)) nil (list s))
+                    (let ((head (substring s 0 cut))
+                          (tail (substring s (+ cut 1))))
+                      (if (zerop (string-length head))
+                          (split-words tail)
+                          (cons head (split-words tail)))))))
+        """
+        from repro.datum import to_list
+
+        result, machine = compile_and_run(source, "split-words",
+                                          ["the  quick brown fox"])
+        assert to_list(result) == ["the", "quick", "brown", "fox"]
+
+    def test_string_predicates_in_caseq_style(self):
+        source = """
+            (defun classify (s)
+              (cond ((string= s "yes") 'affirmative)
+                    ((string= s "no") 'negative)
+                    (t 'unknown)))
+        """
+        assert compile_and_run(source, "classify", ["yes"])[0] \
+            is sym("affirmative")
+        assert compile_and_run(source, "classify", ["maybe"])[0] \
+            is sym("unknown")
+
+    def test_interpreter_compiler_agree(self):
+        source = """
+            (defun normalize (s)
+              (string-downcase (substring s 0 (min 3 (string-length s)))))
+        """
+        interp = Interpreter()
+        interp.eval_source(source)
+        expected = interp.apply_function(
+            interp.global_functions[sym("normalize")], ["HELLO"])
+        got, _ = compile_and_run(source, "normalize", ["HELLO"])
+        assert expected == got == "hel"
+
+    def test_constant_folding_on_strings(self):
+        compiler = Compiler()
+        compiler.compile_source(
+            '(defun k () (string-length "constant"))')
+        # Pure string op on constants folds at compile time.
+        assert "8" in compiler.functions[sym("k")].optimized_source

@@ -1,0 +1,132 @@
+"""Tests for optimizer tree utilities: structural equality, link
+refreshing, copy_tree renaming, and the root holder."""
+
+import pytest
+
+from repro.ir import (
+    CallNode,
+    LambdaNode,
+    LiteralNode,
+    VarRefNode,
+    convert_source,
+    copy_tree,
+)
+from repro.optimizer import RootHolder, fix_parents, refresh_variable_links, tree_equal
+
+
+def conv(text):
+    return convert_source(text)
+
+
+class TestTreeEqual:
+    def test_identical_literals(self):
+        assert tree_equal(conv("42"), conv("42"))
+        assert not tree_equal(conv("42"), conv("43"))
+
+    def test_literal_types_distinct(self):
+        assert not tree_equal(conv("1"), conv("1.0"))
+
+    def test_same_variable_required(self):
+        tree = conv("(lambda (x) (+ x x))")
+        call = tree.body
+        assert tree_equal(call.args[0], call.args[1])
+
+    def test_different_variables_unequal(self):
+        tree = conv("(lambda (x y) (+ x y))")
+        call = tree.body
+        assert not tree_equal(call.args[0], call.args[1])
+
+    def test_call_structure(self):
+        a = conv("(lambda (x) (f (g x) 1))")
+        b = conv("(lambda (x) (f (g x) 1))")
+        # Different Variable objects: bodies are NOT tree_equal.
+        assert not tree_equal(a.body, b.body)
+        # But within one tree, identical subtrees are.
+        tree = conv("(lambda (x) (list (g x 1) (g x 1)))")
+        call = tree.body
+        assert tree_equal(call.args[0], call.args[1])
+
+    def test_arity_mismatch(self):
+        tree = conv("(lambda (x) (list (g x) (g x 1)))")
+        call = tree.body
+        assert not tree_equal(call.args[0], call.args[1])
+
+    def test_lambdas_conservatively_unequal(self):
+        tree = conv("(lambda () (list (lambda (a) a) (lambda (a) a)))")
+        call = tree.body
+        assert not tree_equal(call.args[0], call.args[1])
+
+
+class TestCopyTree:
+    def test_bound_variables_renamed(self):
+        original = conv("(lambda (x) (+ x 1))")
+        clone = copy_tree(original)
+        assert isinstance(clone, LambdaNode)
+        assert clone.required[0] is not original.required[0]
+        body_ref = next(n for n in clone.walk() if isinstance(n, VarRefNode))
+        assert body_ref.variable is clone.required[0]
+
+    def test_free_variables_preserved(self):
+        outer = conv("(lambda (y) (lambda (x) (+ x y)))")
+        inner = outer.body
+        clone = copy_tree(inner)
+        refs = [n for n in clone.walk() if isinstance(n, VarRefNode)]
+        y_refs = [r for r in refs if r.variable.name.name == "y"]
+        assert y_refs and y_refs[0].variable is outer.required[0]
+
+    def test_progbody_targets_retargeted(self):
+        from repro.ir import GoNode, ProgbodyNode
+
+        original = conv("(progbody loop (go loop))")
+        clone = copy_tree(original)
+        go = next(n for n in clone.walk() if isinstance(n, GoNode))
+        assert isinstance(clone, ProgbodyNode)
+        assert go.target is clone
+        assert go.target is not original
+
+    def test_deep_structure(self):
+        original = conv(
+            "(lambda (a) (if (zerop a) (list a) ((lambda (b) (+ a b)) 1)))")
+        clone = copy_tree(original)
+        from repro.ir import back_translate_to_string
+
+        assert back_translate_to_string(clone) == \
+            back_translate_to_string(original)
+
+
+class TestLinkMaintenance:
+    def test_refresh_rebuilds_ref_lists(self):
+        tree = conv("(lambda (x) (+ x x))")
+        x = tree.required[0]
+        # Pollute the list with a stale entry.
+        stale = VarRefNode(x)
+        assert len(x.refs) == 3
+        refresh_variable_links(tree)
+        assert len(x.refs) == 2
+        del stale
+
+    def test_refresh_rebuilds_setqs(self):
+        tree = conv("(lambda (x) (setq x 1))")
+        x = tree.required[0]
+        refresh_variable_links(tree)
+        assert len(x.setqs) == 1
+
+    def test_fix_parents(self):
+        tree = conv("(lambda (x) (if x 1 2))")
+        body = tree.body
+        body.then.parent = None  # corrupt
+        fix_parents(tree)
+        assert body.then.parent is body
+
+    def test_root_holder_replacement(self):
+        tree = conv("(+ 1 2)")
+        holder = RootHolder(tree)
+        replacement = LiteralNode(3)
+        holder.replace_child(tree, replacement)
+        assert holder.child is replacement
+        assert replacement.parent is holder
+
+    def test_root_holder_rejects_stranger(self):
+        holder = RootHolder(conv("1"))
+        with pytest.raises(ValueError):
+            holder.replace_child(conv("2"), conv("3"))

@@ -1,0 +1,101 @@
+"""Tests for the S-1 vector hardware instructions (Section 3).
+
+"There are vector processing instructions to perform component-wise
+arithmetic, vector dot product, matrix transposition, convolution, Fast
+Fourier Transform, and string processing ... the vector and string-
+processing instructions are more frequently useful."
+"""
+
+import pytest
+
+from repro import Compiler, CompilerOptions, Interpreter
+from repro.datum import sym
+from repro.errors import LispError, MachineError
+from repro.primitives import LispVector
+
+
+@pytest.fixture
+def compiler():
+    compiler = Compiler()
+    compiler.compile_source("""
+        (defun dot (a b) (vdot$f a b))
+        (defun total (v) (vsum$f v))
+        (defun add (a b) (vadd$f a b))
+        (defun axpy (k x y) (vadd$f (vscale$f k x) y))
+    """)
+    return compiler
+
+
+def vec(*values):
+    return LispVector([float(v) for v in values])
+
+
+class TestVectorInstructions:
+    def test_dot_product(self, compiler):
+        result = compiler.run("dot", [vec(1, 2, 3), vec(4, 5, 6)])
+        assert result == 32.0
+
+    def test_dot_emits_vdot_instruction(self, compiler):
+        opcodes = [i.opcode for i in
+                   compiler.functions[sym("dot")].code.instructions]
+        assert "VDOT" in opcodes
+        assert "GENERIC" not in opcodes
+
+    def test_sum(self, compiler):
+        assert compiler.run("total", [vec(1, 2, 3, 4)]) == 10.0
+
+    def test_component_add(self, compiler):
+        result = compiler.run("add", [vec(1, 2), vec(10, 20)])
+        assert result == vec(11, 22)
+
+    def test_axpy(self, compiler):
+        result = compiler.run("axpy", [2.0, vec(1, 2, 3), vec(1, 1, 1)])
+        assert result == vec(3, 5, 7)
+
+    def test_length_mismatch_traps(self, compiler):
+        with pytest.raises(LispError):
+            compiler.run("dot", [vec(1, 2), vec(1, 2, 3)])
+
+    def test_non_vector_traps(self, compiler):
+        with pytest.raises((LispError, MachineError)):
+            compiler.run("dot", [5, vec(1.0)])
+
+    def test_dynamic_cycle_cost_scales_with_length(self, compiler):
+        short_machine = compiler.machine()
+        short_machine.run(sym("dot"), [vec(*range(4)), vec(*range(4))])
+        long_machine = compiler.machine()
+        long_machine.run(sym("dot"),
+                         [vec(*range(400)), vec(*range(400))])
+        # Same instruction count, cycle cost grows ~length/4.
+        assert long_machine.instructions == short_machine.instructions
+        assert long_machine.cycles - short_machine.cycles >= 90
+
+    def test_interpreter_agrees(self, compiler):
+        interp = Interpreter()
+        interp.eval_source("(defun dot (a b) (vdot$f a b))")
+        expected = interp.apply_function(
+            interp.global_functions[sym("dot")],
+            [vec(1, 2, 3), vec(4, 5, 6)])
+        assert compiler.run("dot", [vec(1, 2, 3), vec(4, 5, 6)]) == expected
+
+    def test_result_feeds_raw_arithmetic(self):
+        compiler = Compiler()
+        compiler.compile_source(
+            "(defun norm2 (v) (sqrt$f (vdot$f v v)))")
+        assert compiler.run("norm2", [vec(3, 4)]) == 5.0
+        opcodes = [i.opcode for i in
+                   compiler.functions[sym("norm2")].code.instructions]
+        # VDOT's raw float result flows straight into FSQRT: no boxing
+        # between them.
+        vdot_at = opcodes.index("VDOT")
+        fsqrt_at = opcodes.index("FSQRT")
+        assert "BOXF" not in opcodes[vdot_at:fsqrt_at]
+
+    def test_without_rep_analysis_goes_generic(self):
+        compiler = Compiler(CompilerOptions(
+            enable_representation_analysis=False))
+        compiler.compile_source("(defun dot (a b) (vdot$f a b))")
+        assert compiler.run("dot", [vec(1, 1), vec(2, 3)]) == 5.0
+        opcodes = [i.opcode for i in
+                   compiler.functions[sym("dot")].code.instructions]
+        assert "GENERIC" in opcodes
