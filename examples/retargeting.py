@@ -41,8 +41,13 @@ def main() -> None:
         print(listing)
         print()
         rules = compiled.transcript.rules_fired()
+        from repro.target.registers import RTA, RTB
+
+        rt_used = any(operand in (("reg", RTA), ("reg", RTB))
+                      for instruction in compiled.code.instructions
+                      for operand in instruction.operands)
         print(f"sin->sinc fired: {'META-SIN-TO-SINC' in rules}   "
-              f"RTA used: {'RTA' in listing}   "
+              f"RT staging used: {rt_used}   "
               f"result: {results[target]:.9f}")
         print()
 

@@ -8,24 +8,36 @@ Public API highlights:
 * :func:`repro.compile_and_run` -- compile source, run on the simulated S-1
 * :class:`repro.Interpreter` / :func:`repro.evaluate` -- reference semantics
 * :class:`repro.CompilerOptions` / :func:`repro.naive_options` -- ablations
+* :class:`repro.CompilationResult` -- what one ``Compiler.compile`` call made
+* :mod:`repro.target` / :func:`repro.get_target` -- machine descriptions
+  (``s1``, ``vax``, ``pdp10``) for retargeting
 * :mod:`repro.machine` -- the simulated S-1 (instruction/allocation counters)
 """
 
-from .compiler import CompiledFunction, Compiler, compile_and_run
+from .compiler import (
+    CompilationResult,
+    CompiledFunction,
+    Compiler,
+    compile_and_run,
+)
 from .interp import Interpreter, evaluate
 from .options import CompilerOptions, DEFAULT_OPTIONS, naive_options
 from .reader import read, read_all, write_to_string
+from .target import MachineDescription, get_target
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "CompilationResult",
     "CompiledFunction",
     "Compiler",
     "CompilerOptions",
     "DEFAULT_OPTIONS",
     "Interpreter",
+    "MachineDescription",
     "compile_and_run",
     "evaluate",
+    "get_target",
     "naive_options",
     "read",
     "read_all",

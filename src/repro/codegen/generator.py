@@ -1151,6 +1151,7 @@ class FunctionCodegen:
             n_temps=packing.temp_slots_used,
             arity_min=self.root.min_args(),
             arity_max=self.root.max_args(),
+            target=self.target.name,
         )
         code.moves_inserted = self.moves_inserted  # type: ignore[attr-defined]
         code.registers_used = packing.registers_used  # type: ignore[attr-defined]

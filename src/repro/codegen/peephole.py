@@ -74,6 +74,7 @@ def optimize_code(code: CodeObject) -> Tuple[CodeObject, PeepholeStats]:
         arity_min=code.arity_min,
         arity_max=code.arity_max,
         source=code.source,
+        target=code.target,
     )
     result.moves_inserted = getattr(code, "moves_inserted", 0)  # type: ignore[attr-defined]
     return result, stats

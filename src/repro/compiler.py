@@ -73,6 +73,60 @@ class PhaseTrace:
     def record(self, name: str) -> None:
         self.phases.append(name)
 
+    def report(self) -> str:
+        lines = ["Phase structure (as executed):"]
+        for index, phase in enumerate(self.phases, 1):
+            lines.append(f"  {index}. {phase}")
+        return "\n".join(lines)
+
+
+@dataclass
+class CompilationResult:
+    """Everything one :meth:`Compiler.compile` call produced.
+
+    The four historical entry points (``compile_source``, ``compile_form``,
+    ``compile_expression``, ``compile_and_run``) are thin wrappers that
+    project single fields out of this object.
+    """
+
+    #: Names defined by this call, in order (defuns, defvars, and the
+    #: wrapper function of a bare expression).
+    defined: List[Symbol] = field(default_factory=list)
+    #: The functions compiled by this call, keyed by name.
+    functions: Dict[Symbol, "CompiledFunction"] = field(default_factory=dict)
+    #: Phase pipeline of the last function compiled (Table 1).
+    trace: Optional[PhaseTrace] = None
+
+    @property
+    def primary(self) -> Optional["CompiledFunction"]:
+        """The last function compiled: the natural "result" of a one-defun
+        source or a bare expression."""
+        for name in reversed(self.defined):
+            if name in self.functions:
+                return self.functions[name]
+        return None
+
+    @property
+    def code(self) -> Optional[CodeObject]:
+        primary = self.primary
+        return primary.code if primary is not None else None
+
+    @property
+    def transcript(self) -> Optional[Transcript]:
+        primary = self.primary
+        return primary.transcript if primary is not None else None
+
+    def listing(self) -> str:
+        """Concatenated listings of every function this call compiled."""
+        return "\n\n".join(self.functions[name].listing()
+                           for name in self.defined
+                           if name in self.functions)
+
+    def phase_report(self) -> str:
+        if self.trace is None:
+            return "(nothing compiled yet)"
+        return self.trace.report()
+
 
 class Compiler:
     """Compiles a program (a set of top-level forms) for the simulator."""
@@ -90,47 +144,85 @@ class Compiler:
 
     # -- program entry points ---------------------------------------------------
 
-    def compile_source(self, text: str) -> List[Symbol]:
-        """Compile every top-level form; returns the defined names."""
-        defined: List[Symbol] = []
-        for form in read_all(text):
-            name = self.compile_form(form)
-            if name is not None:
-                defined.append(name)
-        return defined
+    def compile(self, source: Any, *, name: str = "*toplevel*",
+                expression: Optional[bool] = None) -> CompilationResult:
+        """The single compilation entry point.
 
-    def compile_form(self, form: Any) -> Optional[Symbol]:
+        *source* is program text or one already-read form.  Top-level
+        ``defun`` / ``defvar`` / ``defparameter`` forms define names; any
+        other form is wrapped as a zero-argument function called *name*.
+        *expression* forces the interpretation: ``True`` wraps everything
+        (the historical ``compile_expression`` behavior), ``False``
+        rejects non-definition forms (the historical ``compile_source``
+        behavior), ``None`` accepts both.
+        """
+        forms = read_all(source) if isinstance(source, str) else [source]
+        result = CompilationResult()
+        expression_forms: List[Any] = []
+        for form in forms:
+            if expression is not True and self._toplevel_definition_kind(form):
+                defined = self._compile_definition(form, result)
+                result.defined.append(defined)
+            elif expression is False:
+                raise ConversionError(
+                    f"only defun/defvar forms can be compiled at top level: "
+                    f"{form!r}")
+            else:
+                expression_forms.append(form)
+        if expression_forms:
+            from .datum import from_list
+
+            body = expression_forms[0] if len(expression_forms) == 1 \
+                else from_list([sym("progn")] + expression_forms)
+            lambda_form = from_list([sym("lambda"), NIL, body])
+            node = self.converter.convert_lambda(lambda_form)
+            compiled = self.compile_lambda(sym(name), node)
+            result.defined.append(compiled.name)
+            result.functions[compiled.name] = compiled
+        result.trace = self.last_trace
+        return result
+
+    def _toplevel_definition_kind(self, form: Any) -> Optional[str]:
         if isinstance(form, Cons) and form.car is sym("defun"):
-            name, node = self.converter.convert_defun(form)
-            self.compile_lambda(name, node)
-            return name
+            return "defun"
         if isinstance(form, Cons) and form.car in (sym("defvar"),
                                                    sym("defparameter")):
-            parts = to_list(form.cdr)
-            name = parts[0]
-            self.converter.proclaimed_specials.add(name)
-            if len(parts) > 1:
-                # Load-time evaluation of the initial value (it may be a
-                # quoted constant or any computation over earlier globals).
-                init_value = self._loadtime_interpreter().eval_form(parts[1])
-            else:
-                init_value = NIL
-            self.global_values[name] = init_value
+            return "defvar"
+        return None
+
+    def _compile_definition(self, form: Any,
+                            result: CompilationResult) -> Symbol:
+        if self._toplevel_definition_kind(form) == "defun":
+            name, node = self.converter.convert_defun(form)
+            result.functions[name] = self.compile_lambda(name, node)
             return name
-        raise ConversionError(
-            f"only defun/defvar forms can be compiled at top level: {form!r}")
+        parts = to_list(form.cdr)
+        name = parts[0]
+        self.converter.proclaimed_specials.add(name)
+        if len(parts) > 1:
+            # Load-time evaluation of the initial value (it may be a
+            # quoted constant or any computation over earlier globals).
+            init_value = self._loadtime_interpreter().eval_form(parts[1])
+        else:
+            init_value = NIL
+        self.global_values[name] = init_value
+        return name
+
+    # The historical entry points, kept as thin projections of compile().
+
+    def compile_source(self, text: str) -> List[Symbol]:
+        """Compile every top-level form; returns the defined names."""
+        return self.compile(text, expression=False).defined
+
+    def compile_form(self, form: Any) -> Optional[Symbol]:
+        """Compile one top-level defun/defvar form; returns its name."""
+        result = self.compile(form, expression=False)
+        return result.defined[-1] if result.defined else None
 
     def compile_expression(self, text: str,
                            name: str = "*toplevel*") -> CompiledFunction:
         """Compile an expression as a zero-argument function."""
-        from .datum import from_list
-
-        forms = read_all(text)
-        body = forms[0] if len(forms) == 1 else from_list(
-            [sym("progn")] + forms)
-        lambda_form = from_list([sym("lambda"), NIL, body])
-        node = self.converter.convert_lambda(lambda_form)
-        return self.compile_lambda(sym(name), node)
+        return self.compile(text, name=name, expression=True).primary
 
     def _loadtime_interpreter(self):
         """An interpreter seeded with the globals defined so far, used for
@@ -222,7 +314,11 @@ class Compiler:
     # -- running ------------------------------------------------------------------------
 
     def machine(self, fuel: int = 50_000_000) -> Machine:
-        machine = Machine(self.program, fuel=fuel)
+        from .target.machines import get_target
+
+        machine = Machine(self.program, fuel=fuel,
+                          cycle_costs=dict(get_target(self.options.target)
+                                           .cycles))
         for name, value in self.global_values.items():
             machine.define_global(name, value)
         return machine

@@ -34,6 +34,16 @@ class CodegenError(ReproError):
     """Code generation failed (unsupported construct, allocator overflow)."""
 
 
+class UnknownTargetError(ReproError, KeyError):
+    """``CompilerOptions.target`` names no registered machine description.
+
+    Subclasses ``KeyError`` because the name is a failed registry lookup;
+    catching :class:`ReproError` works like everywhere else."""
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return Exception.__str__(self)
+
+
 class LispError(ReproError):
     """A run-time error signalled by Lisp execution (interpreter or machine):
     wrong argument types, wrong argument counts, unbound variables, etc."""

@@ -34,10 +34,16 @@ from ..datum import Cons, to_list
 from ..datum.symbols import Symbol, sym
 from ..errors import MachineError
 from ..reader import read
+from ..target.machines import TARGETS
 from ..target.registers import REGISTER_NAMES
 from .isa import CYCLES, CodeObject, Instruction
 
+# Accept every registered target's register naming (the spellings never
+# conflict: each name maps to one index across all targets).
 _NAME_TO_REGISTER = {name: index for index, name in REGISTER_NAMES.items()}
+for _description in TARGETS.values():
+    _NAME_TO_REGISTER.update(
+        {name: index for index, name in _description.register_names.items()})
 _HEADER = re.compile(r";;;\s+(\S+)\s+\(temps:\s*(\d+)\)")
 _LABEL_LINE = re.compile(r"^([A-Za-z0-9_$*<>=?!+-]+):\s*$")
 

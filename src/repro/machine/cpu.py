@@ -79,9 +79,14 @@ class Machine:
     """One simulated processor plus its runtime state."""
 
     def __init__(self, program: Program, fuel: int = 50_000_000,
-                 gc_threshold: Optional[int] = None):
+                 gc_threshold: Optional[int] = None,
+                 cycle_costs: Optional[Dict[str, int]] = None):
         self.program = program
         self.fuel = fuel
+        # Opcode -> cycle cost; a retargeted compiler passes its
+        # MachineDescription's table so the cycle counter models that
+        # machine (default: the S-1 model).
+        self.cycle_costs = CYCLES if cycle_costs is None else cycle_costs
         # Automatic collection: when the live heap exceeds this many
         # objects, a GC runs at the next safe point (None = only explicit
         # GC instructions collect).
@@ -247,7 +252,7 @@ class Machine:
         if self.instructions > self.fuel:
             raise MachineError("instruction budget exhausted")
         self.opcode_counts[instruction.opcode] += 1
-        self.cycles += CYCLES.get(instruction.opcode, 1)
+        self.cycles += self.cycle_costs.get(instruction.opcode, 1)
         handler = _DISPATCH.get(instruction.opcode)
         if handler is None:
             raise MachineError(f"bad opcode {instruction.opcode}")

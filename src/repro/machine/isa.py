@@ -82,10 +82,12 @@ class Instruction:
     operands: Tuple[Operand, ...] = ()
     comment: Optional[str] = None
 
-    def render(self) -> str:
+    def render(self, register_names: Optional[Dict[int, str]] = None) -> str:
+        """Render one instruction; *register_names* selects a target's
+        register naming (default: the S-1 names)."""
         parts = [f"({self.opcode}"]
         for operand in self.operands:
-            parts.append(" " + _render_operand(operand))
+            parts.append(" " + _render_operand(operand, register_names))
         parts.append(")")
         text = "".join(parts)
         if self.comment:
@@ -93,12 +95,13 @@ class Instruction:
         return text
 
 
-def _render_operand(operand: Operand) -> str:
+def _render_operand(operand: Operand,
+                    register_names: Optional[Dict[int, str]] = None) -> str:
     kind, value = operand
     if kind == "reg":
         from ..target.registers import register_name
 
-        return register_name(value)
+        return register_name(value, register_names)
     if kind == "temp":
         return f"(TP {value})"
     if kind == "frame":
@@ -166,6 +169,7 @@ class CodeObject:
     arity_min: int = 0
     arity_max: Optional[int] = 0
     source: Optional[str] = None
+    target: str = "s1"
 
     def resolve_label(self, name: str) -> int:
         if name not in self.labels:
@@ -173,7 +177,11 @@ class CodeObject:
         return self.labels[name]
 
     def listing(self) -> str:
-        """Render in the paper's parenthesized-assembly style."""
+        """Render in the paper's parenthesized-assembly style, using the
+        compilation target's register naming."""
+        from ..target.machines import get_target
+
+        register_names = dict(get_target(self.target).register_names)
         lines = [f";;; {self.name}  (temps: {self.n_temps})"]
         index_to_labels: Dict[int, List[str]] = {}
         for label, index in self.labels.items():
@@ -181,7 +189,7 @@ class CodeObject:
         for index, instruction in enumerate(self.instructions):
             for label in sorted(index_to_labels.get(index, [])):
                 lines.append(f"{label}:")
-            lines.append("        " + instruction.render())
+            lines.append("        " + instruction.render(register_names))
         for label in sorted(index_to_labels.get(len(self.instructions), [])):
             lines.append(f"{label}:")
         return "\n".join(lines)

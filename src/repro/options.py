@@ -57,6 +57,13 @@ class CompilerOptions:
     transcript: bool = False               # record optimizer transcript entries
     transcript_stream: object = None       # file-like; None keeps entries only
 
+    def __post_init__(self) -> None:
+        # Fail at option-construction time, not deep inside codegen: an
+        # unknown target raises repro.errors.UnknownTargetError here.
+        from .target.machines import get_target
+
+        get_target(self.target)
+
 
 DEFAULT_OPTIONS = CompilerOptions()
 

@@ -1,0 +1,53 @@
+"""Target machine descriptions (the table-driven retargeting layer).
+
+Three submodules:
+
+* :mod:`repro.target.reps` -- the Table 3 representation lattice and its
+  coercion-cost edges.
+* :mod:`repro.target.registers` -- the register file, the RT staging
+  registers, and the fixed-role runtime registers.
+* :mod:`repro.target.machines` -- :class:`MachineDescription` bundles of
+  the above plus per-target cost tables, and the ``get_target`` registry
+  (``s1``, ``vax``, ``pdp10``).
+"""
+
+from .machines import (
+    MachineDescription,
+    PDP,
+    PDP10,
+    S1,
+    TARGETS,
+    VAX,
+    get_target,
+)
+from .registers import (
+    REGISTER_NAMES,
+    RESERVED,
+    RTA,
+    RTB,
+    allocatable_registers,
+    register_name,
+)
+from .reps import (
+    ALL_REPS,
+    BIT,
+    JUMP,
+    NONE,
+    NUMERIC_REPS,
+    PDL_ELIGIBLE,
+    POINTER,
+    REP_WORDS,
+    SWFIX,
+    SWFLO,
+    can_convert,
+    conversion_cost,
+    is_numeric,
+)
+
+__all__ = [
+    "ALL_REPS", "BIT", "JUMP", "MachineDescription", "NONE", "NUMERIC_REPS",
+    "PDL_ELIGIBLE", "PDP", "PDP10", "POINTER", "REGISTER_NAMES", "REP_WORDS",
+    "RESERVED", "RTA", "RTB", "S1", "SWFIX", "SWFLO", "TARGETS", "VAX",
+    "allocatable_registers", "can_convert", "conversion_cost", "get_target",
+    "is_numeric", "register_name",
+]

@@ -1,0 +1,139 @@
+"""The representation lattice of Table 3 ("Internal Object
+Representations").
+
+Every intermediate value carries one of these representation names through
+representation analysis (WANTREP/ISREP, Section 6.2), TN annotation, and
+code generation:
+
+* ``POINTER`` -- the universal boxed format ("the type POINTER can always
+  be used").
+* ``SWFIX`` / ``DWFIX`` -- raw single/double-word fixnums.
+* ``SWFLO`` / ``DWFLO`` / ``TWFLO`` -- raw single/double/tetra-word floats
+  (the S-1 hardware's three float precisions).
+* ``SWCPLX`` / ``DWCPLX`` / ``TWCPLX`` -- raw complex pairs at the same
+  precisions ("There are single instructions for complex arithmetic").
+* ``BIT`` -- a hardware condition, deliverable as nil/non-nil.
+* ``JUMP`` -- "a value to be delivered as a branch of control": the rep an
+  ``if`` wants for its test.
+* ``NONE`` -- the value is discarded (non-final progn forms).
+
+Representations are plain strings so node/TN annotations stay printable and
+cheap to compare.  The conversion predicate and its cost table are the
+"coercion edges" every downstream phase consults: representation analysis
+to merge ``if`` arms, TNBIND to size stack slots, codegen to pick between
+UNBOX / BOXF / FLT / FIX sequences.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+POINTER = "POINTER"
+SWFIX = "SWFIX"
+DWFIX = "DWFIX"
+SWFLO = "SWFLO"
+DWFLO = "DWFLO"
+TWFLO = "TWFLO"
+SWCPLX = "SWCPLX"
+DWCPLX = "DWCPLX"
+TWCPLX = "TWCPLX"
+BIT = "BIT"
+JUMP = "JUMP"
+NONE = "NONE"
+
+#: The full Table 3 vocabulary, in lattice order: the universal rep first,
+#: then the raw numerics by widening width, then the control reps.
+ALL_REPS = (
+    POINTER,
+    SWFIX, DWFIX,
+    SWFLO, DWFLO, TWFLO,
+    SWCPLX, DWCPLX, TWCPLX,
+    BIT, JUMP, NONE,
+)
+
+#: Raw machine-number representations (unboxed words in registers or
+#: stack slots).
+NUMERIC_REPS = frozenset({
+    SWFIX, DWFIX, SWFLO, DWFLO, TWFLO, SWCPLX, DWCPLX, TWCPLX,
+})
+
+#: Words of storage each representation occupies when spilled to the stack
+#: (TNBIND slot sizing).  JUMP and NONE never occupy storage.
+REP_WORDS: Dict[str, int] = {
+    POINTER: 1,
+    SWFIX: 1, DWFIX: 2,
+    SWFLO: 1, DWFLO: 2, TWFLO: 4,
+    SWCPLX: 2, DWCPLX: 4, TWCPLX: 8,
+    BIT: 1,
+    JUMP: 0, NONE: 0,
+}
+
+#: Representations whose boxed (pointer) form may be stack-allocated as a
+#: "pdl number" (Section 6.3).  Fixnums are excluded: they are immediate
+#: self-tagging words and never need a box at all.
+PDL_ELIGIBLE = frozenset({SWFLO, DWFLO, TWFLO, SWCPLX, DWCPLX, TWCPLX})
+
+_FIX_REPS = frozenset({SWFIX, DWFIX})
+
+
+def is_numeric(rep: Optional[str]) -> bool:
+    """True for the raw machine-number representations."""
+    return rep in NUMERIC_REPS
+
+
+def can_convert(from_rep: str, to_rep: str) -> bool:
+    """Is there a coercion sequence from *from_rep* to *to_rep*?
+
+    "The compiler is prepared to do a type coercion on every intermediate
+    value of the program": pointers box/unbox against every numeric rep,
+    numerics convert among themselves (FLT/FIX and free width changes),
+    BIT materializes as a nil/non-nil pointer, anything deliverable can be
+    delivered as a JUMP, and NONE absorbs everything.  JUMP and NONE
+    produce no value, so nothing converts *out* of them.
+    """
+    if from_rep == to_rep:
+        return True
+    if to_rep == NONE:
+        return True
+    if to_rep == JUMP:
+        return from_rep != NONE
+    if from_rep in (JUMP, NONE):
+        return False
+    if to_rep == POINTER:
+        return from_rep in NUMERIC_REPS or from_rep == BIT
+    if from_rep == POINTER:
+        return to_rep in NUMERIC_REPS or to_rep == BIT
+    return from_rep in NUMERIC_REPS and to_rep in NUMERIC_REPS
+
+
+# Abstract cycle costs of the individual coercion edges (mirrors the
+# instruction costs codegen actually emits: MOV/UNBOX/FLT/FIX are cheap,
+# heap boxing is the expensive direction "more to be avoided").
+COST_UNBOX = 1       # UNBOX: pointer -> raw, with type check
+COST_BOX_FIXNUM = 1  # immediate fixnums: a tagged MOV
+COST_BOX_FLOAT = 5   # BOXF: heap-allocate a number box
+COST_JUMP = 1        # a test + branch
+
+
+def conversion_cost(from_rep: str, to_rep: str) -> Optional[int]:
+    """Abstract cost of the coercion, or ``None`` when impossible.
+
+    Defined exactly for the pairs :func:`can_convert` accepts.
+    """
+    if not can_convert(from_rep, to_rep):
+        return None
+    if from_rep == to_rep or to_rep == NONE:
+        return 0
+    if to_rep == JUMP:
+        return COST_JUMP
+    if from_rep == POINTER:
+        return 0 if to_rep == BIT else COST_UNBOX
+    if to_rep == POINTER:
+        if from_rep == BIT:
+            return 0  # predicates already deliver nil/t pointers
+        return COST_BOX_FIXNUM if from_rep in _FIX_REPS else COST_BOX_FLOAT
+    # numeric -> numeric: FLT/FIX across the fix/float boundary, free
+    # width adjustment within a class.
+    from_fix = from_rep in _FIX_REPS
+    to_fix = to_rep in _FIX_REPS
+    return 1 if from_fix != to_fix else 0

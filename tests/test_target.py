@@ -1,0 +1,213 @@
+"""Tests for the repro.target machine-description subsystem: the rep
+lattice's invariants, register naming on every target, and the
+get_target registry."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ReproError, UnknownTargetError
+from repro.target import (
+    MachineDescription,
+    PDP,
+    PDP10,
+    S1,
+    TARGETS,
+    VAX,
+    get_target,
+)
+from repro.target.registers import (
+    REGISTER_FILE_SIZE,
+    REGISTER_NAMES,
+    RESERVED,
+    RTA,
+    RTB,
+    allocatable_registers,
+    register_name,
+)
+from repro.target.reps import (
+    ALL_REPS,
+    BIT,
+    JUMP,
+    NONE,
+    NUMERIC_REPS,
+    PDL_ELIGIBLE,
+    POINTER,
+    REP_WORDS,
+    can_convert,
+    conversion_cost,
+    is_numeric,
+)
+
+
+class TestRepLattice:
+    def test_every_rep_has_a_word_size(self):
+        for rep in ALL_REPS:
+            assert rep in REP_WORDS
+
+    def test_value_reps_occupy_storage_control_reps_none(self):
+        for rep in ALL_REPS:
+            if rep in (JUMP, NONE):
+                assert REP_WORDS[rep] == 0
+            else:
+                assert REP_WORDS[rep] >= 1
+
+    def test_pdl_eligible_is_a_subset_of_numeric(self):
+        assert PDL_ELIGIBLE <= NUMERIC_REPS
+        for rep in PDL_ELIGIBLE:
+            assert is_numeric(rep)
+
+    def test_fixnums_are_numeric_but_not_pdl_eligible(self):
+        # Fixnums are immediate words: boxing them never allocates.
+        assert is_numeric("SWFIX")
+        assert "SWFIX" not in PDL_ELIGIBLE
+
+    def test_pointer_bit_and_control_reps_not_numeric(self):
+        for rep in (POINTER, BIT, JUMP, NONE):
+            assert not is_numeric(rep)
+
+    def test_conversion_cost_defined_iff_convertible(self):
+        for source in ALL_REPS:
+            for dest in ALL_REPS:
+                cost = conversion_cost(source, dest)
+                assert (cost is not None) == can_convert(source, dest)
+
+    def test_boxing_dearer_than_unboxing_for_every_pdl_rep(self):
+        for rep in PDL_ELIGIBLE:
+            assert conversion_cost(rep, POINTER) > \
+                conversion_cost(POINTER, rep)
+
+    def test_self_conversion_free(self):
+        for rep in ALL_REPS:
+            assert conversion_cost(rep, rep) == 0
+
+
+class TestRegisters:
+    def test_rt_registers_are_distinct_and_unreserved_specials(self):
+        assert RTA != RTB
+        assert RTA not in RESERVED and RTB not in RESERVED
+
+    def test_allocatable_pool_avoids_fixed_roles_and_rt(self):
+        pool = allocatable_registers()
+        assert not set(pool) & RESERVED
+        assert RTA not in pool and RTB not in pool
+        assert all(0 <= index < REGISTER_FILE_SIZE for index in pool)
+
+    @pytest.mark.parametrize("target", list(TARGETS.values()),
+                             ids=lambda d: d.name)
+    def test_register_name_round_trips_on_every_target(self, target):
+        names = {}
+        for index in range(REGISTER_FILE_SIZE):
+            name = register_name(index, target.register_names)
+            assert name  # every register renders
+            names[name] = index
+        # Injective: parsing a listing back is unambiguous.
+        assert len(names) == REGISTER_FILE_SIZE
+        from repro.machine.asm import _NAME_TO_REGISTER
+
+        for name, index in names.items():
+            assert _NAME_TO_REGISTER[name] == index
+
+    def test_default_naming_matches_s1(self):
+        for index in range(REGISTER_FILE_SIZE):
+            assert register_name(index) == REGISTER_NAMES[index]
+
+    @pytest.mark.parametrize("target", list(TARGETS.values()),
+                             ids=lambda d: d.name)
+    def test_target_pool_respects_file_size(self, target):
+        pool = target.allocatable()
+        assert all(index < target.registers for index in pool)
+        assert not set(pool) & RESERVED
+        assert RTA not in pool and RTB not in pool
+
+
+class TestRegistry:
+    def test_all_names_resolve_to_their_descriptions(self):
+        for name, description in TARGETS.items():
+            assert get_target(name) is description
+            assert description.name == name
+
+    def test_pdp_alias(self):
+        assert PDP is PDP10
+
+    def test_description_passthrough(self):
+        assert get_target(VAX) is VAX
+
+    def test_unknown_target_raises_both_hierarchies(self):
+        with pytest.raises(UnknownTargetError):
+            get_target("cray")
+        with pytest.raises(KeyError):
+            get_target("cray")
+        with pytest.raises(ReproError):
+            get_target("cray")
+
+    def test_unknown_target_message_names_the_registry(self):
+        with pytest.raises(UnknownTargetError) as excinfo:
+            get_target("m68k")
+        assert "m68k" in str(excinfo.value)
+        assert "s1" in str(excinfo.value)
+
+    def test_options_validate_target_at_construction(self):
+        from repro import CompilerOptions
+
+        with pytest.raises(UnknownTargetError):
+            CompilerOptions(target="cray")
+
+    def test_descriptions_cover_the_shared_rep_lattice(self):
+        for description in TARGETS.values():
+            assert tuple(description.reps) == ALL_REPS
+            for rep in description.reps:
+                assert rep in description.rep_words
+
+    def test_every_description_has_a_cost_table(self):
+        for description in TARGETS.values():
+            assert description.cycles.get("MOV", 0) >= 1
+            assert description.cycles.get("FADD", 0) >= 1
+
+    def test_descriptions_are_immutable(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            S1.sin_in_cycles = False  # type: ignore[misc]
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            VAX.registers = 64  # type: ignore[misc]
+
+
+class TestCompilationResultSurface:
+    SOURCE = "(defun sq (x) (* x x))"
+
+    def test_compile_returns_result_object(self):
+        from repro import CompilationResult, Compiler
+        from repro.datum import sym
+
+        compiler = Compiler()
+        result = compiler.compile(self.SOURCE)
+        assert isinstance(result, CompilationResult)
+        assert result.defined == [sym("sq")]
+        assert result.primary is compiler.functions[sym("sq")]
+        assert result.code is result.primary.code
+        assert ";;; sq" in result.listing()
+        assert "code generation" in result.phase_report()
+
+    def test_bare_expression_compiles_in_auto_mode(self):
+        from repro import Compiler
+
+        compiler = Compiler()
+        result = compiler.compile("(+ 1 2)", name="three")
+        assert compiler.run("three") == 3
+        assert result.primary.name.name == "three"
+
+    def test_strict_mode_rejects_expressions(self):
+        from repro import Compiler
+        from repro.errors import ConversionError
+
+        with pytest.raises(ConversionError):
+            Compiler().compile("(+ 1 2)", expression=False)
+
+    def test_wrappers_delegate(self):
+        from repro import Compiler
+        from repro.datum import sym
+
+        compiler = Compiler()
+        assert compiler.compile_source(self.SOURCE) == [sym("sq")]
+        compiled = compiler.compile_expression("(sq 7)", name="probe")
+        assert compiled.name is sym("probe")
+        assert compiler.run("probe") == 49
