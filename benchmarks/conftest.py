@@ -7,10 +7,18 @@ Run with::
     pytest benchmarks/ --benchmark-only -s
 
 The ``-s`` shows each experiment's reproduced table/figure rows.
+
+Every compilation made through :func:`run_config` also records its
+``repro.diagnostics`` phase timings; at session end they are written as
+JSON (default ``benchmarks/BENCH_phase_timings.json``, override with the
+``REPRO_BENCH_JSON`` environment variable) so CI runs can archive
+per-phase timing trajectories.
 """
 
 from __future__ import annotations
 
+import json
+import os
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import pytest
@@ -18,6 +26,36 @@ import pytest
 from repro import Compiler, CompilerOptions, naive_options
 from repro.baseline import CountingInterpreter, NaiveCompiler
 from repro.datum import sym
+
+# Per-test phase timings collected over the whole session (see run_config).
+_PHASE_LOG: List[Dict[str, Any]] = []
+_CURRENT_TEST: Dict[str, Optional[str]] = {"id": None}
+
+
+def pytest_runtest_setup(item) -> None:
+    _CURRENT_TEST["id"] = item.nodeid
+
+
+def pytest_sessionfinish(session, exitstatus) -> None:
+    if not _PHASE_LOG:
+        return
+    path = os.environ.get(
+        "REPRO_BENCH_JSON",
+        os.path.join(os.path.dirname(__file__), "BENCH_phase_timings.json"))
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"phase_timings": _PHASE_LOG}, handle, indent=2)
+
+
+def log_phase_timings(compiler: Compiler, label: str = "") -> None:
+    """Record the compiler's last diagnostics under the current test id;
+    the session-finish hook writes the accumulated log as JSON."""
+    diagnostics = compiler.last_diagnostics
+    if diagnostics is not None and diagnostics.phases:
+        _PHASE_LOG.append({
+            "test": _CURRENT_TEST["id"],
+            "function": label,
+            "diagnostics": diagnostics.to_json(),
+        })
 
 
 def run_config(source: str, fn: str, args: Sequence[Any],
@@ -27,6 +65,7 @@ def run_config(source: str, fn: str, args: Sequence[Any],
     and the machine statistics."""
     compiler = Compiler(options)
     compiler.compile_source(source)
+    log_phase_timings(compiler, fn)
     machine = compiler.machine()
     result = None
     for _ in range(repeat):

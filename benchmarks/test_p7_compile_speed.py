@@ -33,6 +33,9 @@ def test_p7_scaling_with_program_size(benchmark, functions):
         return compiler
 
     compiler = benchmark(compile_it)
+    from conftest import log_phase_timings
+
+    log_phase_timings(compiler, f"fn{functions - 1}")
     assert len(compiler.functions) == functions
 
 

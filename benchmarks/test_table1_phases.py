@@ -40,6 +40,9 @@ def test_table1_phase_structure(benchmark, table):
         return compiler
 
     compiler = benchmark(compile_it)
+    from conftest import log_phase_timings
+
+    log_phase_timings(compiler, "representative")
     executed = compiler.last_trace.phases
     rows = []
     for paper_name, our_name in PAPER_PHASES:

@@ -20,12 +20,13 @@ from .compiler import (
     Compiler,
     compile_and_run,
 )
+from .diagnostics import Diagnostics, SourceLocation
 from .interp import Interpreter, evaluate
 from .options import CompilerOptions, DEFAULT_OPTIONS, naive_options
 from .reader import read, read_all, write_to_string
 from .target import MachineDescription, get_target
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CompilationResult",
@@ -33,7 +34,9 @@ __all__ = [
     "Compiler",
     "CompilerOptions",
     "DEFAULT_OPTIONS",
+    "Diagnostics",
     "Interpreter",
+    "SourceLocation",
     "MachineDescription",
     "compile_and_run",
     "evaluate",

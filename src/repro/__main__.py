@@ -10,17 +10,25 @@ Meta commands::
     :source NAME      show the optimized (back-translated) source
     :stats            cumulative machine statistics for this session
     :phases           the phase pipeline of the last compilation
+    :diag             phase timings / rule fires / warnings (last compile)
     :prelude          load the bundled standard library
     :quit             leave
+
+Flags::
+
+    --diagnostics-json PATH   write every compilation's diagnostics (one
+                              JSON object per compile) to PATH on exit
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import sys
-from typing import Optional
+from typing import Any, Dict, List, Optional
 
 from . import Compiler, CompilerOptions
-from .datum import Cons, sym, to_list
+from .datum import Cons, sym
 from .errors import ReproError
 from .machine import Machine
 from .reader import read_all, write_to_string
@@ -33,11 +41,36 @@ class Repl:
         self.machine: Optional[Machine] = None
         self.out = out
         self._counter = 0
+        #: to_json() of every compilation this session, in order (dumped by
+        #: --diagnostics-json).
+        self.diagnostics_log: List[Dict[str, Any]] = []
 
-    def _fresh_machine(self) -> Machine:
-        machine = self.compiler.machine()
-        # Keep one session machine so specials persist between entries.
-        return machine
+    def _session_machine(self) -> Machine:
+        """Keep one session machine so specials persist between entries;
+        new definitions only swap in the updated program."""
+        if self.machine is None:
+            self.machine = self.compiler.machine()
+        else:
+            self.machine.program = self.compiler.program
+        return self.machine
+
+    def _define_on_session_machine(self, names) -> None:
+        """Make newly compiled definitions visible to the live machine
+        without rebuilding it (a rebuild would reset every special set by
+        earlier entries)."""
+        if self.machine is None:
+            return
+        self.machine.program = self.compiler.program
+        for name in names:
+            if name in self.compiler.global_values:
+                self.machine.define_global(
+                    name, self.compiler.global_values[name])
+
+    def _log_diagnostics(self, entry: str) -> None:
+        diagnostics = self.compiler.last_diagnostics
+        if diagnostics is not None:
+            self.diagnostics_log.append(
+                {"entry": entry, "diagnostics": diagnostics.to_json()})
 
     def _say(self, text: str) -> None:
         print(text, file=self.out)
@@ -62,18 +95,17 @@ class Repl:
                                                        sym("defvar"),
                                                        sym("defparameter")):
                 name = self.compiler.compile_form(form)
-                self.machine = None  # program changed; rebuild lazily
+                self._log_diagnostics(text)
+                self._define_on_session_machine([name])
                 self._say(str(name))
                 continue
             self._counter += 1
             entry = f"*entry-{self._counter}*"
             self.compiler.compile_expression(write_to_string(form),
                                              name=entry)
-            if self.machine is None:
-                self.machine = self._fresh_machine()
-            else:
-                self.machine.program = self.compiler.program
-            value = self.machine.run(sym(entry), [])
+            self._log_diagnostics(text)
+            machine = self._session_machine()
+            value = machine.run(sym(entry), [])
             self._say(write_to_string(value))
 
     def _meta(self, line: str) -> bool:
@@ -83,7 +115,8 @@ class Repl:
             return False
         if command == ":prelude":
             names = self.compiler.load_prelude()
-            self.machine = None
+            self._log_diagnostics(":prelude")
+            self._define_on_session_machine(names)
             self._say(f"loaded {len(names)} prelude functions")
             return True
         if command == ":stats":
@@ -97,6 +130,13 @@ class Repl:
             return True
         if command == ":phases":
             self._say(self.compiler.phase_report())
+            return True
+        if command == ":diag":
+            diagnostics = self.compiler.last_diagnostics
+            if diagnostics is None:
+                self._say("(nothing compiled yet)")
+            else:
+                self._say(diagnostics.report())
             return True
         if command in (":listing", ":transcript", ":source") and len(parts) == 2:
             name = sym(parts[1])
@@ -114,19 +154,37 @@ class Repl:
         self._say(f"unknown command: {line}")
         return True
 
+    def dump_diagnostics(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"session": self.diagnostics_log}, handle, indent=2)
+
 
 def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Compile-and-go REPL for the S-1 Lisp compiler "
+                    "reproduction.")
+    parser.add_argument(
+        "--diagnostics-json", metavar="PATH", default=None,
+        help="write per-compilation phase timings, rule-fire counters, and "
+             "warnings to PATH (JSON) when the session ends")
+    args = parser.parse_args(argv)
+
     print("repro: the S-1 Lisp compiler reproduction "
           "(:quit to leave, :prelude for the library)")
     repl = Repl()
-    while True:
-        try:
-            line = input("s1> ")
-        except (EOFError, KeyboardInterrupt):
-            print()
-            return 0
-        if not repl.handle(line):
-            return 0
+    try:
+        while True:
+            try:
+                line = input("s1> ")
+            except (EOFError, KeyboardInterrupt):
+                print()
+                return 0
+            if not repl.handle(line):
+                return 0
+    finally:
+        if args.diagnostics_json:
+            repl.dump_diagnostics(args.diagnostics_json)
 
 
 if __name__ == "__main__":

@@ -24,6 +24,7 @@ of a heap BOXF.
 from __future__ import annotations
 
 import itertools
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -158,6 +159,8 @@ class FunctionCodegen:
         self.sections: List[_Section] = []
         self.alloctemps_indices: List[int] = []
         self.moves_inserted = 0
+        self.tnbind_seconds = 0.0
+        self.tns_packed = 0
         # node id -> [special symbols] whose lookup caches here
         self.cache_triggers: Dict[int, List[Symbol]] = {}
         # variables let-bound to known (jump/fast) lambdas
@@ -1127,7 +1130,12 @@ class FunctionCodegen:
             self.options,
             registers_available=min(self.options.registers_available,
                                     self.target.registers))
+        # Time the TNBIND/PACK step separately so the diagnostics layer can
+        # report it as its own Table 1 phase (it runs inside codegen).
+        pack_start = time.perf_counter()
         packing = pack_tns(self.tns, pack_options)
+        self.tnbind_seconds = time.perf_counter() - pack_start
+        self.tns_packed = len(self.tns)
         resolved = self._resolve_operands()
         legalized = self._legalize_rt(resolved)
         instructions: List[Instruction] = []

@@ -55,6 +55,17 @@ class PeepholeStats:
     blocks_removed: int = 0
     jumps_elided: int = 0
 
+    def as_rule_counts(self) -> Dict[str, int]:
+        """Nonzero counters named like optimizer rules, for merging into
+        ``Diagnostics.rule_fires`` alongside the META-* transcript rules."""
+        counts = {
+            "PEEPHOLE-BRANCH-TENSION": self.branches_tensioned,
+            "PEEPHOLE-CROSS-JUMP": self.blocks_merged,
+            "PEEPHOLE-UNREACHABLE-BLOCK": self.blocks_removed,
+            "PEEPHOLE-JUMP-ELISION": self.jumps_elided,
+        }
+        return {name: count for name, count in counts.items() if count}
+
 
 def optimize_code(code: CodeObject) -> Tuple[CodeObject, PeepholeStats]:
     """Run the block-packing pass; returns a new CodeObject and stats."""

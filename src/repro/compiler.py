@@ -21,6 +21,7 @@ Table 1 as the pipeline actually executed.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -29,7 +30,8 @@ from .annotate import annotate
 from .codegen import FunctionCodegen
 from .datum import NIL, Cons, to_list
 from .datum.symbols import Symbol, sym
-from .errors import ConversionError
+from .diagnostics import Diagnostics, count_nodes
+from .errors import ConversionError, ReaderError
 from .ir import Converter, LambdaNode, back_translate_to_string
 from .machine import CodeObject, Machine, Program
 from .optimizer import (
@@ -40,14 +42,20 @@ from .optimizer import (
 from .options import CompilerOptions, DEFAULT_OPTIONS, naive_options
 from .reader import read_all
 
+_PRELUDE_SOURCE: Optional[str] = None
+
 
 def prelude_source() -> str:
-    """The text of the bundled Lisp prelude."""
-    import os
+    """The text of the bundled Lisp prelude (read once, then memoized --
+    every Compiler instance loads the same immutable file)."""
+    global _PRELUDE_SOURCE
+    if _PRELUDE_SOURCE is None:
+        import os
 
-    path = os.path.join(os.path.dirname(__file__), "prelude.lisp")
-    with open(path, "r", encoding="utf-8") as handle:
-        return handle.read()
+        path = os.path.join(os.path.dirname(__file__), "prelude.lisp")
+        with open(path, "r", encoding="utf-8") as handle:
+            _PRELUDE_SOURCE = handle.read()
+    return _PRELUDE_SOURCE
 
 
 @dataclass
@@ -96,6 +104,8 @@ class CompilationResult:
     functions: Dict[Symbol, "CompiledFunction"] = field(default_factory=dict)
     #: Phase pipeline of the last function compiled (Table 1).
     trace: Optional[PhaseTrace] = None
+    #: Phase timings, node counts, rule fires, warnings for this call.
+    diagnostics: Optional[Diagnostics] = None
 
     @property
     def primary(self) -> Optional["CompiledFunction"]:
@@ -112,9 +122,24 @@ class CompilationResult:
         return primary.code if primary is not None else None
 
     @property
+    def name(self) -> Optional[Symbol]:
+        primary = self.primary
+        return primary.name if primary is not None else None
+
+    @property
     def transcript(self) -> Optional[Transcript]:
         primary = self.primary
         return primary.transcript if primary is not None else None
+
+    @property
+    def optimized_source(self) -> Optional[str]:
+        primary = self.primary
+        return primary.optimized_source if primary is not None else None
+
+    @property
+    def lambda_node(self) -> Optional[LambdaNode]:
+        primary = self.primary
+        return primary.lambda_node if primary is not None else None
 
     def listing(self) -> str:
         """Concatenated listings of every function this call compiled."""
@@ -125,7 +150,10 @@ class CompilationResult:
     def phase_report(self) -> str:
         if self.trace is None:
             return "(nothing compiled yet)"
-        return self.trace.report()
+        lines = [self.trace.report()]
+        if self.diagnostics is not None and self.diagnostics.phases:
+            lines.extend(self.diagnostics.timing_lines())
+        return "\n".join(lines)
 
 
 class Compiler:
@@ -141,6 +169,10 @@ class Compiler:
         # (block compilation, enable_global_integration).
         self.function_trees: Dict[Symbol, LambdaNode] = {}
         self.last_trace: Optional[PhaseTrace] = None
+        #: Diagnostics of the most recent compile() call (kept here as well
+        #: as on the CompilationResult so errored compiles stay inspectable).
+        self.last_diagnostics: Optional[Diagnostics] = None
+        self._prelude_names: Optional[List[Symbol]] = None
 
     # -- program entry points ---------------------------------------------------
 
@@ -156,29 +188,53 @@ class Compiler:
         rejects non-definition forms (the historical ``compile_source``
         behavior), ``None`` accepts both.
         """
-        forms = read_all(source) if isinstance(source, str) else [source]
-        result = CompilationResult()
+        diagnostics = Diagnostics()
+        self.last_diagnostics = diagnostics
+        result = CompilationResult(diagnostics=diagnostics)
+        if isinstance(source, str):
+            timer = diagnostics.start_phase("reader")
+            try:
+                forms = read_all(source)
+            except ReaderError as err:
+                timer.finish()
+                diagnostics.error(str(err), phase="reader",
+                                  location=err.location)
+                raise
+            timer.finish(nodes_after=len(forms))
+        else:
+            forms = [source]
         expression_forms: List[Any] = []
-        for form in forms:
-            if expression is not True and self._toplevel_definition_kind(form):
-                defined = self._compile_definition(form, result)
-                result.defined.append(defined)
-            elif expression is False:
-                raise ConversionError(
-                    f"only defun/defvar forms can be compiled at top level: "
-                    f"{form!r}")
-            else:
-                expression_forms.append(form)
-        if expression_forms:
-            from .datum import from_list
+        try:
+            for form in forms:
+                if expression is not True \
+                        and self._toplevel_definition_kind(form):
+                    defined = self._compile_definition(form, result,
+                                                       diagnostics)
+                    result.defined.append(defined)
+                elif expression is False:
+                    raise ConversionError(
+                        f"only defun/defvar forms can be compiled at top "
+                        f"level: {form!r}")
+                else:
+                    expression_forms.append(form)
+            if expression_forms:
+                from .datum import from_list
 
-            body = expression_forms[0] if len(expression_forms) == 1 \
-                else from_list([sym("progn")] + expression_forms)
-            lambda_form = from_list([sym("lambda"), NIL, body])
-            node = self.converter.convert_lambda(lambda_form)
-            compiled = self.compile_lambda(sym(name), node)
-            result.defined.append(compiled.name)
-            result.functions[compiled.name] = compiled
+                body = expression_forms[0] if len(expression_forms) == 1 \
+                    else from_list([sym("progn")] + expression_forms)
+                lambda_form = from_list([sym("lambda"), NIL, body])
+                timer = diagnostics.start_phase("ir conversion",
+                                                function=name)
+                node = self.converter.convert_lambda(lambda_form)
+                timer.finish(nodes_after=count_nodes(node))
+                compiled = self.compile_lambda(sym(name), node,
+                                               diagnostics=diagnostics)
+                result.defined.append(compiled.name)
+                result.functions[compiled.name] = compiled
+        except ConversionError as err:
+            diagnostics.error(str(err), phase="ir conversion",
+                              location=err.location)
+            raise
         result.trace = self.last_trace
         return result
 
@@ -190,11 +246,17 @@ class Compiler:
             return "defvar"
         return None
 
-    def _compile_definition(self, form: Any,
-                            result: CompilationResult) -> Symbol:
+    def _compile_definition(self, form: Any, result: CompilationResult,
+                            diagnostics: Optional[Diagnostics] = None
+                            ) -> Symbol:
+        diagnostics = diagnostics if diagnostics is not None else Diagnostics()
         if self._toplevel_definition_kind(form) == "defun":
+            timer = diagnostics.start_phase("ir conversion")
             name, node = self.converter.convert_defun(form)
-            result.functions[name] = self.compile_lambda(name, node)
+            timer.record.function = str(name)
+            timer.finish(nodes_after=count_nodes(node))
+            result.functions[name] = self.compile_lambda(
+                name, node, diagnostics=diagnostics)
             return name
         parts = to_list(form.cdr)
         name = parts[0]
@@ -220,9 +282,10 @@ class Compiler:
         return result.defined[-1] if result.defined else None
 
     def compile_expression(self, text: str,
-                           name: str = "*toplevel*") -> CompiledFunction:
-        """Compile an expression as a zero-argument function."""
-        return self.compile(text, name=name, expression=True).primary
+                           name: str = "*toplevel*") -> CompilationResult:
+        """Compile an expression as a zero-argument function.  The result's
+        ``code``/``name``/``transcript``/``diagnostics`` describe it."""
+        return self.compile(text, name=name, expression=True)
 
     def _loadtime_interpreter(self):
         """An interpreter seeded with the globals defined so far, used for
@@ -238,14 +301,22 @@ class Compiler:
 
     # -- the pipeline ---------------------------------------------------------------
 
-    def compile_lambda(self, name: Symbol, node: LambdaNode
+    def compile_lambda(self, name: Symbol, node: LambdaNode,
+                       diagnostics: Optional[Diagnostics] = None
                        ) -> CompiledFunction:
+        if diagnostics is None:
+            diagnostics = Diagnostics()
+            self.last_diagnostics = diagnostics
+        fname = str(name)
         trace = PhaseTrace()
         trace.record("preliminary conversion")
         transcript = Transcript(self.options.transcript_stream
                                 if self.options.transcript else None)
 
+        timer = diagnostics.start_phase("analysis", function=fname,
+                                        nodes_before=count_nodes(node))
         analyze(node)
+        timer.finish(nodes_after=count_nodes(node))
         trace.record("source-program analysis")
 
         if self.options.optimize:
@@ -260,37 +331,66 @@ class Compiler:
                 analyze(snapshot)
                 registry[name] = snapshot
             optimizer = SourceOptimizer(self.options, transcript,
-                                        global_functions=registry)
+                                        global_functions=registry,
+                                        diagnostics=diagnostics)
+            timer = diagnostics.start_phase("optimizer", function=fname,
+                                            nodes_before=count_nodes(node))
             node = optimizer.optimize(node)
+            timer.finish(nodes_after=count_nodes(node))
             if not isinstance(node, LambdaNode):
                 raise ConversionError(
                     f"{name}: optimization did not preserve the lambda")
             trace.record("source-level optimization")
 
         if self.options.enable_cse:
+            timer = diagnostics.start_phase("cse", function=fname,
+                                            nodes_before=count_nodes(node))
             node = eliminate_common_subexpressions(
                 node, self.options, transcript)
+            timer.finish(nodes_after=count_nodes(node))
             if not isinstance(node, LambdaNode):
                 raise ConversionError(f"{name}: CSE did not preserve lambda")
             trace.record("common subexpression elimination")
 
+        timer = diagnostics.start_phase("annotate", function=fname,
+                                        nodes_before=count_nodes(node))
         analyze(node)
         plans = annotate(node, self.options)
+        timer.finish(nodes_after=count_nodes(node))
         trace.record("binding annotation")
         trace.record("special variable lookups")
         trace.record("representation annotation")
         trace.record("pdl number annotation")
 
         generator = FunctionCodegen(str(name), node, self.options, plans)
+        codegen_start = time.perf_counter()
         code = generator.generate()
+        codegen_seconds = time.perf_counter() - codegen_start
+        # TNBIND/PACK runs inside generate(); the generator timed it so the
+        # two Table 1 phases can be reported separately.
+        diagnostics.record_phase(
+            "tnbind", generator.tnbind_seconds, function=fname,
+            nodes_before=generator.tns_packed,
+            nodes_after=generator.tns_packed)
+        diagnostics.record_phase(
+            "codegen", codegen_seconds - generator.tnbind_seconds,
+            function=fname, nodes_before=count_nodes(node),
+            nodes_after=len(code.instructions))
         trace.record("target annotation (TNBIND/PACK)")
         trace.record("code generation")
 
         if self.options.enable_peephole:
             from .codegen.peephole import optimize_code
 
-            code, _peephole_stats = optimize_code(code)
+            timer = diagnostics.start_phase(
+                "peephole", function=fname,
+                nodes_before=len(code.instructions))
+            code, peephole_stats = optimize_code(code)
+            timer.finish(nodes_after=len(code.instructions))
+            diagnostics.record_rules(peephole_stats.as_rule_counts())
             trace.record("peephole (linear-block packing)")
+
+        diagnostics.record_rules(transcript.rule_counts())
 
         compiled = CompiledFunction(
             name=name,
@@ -308,8 +408,11 @@ class Compiler:
     def load_prelude(self) -> List[Symbol]:
         """Compile the bundled standard library (src/repro/prelude.lisp):
         mapcar1/filter/reduce1/sort-list and friends, written in the
-        dialect itself."""
-        return self.compile_source(prelude_source())
+        dialect itself.  Idempotent: repeated calls return the names from
+        the first load instead of re-compiling every definition."""
+        if self._prelude_names is None:
+            self._prelude_names = self.compile_source(prelude_source())
+        return list(self._prelude_names)
 
     # -- running ------------------------------------------------------------------------
 
@@ -329,12 +432,15 @@ class Compiler:
         return self.machine(fuel).run(sym(name), list(args))
 
     def phase_report(self) -> str:
-        """Render the executed phase pipeline (Table 1 reproduction)."""
+        """Render the executed phase pipeline (Table 1 reproduction), with
+        the last compilation's wall-clock timings when available."""
         if self.last_trace is None:
             return "(nothing compiled yet)"
         lines = ["Phase structure (as executed):"]
         for index, phase in enumerate(self.last_trace.phases, 1):
             lines.append(f"  {index}. {phase}")
+        if self.last_diagnostics is not None and self.last_diagnostics.phases:
+            lines.extend(self.last_diagnostics.timing_lines())
         return "\n".join(lines)
 
 

@@ -14,13 +14,19 @@ from .symbols import NIL, Symbol
 
 
 class Cons:
-    """A mutable pair.  Proper lists are chains of Cons ending in NIL."""
+    """A mutable pair.  Proper lists are chains of Cons ending in NIL.
 
-    __slots__ = ("car", "cdr")
+    ``source_pos`` is reader metadata (a ``repro.diagnostics.SourceLocation``
+    set by the parser on forms it reads); it never participates in equality
+    or printing.
+    """
+
+    __slots__ = ("car", "cdr", "source_pos")
 
     def __init__(self, car: Any, cdr: Any):
         self.car = car
         self.cdr = cdr
+        self.source_pos = None
 
     def __repr__(self) -> str:
         # Local import avoids a cycle (printer needs Cons).

@@ -4,13 +4,40 @@ Every package raises subclasses of :class:`ReproError`, so callers can catch
 one root type.  The split mirrors the phase structure: reading, conversion to
 IR, analysis/optimization, code generation, and run time (interpreter or
 simulated machine) each have their own class.
+
+Compile-time errors carry a ``location`` -- a
+:class:`repro.diagnostics.SourceLocation` (``file:line:column``) taken from
+the reader's tokens -- either passed at construction or attached after the
+fact via :meth:`ReproError.with_location` (the converter attaches the
+nearest enclosing form's position).
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
+from .diagnostics import SourceLocation
+
 
 class ReproError(Exception):
     """Root of all errors raised by this library."""
+
+    def __init__(self, *args, location: Optional[SourceLocation] = None):
+        if location is not None and args and isinstance(args[0], str) \
+                and not args[0].startswith(f"{location}:"):
+            args = (f"{location}: {args[0]}",) + args[1:]
+        super().__init__(*args)
+        self.location = location
+
+    def with_location(self, location: Optional[SourceLocation]
+                      ) -> "ReproError":
+        """Attach a source location if none is known yet; prefixes the
+        message with ``file:line:column``.  Returns self for re-raising."""
+        if location is not None and getattr(self, "location", None) is None:
+            self.location = location
+            if self.args and isinstance(self.args[0], str):
+                self.args = (f"{location}: {self.args[0]}",) + self.args[1:]
+        return self
 
 
 class ReaderError(ReproError):

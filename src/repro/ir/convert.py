@@ -124,12 +124,14 @@ class Converter:
 
     def convert_defun(self, form: Any) -> Tuple[Symbol, LambdaNode]:
         """(defun name lambda-list body...) -> (name, LambdaNode)."""
+        pos = getattr(form, "source_pos", None)
         parts = to_list(form)
         if len(parts) < 3 or parts[0] is not _DEFUN:
-            raise ConversionError(f"malformed defun: {form!r}")
+            raise ConversionError(f"malformed defun: {form!r}", location=pos)
         name = parts[1]
         if not isinstance(name, Symbol):
-            raise ConversionError(f"defun: name must be a symbol: {name!r}")
+            raise ConversionError(f"defun: name must be a symbol: {name!r}",
+                                  location=pos)
         from ..datum import from_list
 
         lambda_form = from_list([_LAMBDA, parts[2]] + parts[3:])
@@ -148,6 +150,15 @@ class Converter:
 
     def _convert(self, form: Any, env: LexicalEnv,
                  progbodies: List[ProgbodyNode]) -> Node:
+        try:
+            return self._convert_dispatch(form, env, progbodies)
+        except ConversionError as err:
+            # Attach the nearest enclosing form's reader position; the
+            # innermost positioned form wins (with_location is idempotent).
+            raise err.with_location(getattr(form, "source_pos", None))
+
+    def _convert_dispatch(self, form: Any, env: LexicalEnv,
+                          progbodies: List[ProgbodyNode]) -> Node:
         if isinstance(form, Symbol):
             return self._convert_symbol(form, env)
         if not isinstance(form, Cons):

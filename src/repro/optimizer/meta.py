@@ -28,6 +28,7 @@ from typing import Any, Callable, List, Optional, Tuple
 
 from ..analysis import analyze, analyze_light, may_be_duplicated, may_be_eliminated
 from ..datum import NIL, T, from_list, gensym, lisp_equal, sym
+from ..diagnostics import Diagnostics
 from ..errors import LispError
 from ..ir.nodes import (
     CallNode,
@@ -85,12 +86,17 @@ class SourceOptimizer:
 
     def __init__(self, options: Optional[CompilerOptions] = None,
                  transcript: Optional[Transcript] = None,
-                 global_functions: Optional[dict] = None):
+                 global_functions: Optional[dict] = None,
+                 diagnostics: Optional["Diagnostics"] = None):
         self.options = options or DEFAULT_OPTIONS
         self.transcript = transcript if transcript is not None else Transcript(
             self.options.transcript_stream if self.options.transcript else None)
         # Known defuns available for integration (block compilation).
         self.global_functions = global_functions or {}
+        self.diagnostics = diagnostics
+        #: True when the last optimize() ended without observing a fixpoint
+        #: (pass budget or fuel ran out while rules were still firing).
+        self.hit_pass_limit = False
         self._integration_counts: dict = {}
         self._fired = 0
         self._rules: List[Tuple[str, Callable[[Node], Optional[Node]], str]] = []
@@ -102,15 +108,33 @@ class SourceOptimizer:
         if not self.options.optimize:
             return root
         holder = RootHolder(root)
-        self._fuel = 2000  # hard bound against rule-interaction cycles
+        # Hard bound against rule-interaction cycles (self-expanding forms).
+        self._fuel = self.options.optimizer_fuel
+        self.hit_pass_limit = False
+        changed = False
         for _pass in range(self.options.max_passes):
             refresh_variable_links(holder.child)
             fix_parents(holder.child)
             analyze(holder.child)
-            if not self._run_pass(holder):
+            changed = self._run_pass(holder)
+            if not changed:
                 break
-            if self._fuel <= 0:  # pragma: no cover - safety valve
+            if self._fuel <= 0:
                 break
+        if changed:
+            # The loop never saw a no-progress pass: the tree may still be
+            # self-expanding.  Stop (bounded) and say so instead of silently
+            # looping or over-firing.
+            self.hit_pass_limit = True
+            if self.diagnostics is not None:
+                if self._fuel <= 0:
+                    detail = (f"fuel exhausted after "
+                              f"{self.options.optimizer_fuel} rule firings")
+                else:
+                    detail = f"stopped at max_passes={self.options.max_passes}"
+                self.diagnostics.warn(
+                    f"optimizer did not reach a fixpoint ({detail})",
+                    phase="optimizer")
         return holder.child
 
     def rules_fired(self) -> List[str]:

@@ -13,7 +13,7 @@ assert on rules fired, and rendered textually in the same style.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, List, Optional
+from typing import Any, Dict, List, Optional
 
 from ..ir.backtranslate import back_translate
 from ..reader.printer import write_to_string
@@ -48,6 +48,14 @@ class Transcript:
 
     def rules_fired(self) -> List[str]:
         return [entry.rule for entry in self.entries]
+
+    def rule_counts(self) -> Dict[str, int]:
+        """Fire count per rule name, in first-fired order (the diagnostics
+        layer merges these into ``Diagnostics.rule_fires``)."""
+        counts: Dict[str, int] = {}
+        for entry in self.entries:
+            counts[entry.rule] = counts.get(entry.rule, 0) + 1
+        return counts
 
     def render(self) -> str:
         return "\n".join(entry.render() for entry in self.entries)

@@ -16,6 +16,8 @@ class CompilerOptions:
     # --- source-level optimization (Section 5) ---
     optimize: bool = True                  # master switch for the meta-evaluator
     max_passes: int = 20                   # fixpoint iteration bound
+    optimizer_fuel: int = 2000             # total rule-firing bound (guards
+                                           # against self-expanding forms)
     enable_beta: bool = True               # the three beta-conversion rules
     enable_procedure_integration: bool = True
     enable_constant_folding: bool = True   # compile-time expression evaluation

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Any, Iterator, List, Optional
 
+from ..diagnostics import SourceLocation
 from ..errors import ReaderError
 
 # Token kinds
@@ -54,8 +55,9 @@ def _is_terminating(ch: str) -> bool:
 class Lexer:
     """A small hand-written scanner with one character of lookahead."""
 
-    def __init__(self, text: str):
+    def __init__(self, text: str, filename: str = "<input>"):
         self.text = text
+        self.filename = filename
         self.pos = 0
         self.line = 1
         self.column = 1
@@ -77,7 +79,8 @@ class Lexer:
         return ch
 
     def _error(self, message: str) -> ReaderError:
-        return ReaderError(f"{message} at line {self.line}, column {self.column}")
+        return ReaderError(message, location=SourceLocation(
+            self.line, self.column, self.filename))
 
     def _skip_whitespace_and_comments(self) -> None:
         while self.pos < len(self.text):

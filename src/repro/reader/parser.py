@@ -12,6 +12,7 @@ from typing import Any, Iterator, List, Optional
 
 from ..datum import NIL, Cons, from_list, intern_symbol, sym
 from ..datum.symbols import Symbol
+from ..diagnostics import SourceLocation
 from ..errors import ReaderError
 from . import lexer as lx
 
@@ -44,9 +45,18 @@ UNQUOTE_SPLICING_SYM = intern_symbol("unquote-splicing")
 
 
 class Parser:
-    def __init__(self, text: str):
-        self._lexer = lx.Lexer(text)
+    def __init__(self, text: str, filename: str = "<input>"):
+        self._lexer = lx.Lexer(text, filename)
+        self._filename = filename
         self._pushback: Optional[lx.Token] = None
+
+    def _loc(self, token: lx.Token) -> SourceLocation:
+        return SourceLocation(token.line, token.column, self._filename)
+
+    def _positioned(self, form: Any, token: lx.Token) -> Any:
+        if isinstance(form, Cons) and form.source_pos is None:
+            form.source_pos = self._loc(token)
+        return form
 
     def _next(self) -> lx.Token:
         if self._pushback is not None:
@@ -84,19 +94,20 @@ class Parser:
         if kind == lx.LPAREN:
             return self._parse_list(token)
         if kind == lx.RPAREN:
-            raise ReaderError(
-                f"unbalanced ')' at line {token.line}, column {token.column}"
-            )
+            raise ReaderError("unbalanced ')'", location=self._loc(token))
         if kind == lx.QUOTE:
-            return from_list([QUOTE, self.read()])
+            return self._positioned(from_list([QUOTE, self.read()]), token)
         if kind == lx.FUNCTION_QUOTE:
-            return from_list([FUNCTION, self.read()])
+            return self._positioned(from_list([FUNCTION, self.read()]), token)
         if kind == lx.QUASIQUOTE:
-            return from_list([QUASIQUOTE_SYM, self.read()])
+            return self._positioned(from_list([QUASIQUOTE_SYM, self.read()]),
+                                    token)
         if kind == lx.UNQUOTE:
-            return from_list([UNQUOTE_SYM, self.read()])
+            return self._positioned(from_list([UNQUOTE_SYM, self.read()]),
+                                    token)
         if kind == lx.UNQUOTE_SPLICING:
-            return from_list([UNQUOTE_SPLICING_SYM, self.read()])
+            return self._positioned(
+                from_list([UNQUOTE_SPLICING_SYM, self.read()]), token)
         if kind == lx.STRING:
             return token.value
         if kind == lx.CHAR:
@@ -104,9 +115,7 @@ class Parser:
         if kind == lx.HASH_C:
             return self._parse_complex(token)
         if kind == lx.DOT:
-            raise ReaderError(
-                f"misplaced '.' at line {token.line}, column {token.column}"
-            )
+            raise ReaderError("misplaced '.'", location=self._loc(token))
         if kind == lx.ATOM:
             return self._parse_value(token.value)
         raise ReaderError(f"unexpected token {token!r}")  # pragma: no cover
@@ -130,39 +139,38 @@ class Parser:
         while True:
             token = self._next()
             if token.kind == lx.EOF:
-                raise ReaderError(
-                    f"unterminated list starting at line {open_token.line},"
-                    f" column {open_token.column}"
-                )
+                raise ReaderError("unterminated list",
+                                  location=self._loc(open_token))
             if token.kind == lx.RPAREN:
                 break
             if token.kind == lx.DOT:
                 if not items:
-                    raise ReaderError(
-                        f"dotted pair with no car at line {token.line}"
-                    )
+                    raise ReaderError("dotted pair with no car",
+                                      location=self._loc(token))
                 tail = self.read()
                 closer = self._next()
                 if closer.kind != lx.RPAREN:
-                    raise ReaderError(
-                        f"expected ')' after dotted tail at line {closer.line}"
-                    )
+                    raise ReaderError("expected ')' after dotted tail",
+                                      location=self._loc(closer))
                 break
             items.append(self._parse(token))
-        return from_list(items, tail)
+        return self._positioned(from_list(items, tail), open_token)
 
     def _parse_complex(self, token: lx.Token) -> Any:
         form = self.read()
         if not isinstance(form, Cons):
-            raise ReaderError(f"#c must be followed by (re im), line {token.line}")
+            raise ReaderError("#c must be followed by (re im)",
+                              location=self._loc(token))
         parts = list(form)
         if len(parts) != 2:
-            raise ReaderError(f"#c needs exactly two parts, line {token.line}")
+            raise ReaderError("#c needs exactly two parts",
+                              location=self._loc(token))
         re_part, im_part = parts
         from ..datum.numbers import is_number
 
         if not (is_number(re_part) and is_number(im_part)):
-            raise ReaderError(f"#c parts must be real numbers, line {token.line}")
+            raise ReaderError("#c parts must be real numbers",
+                              location=self._loc(token))
         return complex(float(re_part), float(im_part))
 
 

@@ -52,6 +52,35 @@ class TestEvaluation:
         assert alive
 
 
+class TestSessionMachine:
+    def test_defvar_set_in_one_entry_visible_in_next(self):
+        # Regression: defining a new function used to rebuild the machine,
+        # discarding runtime special-variable values set in earlier entries.
+        output, _, _ = session("(defvar *x* 1)",
+                               "(setq *x* 99)",
+                               "(defun f () *x*)",
+                               "(f)")
+        assert output.splitlines()[-1] == "99"
+
+    def test_machine_object_reused_across_entries(self):
+        out = io.StringIO()
+        repl = Repl(out=out)
+        repl.handle("(+ 1 1)")
+        machine = repl.machine
+        assert machine is not None
+        repl.handle("(defun g (x) (* x 2))")
+        repl.handle("(g 21)")
+        assert repl.machine is machine
+        assert out.getvalue().splitlines()[-1] == "42"
+
+    def test_prelude_preserves_session_state(self):
+        output, _, _ = session("(defvar *seed* 7)",
+                               "(setq *seed* 13)",
+                               ":prelude",
+                               "(+ *seed* (sum-list (iota 3)))")
+        assert output.splitlines()[-1] == "16"
+
+
 class TestMetaCommands:
     def test_quit(self):
         _, alive, _ = session(":quit")
@@ -91,10 +120,39 @@ class TestMetaCommands:
         assert "loaded" in output
         assert output.strip().endswith("10")
 
+    def test_diag_after_compile(self):
+        output, _, _ = session("(+ 1 2)", ":diag")
+        assert "Phase timings:" in output
+        assert "codegen" in output
+
+    def test_diag_before_any_compile(self):
+        output, _, _ = session(":diag")
+        assert "nothing compiled" in output
+
     def test_unknown_command(self):
         output, alive, _ = session(":frobnicate")
         assert "unknown command" in output
         assert alive
+
+
+class TestDiagnosticsLog:
+    def test_every_compilation_logged(self):
+        _, _, repl = session("(defun f (x) x)", "(+ 1 2)")
+        assert len(repl.diagnostics_log) == 2
+        for record in repl.diagnostics_log:
+            assert record["diagnostics"]["phases"]
+
+    def test_dump_diagnostics_writes_json(self, tmp_path):
+        import json
+
+        _, _, repl = session("(+ 1 2)")
+        path = tmp_path / "diag.json"
+        repl.dump_diagnostics(str(path))
+        data = json.loads(path.read_text())
+        assert data["session"][0]["entry"] == "(+ 1 2)"
+        phases = [record["phase"]
+                  for record in data["session"][0]["diagnostics"]["phases"]]
+        assert "codegen" in phases
 
     def test_blank_line(self):
         output, alive, _ = session("", "   ")
