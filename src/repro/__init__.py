@@ -12,8 +12,20 @@ Public API highlights:
 * :mod:`repro.target` / :func:`repro.get_target` -- machine descriptions
   (``s1``, ``vax``, ``pdp10``) for retargeting
 * :mod:`repro.machine` -- the simulated S-1 (instruction/allocation counters)
+* :class:`repro.CompilationCache` / ``CompilerOptions(cache=...)`` -- the
+  content-addressed compilation cache (memory LRU + on-disk store)
+* :func:`repro.compile_batch` -- parallel multi-file compilation with
+  per-file status reporting (also ``python -m repro batch``)
 """
 
+from .batch import BatchFileResult, BatchResult, compile_batch
+from .cache import (
+    CachedFunction,
+    CompilationCache,
+    cache_key,
+    canonical_source,
+    options_fingerprint,
+)
 from .compiler import (
     CompilationResult,
     CompiledFunction,
@@ -26,9 +38,13 @@ from .options import CompilerOptions, DEFAULT_OPTIONS, naive_options
 from .reader import read, read_all, write_to_string
 from .target import MachineDescription, get_target
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
+    "BatchFileResult",
+    "BatchResult",
+    "CachedFunction",
+    "CompilationCache",
     "CompilationResult",
     "CompiledFunction",
     "Compiler",
@@ -38,10 +54,14 @@ __all__ = [
     "Interpreter",
     "SourceLocation",
     "MachineDescription",
+    "cache_key",
+    "canonical_source",
     "compile_and_run",
+    "compile_batch",
     "evaluate",
     "get_target",
     "naive_options",
+    "options_fingerprint",
     "read",
     "read_all",
     "write_to_string",

@@ -18,6 +18,12 @@ Flags::
 
     --diagnostics-json PATH   write every compilation's diagnostics (one
                               JSON object per compile) to PATH on exit
+
+Batch mode (``python -m repro batch``) compiles many files across a worker
+pool with an optional shared content-addressed cache::
+
+    python -m repro batch src1.lisp src2.lisp --jobs 4 --cache-dir .repro-cache
+    python -m repro batch lib/*.lisp --target vax --json report.json
 """
 
 from __future__ import annotations
@@ -159,11 +165,54 @@ class Repl:
             json.dump({"session": self.diagnostics_log}, handle, indent=2)
 
 
+def batch_main(argv) -> int:
+    """``python -m repro batch FILE... [--jobs N] [--cache-dir PATH]``."""
+    from .batch import compile_batch
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro batch",
+        description="Compile many source files across a worker pool, with "
+                    "an optional shared content-addressed compilation "
+                    "cache.")
+    parser.add_argument("files", nargs="+", metavar="FILE",
+                        help="Lisp source files to compile")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (default 1: compile inline)")
+    parser.add_argument("--cache-dir", default=None, metavar="PATH",
+                        help="content-addressed cache directory shared by "
+                             "all workers (and by later runs)")
+    parser.add_argument("--target", default="s1",
+                        help="machine description to compile for "
+                             "(s1, vax, pdp10; default s1)")
+    parser.add_argument("--prelude", action="store_true",
+                        help="load the bundled standard library into every "
+                             "worker compiler first")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="also write the full batch report as JSON")
+    args = parser.parse_args(argv)
+
+    from . import CompilerOptions
+
+    options = CompilerOptions(target=args.target)
+    result = compile_batch(args.files, options=options, jobs=args.jobs,
+                           cache_dir=args.cache_dir,
+                           load_prelude=args.prelude)
+    print(result.report())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(result.to_json(), handle, indent=2)
+    return 0 if result.error_count == 0 else 1
+
+
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "batch":
+        return batch_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Compile-and-go REPL for the S-1 Lisp compiler "
-                    "reproduction.")
+                    "reproduction.  (See also: python -m repro batch "
+                    "--help.)")
     parser.add_argument(
         "--diagnostics-json", metavar="PATH", default=None,
         help="write per-compilation phase timings, rule-fire counters, and "

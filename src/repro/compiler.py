@@ -21,12 +21,14 @@ Table 1 as the pipeline actually executed.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from .analysis import analyze
 from .annotate import annotate
+from .cache import CachedFunction, as_cache, cache_key, canonical_source
 from .codegen import FunctionCodegen
 from .datum import NIL, Cons, to_list
 from .datum.symbols import Symbol, sym
@@ -43,19 +45,26 @@ from .options import CompilerOptions, DEFAULT_OPTIONS, naive_options
 from .reader import read_all
 
 _PRELUDE_SOURCE: Optional[str] = None
+# The batch driver compiles on pool workers; memoization must be safe when
+# two workers load the prelude concurrently (each sees either None or the
+# complete text, never a partial read).
+_PRELUDE_LOCK = threading.Lock()
 
 
 def prelude_source() -> str:
     """The text of the bundled Lisp prelude (read once, then memoized --
-    every Compiler instance loads the same immutable file)."""
+    every Compiler instance loads the same immutable file).  Thread-safe:
+    concurrent first calls race only on who reads the file, not on what
+    callers observe."""
     global _PRELUDE_SOURCE
-    if _PRELUDE_SOURCE is None:
-        import os
+    with _PRELUDE_LOCK:
+        if _PRELUDE_SOURCE is None:
+            import os
 
-        path = os.path.join(os.path.dirname(__file__), "prelude.lisp")
-        with open(path, "r", encoding="utf-8") as handle:
-            _PRELUDE_SOURCE = handle.read()
-    return _PRELUDE_SOURCE
+            path = os.path.join(os.path.dirname(__file__), "prelude.lisp")
+            with open(path, "r", encoding="utf-8") as handle:
+                _PRELUDE_SOURCE = handle.read()
+        return _PRELUDE_SOURCE
 
 
 @dataclass
@@ -66,7 +75,9 @@ class CompiledFunction:
     code: CodeObject
     optimized_source: str
     transcript: Transcript
-    lambda_node: LambdaNode
+    #: None when the function was materialized from the compilation cache
+    #: (the cache stores no IR trees).
+    lambda_node: Optional[LambdaNode]
 
     def listing(self) -> str:
         return self.code.listing()
@@ -161,6 +172,10 @@ class Compiler:
 
     def __init__(self, options: Optional[CompilerOptions] = None):
         self.options = options or DEFAULT_OPTIONS
+        #: Content-addressed compilation cache (repro.cache), from
+        #: options.cache: None, a directory path, or a shared
+        #: CompilationCache instance.
+        self.cache = as_cache(self.options.cache)
         self.converter = Converter()
         self.program = Program()
         self.functions: Dict[Symbol, CompiledFunction] = {}
@@ -223,12 +238,24 @@ class Compiler:
                 body = expression_forms[0] if len(expression_forms) == 1 \
                     else from_list([sym("progn")] + expression_forms)
                 lambda_form = from_list([sym("lambda"), NIL, body])
-                timer = diagnostics.start_phase("ir conversion",
-                                                function=name)
-                node = self.converter.convert_lambda(lambda_form)
-                timer.finish(nodes_after=count_nodes(node))
-                compiled = self.compile_lambda(sym(name), node,
-                                               diagnostics=diagnostics)
+                key: Optional[str] = None
+                compiled: Optional[CompiledFunction] = None
+                if self._cache_active():
+                    # The wrapper name lands in the CodeObject, so it is
+                    # part of the address.
+                    key = self._cache_key_for(lambda_form, f"wrapper:{name}")
+                    compiled = self._cache_lookup(key, diagnostics)
+                elif self.cache is not None:
+                    diagnostics.bump("cache_bypass")
+                if compiled is None:
+                    timer = diagnostics.start_phase("ir conversion",
+                                                    function=name)
+                    node = self.converter.convert_lambda(lambda_form)
+                    timer.finish(nodes_after=count_nodes(node))
+                    compiled = self.compile_lambda(sym(name), node,
+                                                   diagnostics=diagnostics)
+                    if key is not None:
+                        self._cache_store(key, compiled, diagnostics)
                 result.defined.append(compiled.name)
                 result.functions[compiled.name] = compiled
         except ConversionError as err:
@@ -237,6 +264,64 @@ class Compiler:
             raise
         result.trace = self.last_trace
         return result
+
+    # -- the compilation cache ---------------------------------------------------
+
+    def _cache_active(self) -> bool:
+        """Whole-pipeline memoization is sound exactly when the pipeline is
+        a function of (form, options, target, proclaimed specials).  Global
+        procedure integration makes it depend on the live function_trees
+        registry as well, so that configuration bypasses the cache."""
+        return self.cache is not None \
+            and not self.options.enable_global_integration
+
+    def _cache_key_for(self, form: Any, *extra: str) -> str:
+        specials = ",".join(sorted(
+            s.name for s in self.converter.proclaimed_specials))
+        return cache_key(canonical_source(form), self.options,
+                         extra=(f"specials:{specials}",) + extra)
+
+    def _cache_lookup(self, key: str, diagnostics: Diagnostics
+                      ) -> Optional[CompiledFunction]:
+        """Probe the cache; on a hit, re-register the stored function and
+        return it (the pipeline does not run)."""
+        timer = diagnostics.start_phase("cache")
+        cached = self.cache.get(key)
+        timer.finish()
+        error = self.cache.take_last_error()
+        if error is not None:
+            diagnostics.warn(error, phase="cache")
+        if cached is None:
+            diagnostics.bump("cache_misses")
+            return None
+        diagnostics.bump("cache_hits")
+        name = sym(cached.name)
+        compiled = CompiledFunction(
+            name=name,
+            code=cached.code,
+            optimized_source=cached.optimized_source,
+            transcript=Transcript(None),
+            lambda_node=None,
+        )
+        self.program.add(name, cached.code)
+        self.functions[name] = compiled
+        trace = PhaseTrace()
+        trace.record("cache hit (pipeline skipped)")
+        self.last_trace = trace
+        return compiled
+
+    def _cache_store(self, key: str, compiled: CompiledFunction,
+                     diagnostics: Diagnostics) -> None:
+        self.cache.put(key, CachedFunction(
+            name=str(compiled.name),
+            code=compiled.code,
+            optimized_source=compiled.optimized_source,
+        ))
+        error = self.cache.take_last_error()
+        if error is not None:
+            diagnostics.warn(error, phase="cache")
+        else:
+            diagnostics.bump("cache_stores")
 
     def _toplevel_definition_kind(self, form: Any) -> Optional[str]:
         if isinstance(form, Cons) and form.car is sym("defun"):
@@ -251,12 +336,24 @@ class Compiler:
                             ) -> Symbol:
         diagnostics = diagnostics if diagnostics is not None else Diagnostics()
         if self._toplevel_definition_kind(form) == "defun":
+            key: Optional[str] = None
+            if self._cache_active():
+                key = self._cache_key_for(form)
+                cached = self._cache_lookup(key, diagnostics)
+                if cached is not None:
+                    result.functions[cached.name] = cached
+                    return cached.name
+            elif self.cache is not None:
+                diagnostics.bump("cache_bypass")
             timer = diagnostics.start_phase("ir conversion")
             name, node = self.converter.convert_defun(form)
             timer.record.function = str(name)
             timer.finish(nodes_after=count_nodes(node))
-            result.functions[name] = self.compile_lambda(
-                name, node, diagnostics=diagnostics)
+            compiled = self.compile_lambda(name, node,
+                                           diagnostics=diagnostics)
+            result.functions[name] = compiled
+            if key is not None:
+                self._cache_store(key, compiled, diagnostics)
             return name
         parts = to_list(form.cdr)
         name = parts[0]

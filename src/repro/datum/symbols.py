@@ -44,6 +44,17 @@ class Symbol:
     def __eq__(self, other: object) -> bool:
         return self is other
 
+    def __reduce__(self):
+        # Pickling must preserve identity semantics: an interned symbol
+        # unpickles through the intern table (so ``loads(dumps(sym("f")))
+        # is sym("f")``, even in another process -- the compilation cache
+        # depends on this).  Uninterned gensyms unpickle as fresh
+        # uninterned symbols; pickle's memo still keeps every occurrence
+        # within one pickled graph identical.
+        if self.interned:
+            return (intern_symbol, (self.name,))
+        return (Symbol, (self.name, False))
+
 
 _INTERN_LOCK = threading.Lock()
 _INTERN_TABLE: Dict[str, Symbol] = {}

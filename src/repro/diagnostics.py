@@ -144,6 +144,9 @@ class Diagnostics:
         self.phases: List[PhaseRecord] = []
         self.rule_fires: Dict[str, int] = {}
         self.messages: List[DiagnosticMessage] = []
+        #: Free-form event counters (cache hits/misses/stores, batch worker
+        #: tallies, ...) -- anything that is a count but not a rule firing.
+        self.counters: Dict[str, int] = {}
 
     # -- recording -----------------------------------------------------------
 
@@ -173,6 +176,17 @@ class Diagnostics:
         for rule, count in counts.items():
             if count:
                 self.rule_fires[rule] = self.rule_fires.get(rule, 0) + count
+
+    def bump(self, counter: str, amount: int = 1) -> int:
+        """Increment a named event counter; returns the new value."""
+        value = self.counters.get(counter, 0) + amount
+        self.counters[counter] = value
+        return value
+
+    def merge_counters(self, counts: Mapping[str, int]) -> None:
+        for counter, amount in counts.items():
+            if amount:
+                self.bump(counter, amount)
 
     def warn(self, message: str, phase: Optional[str] = None,
              location: Optional[SourceLocation] = None) -> DiagnosticMessage:
@@ -225,11 +239,16 @@ class Diagnostics:
 
     def report(self) -> str:
         """Human-readable summary: timings, rule fires, messages."""
-        if not self.phases and not self.rule_fires and not self.messages:
+        if not self.phases and not self.rule_fires and not self.messages \
+                and not self.counters:
             return "(no diagnostics recorded)"
         lines: List[str] = []
         if self.phases:
             lines.extend(self.timing_lines())
+        if self.counters:
+            lines.append("Counters:")
+            for counter in sorted(self.counters):
+                lines.append(f"  {self.counters[counter]:5d}  {counter}")
         if self.rule_fires:
             lines.append("Rule firings:")
             for rule, count in sorted(self.rule_fires.items(),
@@ -246,6 +265,7 @@ class Diagnostics:
         return {
             "phases": [record.to_json() for record in self.phases],
             "rule_fires": dict(self.rule_fires),
+            "counters": dict(self.counters),
             "messages": [message.to_json() for message in self.messages],
             "total_seconds": self.total_seconds(),
         }
@@ -256,6 +276,7 @@ class Diagnostics:
         diagnostics.phases = [PhaseRecord.from_json(p)
                               for p in data.get("phases", ())]
         diagnostics.rule_fires = dict(data.get("rule_fires", {}))
+        diagnostics.counters = dict(data.get("counters", {}))
         diagnostics.messages = [DiagnosticMessage.from_json(m)
                                 for m in data.get("messages", ())]
         return diagnostics

@@ -59,6 +59,12 @@ class CompilerOptions:
     transcript: bool = False               # record optimizer transcript entries
     transcript_stream: object = None       # file-like; None keeps entries only
 
+    # --- compilation cache (repro.cache) ---
+    # None (off), a directory path (memory LRU + on-disk store rooted
+    # there), or a repro.cache.CompilationCache instance (possibly shared
+    # between compilers).  Presentation-only: never part of the cache key.
+    cache: object = None
+
     def __post_init__(self) -> None:
         # Fail at option-construction time, not deep inside codegen: an
         # unknown target raises repro.errors.UnknownTargetError here.

@@ -10,8 +10,11 @@ the interpreter computes.
 import pytest
 
 from repro import Compiler, CompilerOptions, Interpreter, compile_and_run, naive_options
+from repro.cache import CompilationCache
 from repro.datum import NIL, T, from_list, lisp_equal, sym, to_list
 from repro.errors import LispError, ReproError
+
+from .genprog import corpus
 
 
 def interp_result(source, fn, args):
@@ -248,6 +251,43 @@ PROGRAMS = [
                          ids=[p[0] for p in PROGRAMS])
 def test_compiled_matches_interpreted(source, fn, args, options):
     check(source, fn, args, options)
+
+
+class TestGeneratedDifferentialSweep:
+    """The cache-hardening sweep: for a seeded random corpus, the reference
+    interpreter, a cold compile, and a cache-hit compile must agree -- on
+    every registered target.  (The corpus generator only emits total,
+    deterministic integer programs, so plain equality is the right
+    oracle.)"""
+
+    SWEEP = corpus(50, base_seed=7)
+
+    @pytest.mark.parametrize("target", ["s1", "vax", "pdp10"])
+    def test_interpreter_vs_compiled_vs_cached(self, target, tmp_path):
+        cache = CompilationCache(directory=tmp_path / "store")
+        options = CompilerOptions(target=target, cache=cache)
+        for index, (source, fn, args) in enumerate(self.SWEEP):
+            expected = interp_result(source, fn, args)
+
+            cold = Compiler(options)
+            cold.compile_source(source)
+            cold_result = cold.run(fn, args)
+            assert lisp_equal(expected, cold_result), (
+                f"[{target} #{index}] interpreter={expected!r} "
+                f"cold={cold_result!r}\n{source}")
+
+            warm = Compiler(options)
+            warm.compile_source(source)
+            assert warm.last_diagnostics.counters.get("cache_hits", 0) >= 1, (
+                f"[{target} #{index}] expected a cache hit\n{source}")
+            warm_result = warm.run(fn, args)
+            assert lisp_equal(expected, warm_result), (
+                f"[{target} #{index}] interpreter={expected!r} "
+                f"cached={warm_result!r}\n{source}")
+
+    def test_sweep_is_reproducible(self):
+        again = corpus(50, base_seed=7)
+        assert again == self.SWEEP
 
 
 class TestTailCallBehavior:

@@ -236,3 +236,79 @@ class TestPreludeMetadata:
         compiler.load_prelude()
         machine = compiler.machine()
         assert to_list(machine.run(sym("iota"), [3])) == [0, 1, 2]
+
+
+class TestPreludeConcurrency:
+    """Regression for the batch pool (ISSUE 3): ``prelude_source()``
+    memoizes into a module-global, so concurrent workers loading the
+    prelude must each observe the complete, identical text -- never a
+    partial read or interleaved state."""
+
+    def _reset_memo(self, monkeypatch):
+        import repro.compiler as compiler_module
+
+        monkeypatch.setattr(compiler_module, "_PRELUDE_SOURCE", None)
+
+    def test_concurrent_first_loads_see_complete_text(self, monkeypatch):
+        import threading
+
+        self._reset_memo(monkeypatch)
+        barrier = threading.Barrier(4)
+        results, errors = [], []
+
+        def load():
+            try:
+                barrier.wait(timeout=10)
+                results.append(prelude_source())
+            except Exception as err:  # pragma: no cover - failure detail
+                errors.append(err)
+
+        threads = [threading.Thread(target=load) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors
+        assert len(results) == 4
+        assert len(set(results)) == 1
+        assert "defun" in results[0]
+
+    def test_two_workers_compile_prelude_concurrently(self, monkeypatch):
+        """Two per-worker compilers racing through load_prelude() must end
+        with identical definitions and working code (no interleaved
+        prelude state)."""
+        import threading
+
+        self._reset_memo(monkeypatch)
+        barrier = threading.Barrier(2)
+        outcomes = [None, None]
+        errors = []
+
+        def work(slot):
+            try:
+                barrier.wait(timeout=10)
+                compiler = Compiler()
+                names = compiler.load_prelude()
+                machine = compiler.machine()
+                result = machine.run(
+                    sym("mapcar1"), [fn_value("1+"), lst(1, 2, 3)])
+                outcomes[slot] = ([str(n) for n in names], to_list(result))
+            except Exception as err:  # pragma: no cover - failure detail
+                errors.append(err)
+
+        threads = [threading.Thread(target=work, args=(slot,))
+                   for slot in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        assert outcomes[0] is not None and outcomes[1] is not None
+        assert outcomes[0][0] == outcomes[1][0]
+        assert outcomes[0][1] == [2, 3, 4]
+        assert outcomes[1][1] == [2, 3, 4]
+
+    def test_idempotent_after_concurrent_loads(self, monkeypatch):
+        self._reset_memo(monkeypatch)
+        first = prelude_source()
+        assert prelude_source() is first  # memoized, not re-read
