@@ -23,8 +23,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import pytest
 
-from repro import Compiler, CompilerOptions, naive_options
-from repro.baseline import CountingInterpreter, NaiveCompiler
+from repro import Compiler, CompilerOptions
 from repro.datum import sym
 
 # Per-test phase timings collected over the whole session (see run_config).

@@ -6,9 +6,8 @@ by-squaring procedure and measure the stack high-water mark across five
 orders of magnitude of n, plus the cost per iteration.
 """
 
-import pytest
 
-from repro import Compiler, CompilerOptions
+from repro import Compiler
 from repro.datum import sym
 
 EXPTL = """

@@ -94,7 +94,6 @@ def test_e4_computes_correctly(benchmark):
     compiler, _ = compile_one(WITH_E, "update-e")
     machine = compiler.machine()
     dim = 3
-    setup = Compiler()
     # Build flattened 3x3 matrices A=i+j, B=i*j+1, C=1, Z=0 on the host and
     # run the kernel for one (i,j,k).
     from repro.primitives import LispVector

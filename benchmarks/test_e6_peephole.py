@@ -11,7 +11,6 @@ would be small because "most global improvements ... have had some means of
 expression in terms of source-level constructs".
 """
 
-import pytest
 
 from repro import Compiler, CompilerOptions
 from repro.datum import sym

@@ -14,7 +14,6 @@ two workload extremes over both binding implementations and shows the
 crossover, then shows caching erasing deep binding's weakness.
 """
 
-import pytest
 
 from repro.datum import sym
 from repro.interp import DeepBindingStack, ShallowBindingStack

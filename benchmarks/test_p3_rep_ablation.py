@@ -79,7 +79,6 @@ def test_p3_coercion_count_static(benchmark, table):
     analyze(tree2)
     annotate_representations(tree2, enable=False)
     # With everything POINTER the typed operators coerce at EVERY operand.
-    from repro.annotate import coercion_sites as sites_fn
     # Count mismatches the typed ops would need (args wanted SWFLO).
     table("P3: static coercion sites",
           ["configuration", "sites"],

@@ -8,7 +8,6 @@ The workload binds a handful of specials (deepening the binding stack) and
 then accesses one of them in a loop.
 """
 
-import pytest
 
 from conftest import run_config
 from repro import CompilerOptions

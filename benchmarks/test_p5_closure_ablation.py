@@ -9,7 +9,6 @@ Workloads: a downward-funarg style program (all lambdas known: zero
 closures) vs a genuinely escaping closure factory (closures required).
 """
 
-import pytest
 
 from conftest import run_config
 from repro import CompilerOptions

@@ -8,7 +8,6 @@ Workloads: a state machine as mutually tail-recursive functions, and the
 ablation with frame-pushing calls.
 """
 
-import pytest
 
 from conftest import run_config
 from repro import CompilerOptions
@@ -97,12 +96,10 @@ def test_p6_tailcall_cheaper_than_call(benchmark, table):
 def test_p6_interpreter_also_iterative(benchmark):
     """The *language* is tail-recursive (Section 2): the interpreter, too,
     runs the state machine in constant Python stack."""
-    import sys
 
     from repro.baseline import CountingInterpreter
 
     stream = make_stream(2000, 2)
-    interp = CountingInterpreter()
 
     def run_it():
         interp2 = CountingInterpreter()

@@ -16,7 +16,6 @@ sequence; self-unrolling cuts calls per iteration proportionally; both are
 exact-result-preserving.
 """
 
-import pytest
 
 from repro import Compiler, CompilerOptions
 from repro.datum import sym

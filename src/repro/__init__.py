@@ -16,6 +16,9 @@ Public API highlights:
   content-addressed compilation cache (memory LRU + on-disk store)
 * :func:`repro.compile_batch` -- parallel multi-file compilation with
   per-file status reporting (also ``python -m repro batch``)
+* :mod:`repro.trace` -- Chrome trace-event / Prometheus exporters over the
+  diagnostics layer (``build_chrome_trace``, ``prometheus_metrics``); the
+  machine's exact profiler lives at ``Machine.enable_profiling()``
 """
 
 from .batch import BatchFileResult, BatchResult, compile_batch
@@ -37,8 +40,14 @@ from .interp import Interpreter, evaluate
 from .options import CompilerOptions, DEFAULT_OPTIONS, naive_options
 from .reader import read, read_all, write_to_string
 from .target import MachineDescription, get_target
+from .trace import (
+    build_chrome_trace,
+    prometheus_metrics,
+    write_chrome_trace,
+    write_metrics,
+)
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "BatchFileResult",
@@ -54,6 +63,7 @@ __all__ = [
     "Interpreter",
     "SourceLocation",
     "MachineDescription",
+    "build_chrome_trace",
     "cache_key",
     "canonical_source",
     "compile_and_run",
@@ -62,8 +72,11 @@ __all__ = [
     "get_target",
     "naive_options",
     "options_fingerprint",
+    "prometheus_metrics",
     "read",
     "read_all",
+    "write_chrome_trace",
+    "write_metrics",
     "write_to_string",
     "__version__",
 ]

@@ -7,8 +7,10 @@ Meta commands::
 
     :listing NAME     show a function's parenthesized assembly
     :transcript NAME  show the optimizer transcript for a function
+    :trace NAME       show each rewrite as a whole-function unified diff
     :source NAME      show the optimized (back-translated) source
     :stats            cumulative machine statistics for this session
+    :profile          exact execution profile (per-opcode / function / line)
     :phases           the phase pipeline of the last compilation
     :diag             phase timings / rule fires / warnings (last compile)
     :prelude          load the bundled standard library
@@ -18,12 +20,16 @@ Flags::
 
     --diagnostics-json PATH   write every compilation's diagnostics (one
                               JSON object per compile) to PATH on exit
+    --trace PATH              write a Chrome trace-event JSON of the session
+                              (open in Perfetto / chrome://tracing) on exit
+    --metrics PATH            write a Prometheus text metrics dump on exit
 
 Batch mode (``python -m repro batch``) compiles many files across a worker
 pool with an optional shared content-addressed cache::
 
     python -m repro batch src1.lisp src2.lisp --jobs 4 --cache-dir .repro-cache
     python -m repro batch lib/*.lisp --target vax --json report.json
+    python -m repro batch examples/*.lisp --trace trace.json
 """
 
 from __future__ import annotations
@@ -43,7 +49,10 @@ from .reader import read_all, write_to_string
 class Repl:
     def __init__(self, options: Optional[CompilerOptions] = None,
                  out=sys.stdout):
-        self.compiler = Compiler(options or CompilerOptions(transcript=True))
+        # The REPL is interactive: full observability (transcript entries
+        # plus whole-function rewrite snapshots) is worth the cost.
+        self.compiler = Compiler(options or CompilerOptions(
+            transcript=True, trace_rewrites=True))
         self.machine: Optional[Machine] = None
         self.out = out
         self._counter = 0
@@ -56,6 +65,9 @@ class Repl:
         new definitions only swap in the updated program."""
         if self.machine is None:
             self.machine = self.compiler.machine()
+            # Exact profiling is on for the whole session so :profile can
+            # answer at any point (simulator-side cost only).
+            self.machine.enable_profiling()
         else:
             self.machine.program = self.compiler.program
         return self.machine
@@ -134,6 +146,12 @@ class Repl:
                             "total_heap_allocations", "certifications"):
                     self._say(f"  {key}: {stats[key]}")
             return True
+        if command == ":profile":
+            if self.machine is None:
+                self._say("(nothing run yet)")
+            else:
+                self._say(self.machine.profile_report())
+            return True
         if command == ":phases":
             self._say(self.compiler.phase_report())
             return True
@@ -144,7 +162,8 @@ class Repl:
             else:
                 self._say(diagnostics.report())
             return True
-        if command in (":listing", ":transcript", ":source") and len(parts) == 2:
+        if command in (":listing", ":transcript", ":trace", ":source") \
+                and len(parts) == 2:
             name = sym(parts[1])
             compiled = self.compiler.functions.get(name)
             if compiled is None:
@@ -154,6 +173,9 @@ class Repl:
                 self._say(compiled.listing())
             elif command == ":transcript":
                 self._say(compiled.transcript.render() or "(no entries)")
+            elif command == ":trace":
+                self._say(compiled.transcript.render_diffs()
+                          or "(no rewrites recorded)")
             else:
                 self._say(compiled.optimized_source)
             return True
@@ -163,6 +185,25 @@ class Repl:
     def dump_diagnostics(self, path: str) -> None:
         with open(path, "w", encoding="utf-8") as handle:
             json.dump({"session": self.diagnostics_log}, handle, indent=2)
+
+    def trace_entries(self):
+        """(diagnostics, pid, tid, label) tuples for the trace exporter:
+        the whole session on one track, one compile span per entry."""
+        return [(record["diagnostics"], 0, 0, record["entry"])
+                for record in self.diagnostics_log]
+
+    def dump_trace(self, path: str) -> None:
+        from .trace import write_chrome_trace
+
+        write_chrome_trace(path, self.trace_entries())
+
+    def dump_metrics(self, path: str) -> None:
+        from .trace import write_metrics
+
+        profile = self.machine.profile_data() \
+            if self.machine is not None else None
+        write_metrics(path, [record["diagnostics"]
+                             for record in self.diagnostics_log], profile)
 
 
 def batch_main(argv) -> int:
@@ -189,11 +230,20 @@ def batch_main(argv) -> int:
                              "worker compiler first")
     parser.add_argument("--json", default=None, metavar="PATH",
                         help="also write the full batch report as JSON")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="write a Chrome trace-event JSON (one track "
+                             "per worker; open in Perfetto)")
+    parser.add_argument("--metrics", default=None, metavar="PATH",
+                        help="write a Prometheus text metrics dump")
+    parser.add_argument("--trace-rewrites", action="store_true",
+                        help="capture whole-function before/after source "
+                             "per optimizer rewrite (slower)")
     args = parser.parse_args(argv)
 
     from . import CompilerOptions
 
-    options = CompilerOptions(target=args.target)
+    options = CompilerOptions(target=args.target,
+                              trace_rewrites=args.trace_rewrites)
     result = compile_batch(args.files, options=options, jobs=args.jobs,
                            cache_dir=args.cache_dir,
                            load_prelude=args.prelude)
@@ -201,6 +251,17 @@ def batch_main(argv) -> int:
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(result.to_json(), handle, indent=2)
+    if args.trace:
+        from .trace import write_chrome_trace
+
+        count = write_chrome_trace(args.trace, result.trace_entries())
+        print(f"trace: wrote {count} event(s) to {args.trace}")
+    if args.metrics:
+        from .trace import write_metrics
+
+        write_metrics(args.metrics,
+                      [f.diagnostics for f in result.files
+                       if f.diagnostics is not None])
     return 0 if result.error_count == 0 else 1
 
 
@@ -217,6 +278,13 @@ def main(argv=None) -> int:
         "--diagnostics-json", metavar="PATH", default=None,
         help="write per-compilation phase timings, rule-fire counters, and "
              "warnings to PATH (JSON) when the session ends")
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write a Chrome trace-event JSON of the session (open in "
+             "Perfetto / chrome://tracing) when it ends")
+    parser.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="write a Prometheus text metrics dump when the session ends")
     args = parser.parse_args(argv)
 
     print("repro: the S-1 Lisp compiler reproduction "
@@ -234,6 +302,10 @@ def main(argv=None) -> int:
     finally:
         if args.diagnostics_json:
             repl.dump_diagnostics(args.diagnostics_json)
+        if args.trace:
+            repl.dump_trace(args.trace)
+        if args.metrics:
+            repl.dump_metrics(args.metrics)
 
 
 if __name__ == "__main__":

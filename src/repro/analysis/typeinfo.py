@@ -17,10 +17,9 @@ the representation analysis works over.
 
 from __future__ import annotations
 
-from fractions import Fraction
 from typing import Optional
 
-from ..datum import NIL, T
+from ..datum import T
 from ..ir.nodes import (
     CallNode,
     CaseqNode,

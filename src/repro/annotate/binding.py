@@ -27,9 +27,9 @@ Strategies assigned to each LambdaNode:
 
 from __future__ import annotations
 
-from typing import List, Optional, Set
+from typing import Optional, Set
 
-from ..analysis import analyze_tail_positions, free_variables
+from ..analysis import free_variables
 from ..ir.nodes import (
     CallNode,
     LambdaNode,

@@ -23,7 +23,7 @@ and constant-time ``SPECREF``/``SPECSET`` instructions at the uses.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from ..datum.symbols import Symbol
 from ..ir.nodes import (

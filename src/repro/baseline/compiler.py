@@ -3,14 +3,13 @@ interpreter."""
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Sequence, Tuple
+from typing import Any, Sequence, Tuple
 
 from ..compiler import Compiler
-from ..datum.symbols import Symbol, sym
+from ..datum.symbols import sym
 from ..interp import Interpreter
 from ..ir.nodes import Node
-from ..machine import Machine
-from ..options import CompilerOptions, naive_options
+from ..options import naive_options
 
 
 class NaiveCompiler(Compiler):

@@ -74,6 +74,9 @@ class BatchFileResult:
     warnings: List[str] = field(default_factory=list)
     #: Worker process id (all equal under jobs=1; several under a pool).
     pid: int = 0
+    #: Full ``Diagnostics.to_json()`` of this file's compile (phase spans,
+    #: rewrites, counters) -- the trace exporter's per-worker track data.
+    diagnostics: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -89,6 +92,7 @@ class BatchFileResult:
             "counters": dict(self.counters),
             "warnings": list(self.warnings),
             "pid": self.pid,
+            "diagnostics": self.diagnostics,
         }
 
 
@@ -117,6 +121,20 @@ class BatchResult:
             for counter, amount in result.counters.items():
                 totals[counter] = totals.get(counter, 0) + amount
         return totals
+
+    def trace_entries(self) -> List[Tuple[Dict[str, Any], int, int, str]]:
+        """(diagnostics, pid, tid, label) tuples for
+        :func:`repro.trace.build_chrome_trace`: one pid track per worker
+        process, one tid lane per file that worker compiled."""
+        lanes: Dict[int, int] = {}
+        entries: List[Tuple[Dict[str, Any], int, int, str]] = []
+        for result in self.files:
+            if result.diagnostics is None:
+                continue
+            tid = lanes.get(result.pid, 0)
+            lanes[result.pid] = tid + 1
+            entries.append((result.diagnostics, result.pid, tid, result.path))
+        return entries
 
     def to_json(self) -> Dict[str, Any]:
         return {
@@ -173,7 +191,9 @@ def _compile_one(spec: Dict[str, Any], cache_dir: Optional[str],
     result: Dict[str, Any] = {
         "path": label, "status": "ok", "defined": [], "error": None,
         "counters": {}, "warnings": [], "pid": os.getpid(),
+        "diagnostics": None,
     }
+    compiler: Optional[Compiler] = None
     try:
         if source is None:
             with open(label, "r", encoding="utf-8") as handle:
@@ -184,14 +204,18 @@ def _compile_one(spec: Dict[str, Any], cache_dir: Optional[str],
             compiler.load_prelude()
         compiled = compiler.compile(source)
         result["defined"] = [str(name) for name in compiled.defined]
-        diagnostics = compiler.last_diagnostics
-        if diagnostics is not None:
-            result["counters"] = dict(diagnostics.counters)
-            result["warnings"] = [message.render()
-                                  for message in diagnostics.warnings]
     except Exception as err:  # noqa: BLE001 - per-file status, never die
         result["status"] = "error"
         result["error"] = f"{type(err).__name__}: {err}"
+    # Harvest diagnostics for ok AND errored files alike: a compile that
+    # died in codegen still probed the cache and raised warnings, and
+    # those counters must survive the merge.
+    diagnostics = compiler.last_diagnostics if compiler is not None else None
+    if diagnostics is not None:
+        result["counters"] = dict(diagnostics.counters)
+        result["warnings"] = [message.render()
+                              for message in diagnostics.warnings]
+        result["diagnostics"] = diagnostics.to_json()
     result["seconds"] = time.perf_counter() - started
     return result
 
@@ -250,6 +274,7 @@ def compile_batch(items: Sequence[BatchItem], *,
                         "defined": [], "seconds": 0.0,
                         "error": f"{type(err).__name__}: {err}",
                         "counters": {}, "warnings": [], "pid": 0,
+                        "diagnostics": None,
                     }
 
     files = [BatchFileResult(**entry) for entry in raw if entry is not None]

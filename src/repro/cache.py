@@ -42,7 +42,7 @@ from .machine import CodeObject
 
 #: Bump whenever the pickled payload layout or the key derivation changes;
 #: entries written under another version are treated as misses.
-CACHE_FORMAT_VERSION = 1
+CACHE_FORMAT_VERSION = 2  # v2: CodeObject grew line_map/source_file
 
 #: Pickle payload envelope tag (a cheap sanity check before trusting data).
 _MAGIC = "repro-cache"
@@ -51,7 +51,7 @@ _MAGIC = "repro-cache"
 #: control reporting (or configure the cache itself) and must not perturb
 #: the key.
 NON_SEMANTIC_OPTION_FIELDS = frozenset(
-    {"transcript", "transcript_stream", "cache"})
+    {"transcript", "transcript_stream", "trace_rewrites", "cache"})
 
 
 # ---------------------------------------------------------------------------

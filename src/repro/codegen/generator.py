@@ -26,9 +26,8 @@ from __future__ import annotations
 import itertools
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
-from ..analysis import analyze
 from ..annotate import annotate
 from ..annotate.pdl import wants_pdl_allocation
 from ..annotate.specials import SpecialCachePlan
@@ -63,7 +62,7 @@ from ..machine.isa import (
     RAW_BINARY_OPS,
     RAW_UNARY_OPS,
 )
-from ..options import CompilerOptions, DEFAULT_OPTIONS
+from ..options import CompilerOptions
 from ..primitives import Primitive, lookup_primitive
 from ..target.registers import RTA, RTB
 from ..target.reps import JUMP, NONE, POINTER, SWFIX, SWFLO, is_numeric
@@ -160,6 +159,7 @@ class FunctionCodegen:
         self.alloctemps_indices: List[int] = []
         self.moves_inserted = 0
         self.tnbind_seconds = 0.0
+        self.tnbind_started = 0.0
         self.tns_packed = 0
         # node id -> [special symbols] whose lookup caches here
         self.cache_triggers: Dict[int, List[Symbol]] = {}
@@ -167,13 +167,19 @@ class FunctionCodegen:
         self._known_lambda_map: Dict[Variable, LambdaNode] = {}
         # lexically enclosing progbodies during compilation
         self._progbody_stack: List[Tuple[Any, ...]] = []
+        # Source position tracking: _note_source updates this from each
+        # node's reader position; emit() stamps it onto instructions so
+        # the profiler can attribute cycles to source lines.
+        self._current_line: Optional[int] = None
+        self.source_file: Optional[str] = None
 
     # -- emission helpers ---------------------------------------------------
 
     def emit(self, opcode: str, *operands: Any, comment: Optional[str] = None
              ) -> Instruction:
         tick = len(self.vcode)
-        instruction = Instruction(opcode, tuple(operands), comment)
+        instruction = Instruction(opcode, tuple(operands), comment,
+                                  line=self._current_line)
         self.vcode.append(instruction)
         if opcode in ("CALL", "CALLF", "APPLYF", "GENERIC"):
             # GENERIC of an impure primitive can run arbitrary user code?
@@ -213,6 +219,10 @@ class FunctionCodegen:
 
     def generate(self) -> CodeObject:
         self._prepare_cache_triggers()
+        # Seed line tracking from the root lambda so functions whose whole
+        # body was rewritten (optimizer nodes carry no reader position)
+        # still attribute to their defining form.
+        self._note_source(self.root)
         frame = self._compile_function_entry(self.root, fast=False)
         self._compile_tail(self.root.body, frame)
         self._drain_sections()
@@ -481,8 +491,22 @@ class FunctionCodegen:
 
     # -- expression compilation ---------------------------------------------------
 
+    def _note_source(self, node: Node) -> None:
+        """Track the reader position of the form being compiled.  Positions
+        stick: optimizer-introduced nodes (no .source) inherit the nearest
+        enclosing positioned form's line."""
+        src = node.source
+        if src is None:
+            return
+        pos = getattr(src, "source_pos", None)
+        if pos is not None:
+            self._current_line = pos.line
+            if self.source_file is None:
+                self.source_file = pos.file
+
     def _compile_tail(self, node: Node, frame: FrameInfo) -> None:
         """Compile *node* in tail position: control does not return."""
+        self._note_source(node)
         self._maybe_cache_specials(node, frame)
         if isinstance(node, IfNode):
             false_label = _fresh_label("else")
@@ -520,6 +544,7 @@ class FunctionCodegen:
     def _compile_value(self, node: Node, frame: FrameInfo, want: str) -> Any:
         """Compile for value; returns an operand holding the result in
         representation *want* (or nothing meaningful when want is NONE)."""
+        self._note_source(node)
         self._maybe_cache_specials(node, frame)
         if isinstance(node, LiteralNode):
             return self._compile_literal(node, want)
@@ -582,6 +607,7 @@ class FunctionCodegen:
     def _compile_test(self, node: Node, frame: FrameInfo,
                       false_label: str) -> None:
         """Compile a predicate: fall through when true, jump when false."""
+        self._note_source(node)
         self._maybe_cache_specials(node, frame)
         if isinstance(node, LiteralNode):
             if node.value is NIL:
@@ -1133,6 +1159,7 @@ class FunctionCodegen:
         # Time the TNBIND/PACK step separately so the diagnostics layer can
         # report it as its own Table 1 phase (it runs inside codegen).
         pack_start = time.perf_counter()
+        self.tnbind_started = pack_start
         packing = pack_tns(self.tns, pack_options)
         self.tnbind_seconds = time.perf_counter() - pack_start
         self.tns_packed = len(self.tns)
@@ -1151,7 +1178,8 @@ class FunctionCodegen:
         for index in alloc_indices:
             instructions[index] = Instruction(
                 "ALLOCTEMPS", (("imm", packing.temp_slots_used),),
-                instructions[index].comment)
+                instructions[index].comment,
+                line=instructions[index].line)
         code = CodeObject(
             name=self.name,
             instructions=instructions,
@@ -1160,7 +1188,9 @@ class FunctionCodegen:
             arity_min=self.root.min_args(),
             arity_max=self.root.max_args(),
             target=self.target.name,
+            source_file=self.source_file,
         )
+        code.rebuild_line_map()
         code.moves_inserted = self.moves_inserted  # type: ignore[attr-defined]
         code.registers_used = packing.registers_used  # type: ignore[attr-defined]
         return code
@@ -1215,7 +1245,8 @@ class FunctionCodegen:
             for operand in instruction.operands:
                 operands.append(self._resolve_operand(operand))
             resolved.append(Instruction(instruction.opcode, tuple(operands),
-                                        instruction.comment))
+                                        instruction.comment,
+                                        line=instruction.line))
         return resolved
 
     def _resolve_operand(self, operand: Any) -> Any:
@@ -1257,18 +1288,21 @@ class FunctionCodegen:
                     continue
                 if dst == src2:
                     # MOV would clobber src2; stage through RTA.
-                    result.append(Instruction("MOV", (("reg", RTA), src1)))
+                    result.append(Instruction("MOV", (("reg", RTA), src1),
+                                              line=instruction.line))
                     result.append(Instruction(
                         instruction.opcode,
                         (("reg", RTA), ("reg", RTA), src2),
-                        instruction.comment))
-                    result.append(Instruction("MOV", (dst, ("reg", RTA))))
+                        instruction.comment, line=instruction.line))
+                    result.append(Instruction("MOV", (dst, ("reg", RTA)),
+                                              line=instruction.line))
                     self.moves_inserted += 2
                     continue
-                result.append(Instruction("MOV", (dst, src1)))
+                result.append(Instruction("MOV", (dst, src1),
+                                          line=instruction.line))
                 result.append(Instruction(
                     instruction.opcode, (dst, dst, src2),
-                    instruction.comment))
+                    instruction.comment, line=instruction.line))
                 self.moves_inserted += 1
                 continue
             result.append(instruction)

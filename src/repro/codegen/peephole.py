@@ -86,7 +86,9 @@ def optimize_code(code: CodeObject) -> Tuple[CodeObject, PeepholeStats]:
         arity_max=code.arity_max,
         source=code.source,
         target=code.target,
+        source_file=code.source_file,
     )
+    result.rebuild_line_map()
     result.moves_inserted = getattr(code, "moves_inserted", 0)  # type: ignore[attr-defined]
     return result, stats
 
@@ -200,7 +202,7 @@ def _retarget(instruction: Instruction, old: str, new: str) -> Instruction:
         else:
             operands.append(operand)
     return Instruction(instruction.opcode, tuple(operands),
-                       instruction.comment)
+                       instruction.comment, line=instruction.line)
 
 
 def _tension_branches(blocks: List[Block], label_to_block: Dict[str, int],
@@ -213,7 +215,8 @@ def _tension_branches(blocks: List[Block], label_to_block: Dict[str, int],
                 final, ret = _final_destination(target, blocks, label_to_block)
                 if ret is not None and instruction.opcode == "JMP":
                     block.instructions[i] = Instruction(
-                        "RET", ret.operands, ret.comment)
+                        "RET", ret.operands, ret.comment,
+                        line=instruction.line)
                     stats.branches_tensioned += 1
                     break
                 if final != target:
@@ -301,8 +304,6 @@ def _relinearize(blocks: List[Block], keep: List[int],
                  ) -> Tuple[List[Instruction], Dict[str, int]]:
     instructions: List[Instruction] = []
     labels: Dict[str, int] = {}
-    kept_set = set(keep)
-    position = {index: order for order, index in enumerate(keep)}
     for order, index in enumerate(keep):
         block = blocks[index]
         for label in block.labels:

@@ -41,7 +41,7 @@ from .optimizer import (
     Transcript,
     eliminate_common_subexpressions,
 )
-from .options import CompilerOptions, DEFAULT_OPTIONS, naive_options
+from .options import CompilerOptions, DEFAULT_OPTIONS
 from .reader import read_all
 
 _PRELUDE_SOURCE: Optional[str] = None
@@ -408,7 +408,8 @@ class Compiler:
         trace = PhaseTrace()
         trace.record("preliminary conversion")
         transcript = Transcript(self.options.transcript_stream
-                                if self.options.transcript else None)
+                                if self.options.transcript else None,
+                                trace_rewrites=self.options.trace_rewrites)
 
         timer = diagnostics.start_phase("analysis", function=fname,
                                         nodes_before=count_nodes(node))
@@ -468,11 +469,13 @@ class Compiler:
         diagnostics.record_phase(
             "tnbind", generator.tnbind_seconds, function=fname,
             nodes_before=generator.tns_packed,
-            nodes_after=generator.tns_packed)
+            nodes_after=generator.tns_packed,
+            started_s=generator.tnbind_started or None)
         diagnostics.record_phase(
             "codegen", codegen_seconds - generator.tnbind_seconds,
             function=fname, nodes_before=count_nodes(node),
-            nodes_after=len(code.instructions))
+            nodes_after=len(code.instructions),
+            started_s=codegen_start)
         trace.record("target annotation (TNBIND/PACK)")
         trace.record("code generation")
 
@@ -488,6 +491,7 @@ class Compiler:
             trace.record("peephole (linear-block packing)")
 
         diagnostics.record_rules(transcript.rule_counts())
+        diagnostics.record_rewrites(transcript.to_json())
 
         compiled = CompiledFunction(
             name=name,

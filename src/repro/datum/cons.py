@@ -8,7 +8,7 @@ list.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator, List, Optional
+from typing import Any, Iterable, Iterator, List
 
 from .symbols import NIL, Symbol
 

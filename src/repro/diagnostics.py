@@ -22,7 +22,7 @@ package -- including :mod:`repro.errors` -- may import it without cycles.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Mapping, Optional
 
 #: Canonical phase keys, in Table 1 pipeline order.  ``Diagnostics`` accepts
@@ -69,6 +69,10 @@ class PhaseRecord:
     duration_s: float = 0.0
     nodes_before: Optional[int] = None
     nodes_after: Optional[int] = None
+    #: ``time.perf_counter()`` when the phase began.  Lets the trace
+    #: exporter place the phase as a span on a shared timeline (the same
+    #: clock stamps transcript entries and cache events).
+    started_s: Optional[float] = None
 
     def to_json(self) -> Dict[str, Any]:
         return {
@@ -77,6 +81,7 @@ class PhaseRecord:
             "duration_s": self.duration_s,
             "nodes_before": self.nodes_before,
             "nodes_after": self.nodes_after,
+            "started_s": self.started_s,
         }
 
     @classmethod
@@ -84,7 +89,8 @@ class PhaseRecord:
         return cls(phase=data["phase"], function=data.get("function", ""),
                    duration_s=data.get("duration_s", 0.0),
                    nodes_before=data.get("nodes_before"),
-                   nodes_after=data.get("nodes_after"))
+                   nodes_after=data.get("nodes_after"),
+                   started_s=data.get("started_s"))
 
 
 @dataclass
@@ -126,6 +132,7 @@ class _PhaseTimer:
     def __init__(self, diagnostics: "Diagnostics", record: PhaseRecord):
         self.record = record
         self._start = time.perf_counter()
+        record.started_s = self._start
         self._done = False
 
     def finish(self, nodes_after: Optional[int] = None) -> PhaseRecord:
@@ -147,6 +154,10 @@ class Diagnostics:
         #: Free-form event counters (cache hits/misses/stores, batch worker
         #: tallies, ...) -- anything that is a count but not a rule firing.
         self.counters: Dict[str, int] = {}
+        #: Rewrite-trace entries (``TranscriptEntry.to_json`` dicts) merged
+        #: from the optimizer transcript; the trace exporter turns them
+        #: into instant events on the compilation timeline.
+        self.rewrites: List[Dict[str, Any]] = []
 
     # -- recording -----------------------------------------------------------
 
@@ -161,13 +172,15 @@ class Diagnostics:
 
     def record_phase(self, phase: str, duration_s: float, function: str = "",
                      nodes_before: Optional[int] = None,
-                     nodes_after: Optional[int] = None) -> PhaseRecord:
+                     nodes_after: Optional[int] = None,
+                     started_s: Optional[float] = None) -> PhaseRecord:
         """Append an externally measured phase (e.g. TNBIND, which runs
         inside the code generator)."""
         record = PhaseRecord(phase=phase, function=function,
                              duration_s=max(0.0, duration_s),
                              nodes_before=nodes_before,
-                             nodes_after=nodes_after)
+                             nodes_after=nodes_after,
+                             started_s=started_s)
         self.phases.append(record)
         return record
 
@@ -176,6 +189,10 @@ class Diagnostics:
         for rule, count in counts.items():
             if count:
                 self.rule_fires[rule] = self.rule_fires.get(rule, 0) + count
+
+    def record_rewrites(self, entries: Iterable[Mapping[str, Any]]) -> None:
+        """Append transcript-entry JSON dicts to the rewrite trace."""
+        self.rewrites.extend(dict(entry) for entry in entries)
 
     def bump(self, counter: str, amount: int = 1) -> int:
         """Increment a named event counter; returns the new value."""
@@ -267,6 +284,7 @@ class Diagnostics:
             "rule_fires": dict(self.rule_fires),
             "counters": dict(self.counters),
             "messages": [message.to_json() for message in self.messages],
+            "rewrites": [dict(entry) for entry in self.rewrites],
             "total_seconds": self.total_seconds(),
         }
 
@@ -279,6 +297,8 @@ class Diagnostics:
         diagnostics.counters = dict(data.get("counters", {}))
         diagnostics.messages = [DiagnosticMessage.from_json(m)
                                 for m in data.get("messages", ())]
+        diagnostics.rewrites = [dict(entry)
+                                for entry in data.get("rewrites", ())]
         return diagnostics
 
 

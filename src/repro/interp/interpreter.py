@@ -23,7 +23,7 @@ The interpreter implements the dialect's defining semantic properties:
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..datum import NIL, T, Cons, from_list, to_list
 from ..datum.symbols import Symbol, sym
@@ -53,7 +53,7 @@ from ..ir.nodes import (
 from ..ir.convert import Converter
 from ..primitives import Primitive, lookup_primitive
 from ..reader import read, read_all
-from .environment import Cell, DeepBindingStack, LexicalEnvironment
+from .environment import DeepBindingStack, LexicalEnvironment
 from ..datum.numbers import lisp_eql
 
 

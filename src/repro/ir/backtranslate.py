@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List
 
-from ..datum import NIL, T, Cons, from_list
+from ..datum import NIL, T, from_list
 from ..datum.symbols import Symbol, sym
 from .nodes import (
     CallNode,

@@ -135,6 +135,10 @@ class Converter:
         from ..datum import from_list
 
         lambda_form = from_list([_LAMBDA, parts[2]] + parts[3:])
+        # The synthetic lambda Cons has no reader position of its own;
+        # inherit the defun's so codegen's line map can attribute the
+        # function entry (and fully rewritten bodies) to its defining form.
+        lambda_form.source_pos = pos
         node = self.convert_lambda(lambda_form)
         node.name_hint = name.name
         return name, node

@@ -16,7 +16,7 @@ The expansions follow the paper where it shows them:
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List
 
 from ..datum import NIL, T, Cons, from_list, gensym, sym, to_list
 from ..datum.symbols import Symbol

@@ -7,7 +7,7 @@ certifications, special-variable search work, stack depth -- is measured
 exactly by :class:`Machine`.
 """
 
-from .cpu import FrameRecord, Machine, UNBOUND
+from .cpu import FrameRecord, Machine, MachineProfile, UNBOUND
 from .multi import MultiMachine
 from .heap import Heap
 from .isa import (
@@ -37,7 +37,8 @@ from .values import (
 
 __all__ = [
     "CYCLES", "Cell", "Closure", "CodeObject", "FrameRecord", "Heap",
-    "HeapNumber", "Instruction", "Machine", "MultiMachine", "PdlNumber", "PrimitiveFn",
+    "HeapNumber", "Instruction", "Machine", "MachineProfile", "MultiMachine",
+    "PdlNumber", "PrimitiveFn",
     "Program", "UNBOUND", "env_slot", "frame_arg", "global_ref", "imm",
     "is_pointer_value", "is_raw_number", "label_ref", "name_ref",
     "pointer_to_lisp", "reg", "temp",

@@ -28,7 +28,7 @@ Operand forms mirror the renderer in `repro.machine.isa`::
 from __future__ import annotations
 
 import re
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Tuple
 
 from ..datum import Cons, to_list
 from ..datum.symbols import Symbol, sym

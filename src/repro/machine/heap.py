@@ -12,7 +12,6 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, List, Set
 
 from ..datum import Cons
-from ..datum.symbols import Symbol
 from .values import Cell, Closure, HeapNumber
 
 

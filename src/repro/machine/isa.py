@@ -81,6 +81,10 @@ class Instruction:
     opcode: str
     operands: Tuple[Operand, ...] = ()
     comment: Optional[str] = None
+    #: 1-based source line this instruction was compiled from (None when
+    #: the originating form carried no reader position, e.g. the prelude
+    #: or optimizer-introduced code).
+    line: Optional[int] = None
 
     def render(self, register_names: Optional[Dict[int, str]] = None) -> str:
         """Render one instruction; *register_names* selects a target's
@@ -170,6 +174,21 @@ class CodeObject:
     arity_max: Optional[int] = 0
     source: Optional[str] = None
     target: str = "s1"
+    #: instruction index -> 1-based source line (profiler attribution).
+    #: Derived from ``Instruction.line``; sparse -- indices whose
+    #: originating form had no reader position are absent.
+    line_map: Dict[int, int] = field(default_factory=dict)
+    #: File the function was read from, when known (reader positions).
+    source_file: Optional[str] = None
+
+    def rebuild_line_map(self) -> None:
+        """Recompute ``line_map`` from the instructions' ``line`` fields
+        (callers that reorder or rewrite instructions run this last)."""
+        self.line_map = {
+            index: instruction.line
+            for index, instruction in enumerate(self.instructions)
+            if instruction.line is not None
+        }
 
     def resolve_label(self, name: str) -> int:
         if name not in self.labels:

@@ -45,6 +45,8 @@ def eliminate_common_subexpressions(
     options = options or DEFAULT_OPTIONS
     transcript = transcript or Transcript()
     holder = RootHolder(root)
+    if transcript.trace_rewrites:
+        transcript.begin_root(render_node(holder.child))
     # Iterate until no more profitable candidates (each round introduces one
     # binding, largest candidates first).
     for _round in range(50):
@@ -88,7 +90,10 @@ def _hoist_one(holder: RootHolder, options: CompilerOptions,
     call = CallNode(wrapper, [representative])
     parent.replace_child(ancestor, call)
     fix_parents(call)
-    transcript.record("META-COMMON-SUBEXPRESSION", before, render_node(call))
+    transcript.record("META-COMMON-SUBEXPRESSION", before, render_node(call),
+                      phase="cse")
+    if transcript.trace_rewrites:
+        transcript.attach_root(render_node(holder.child))
     return True
 
 

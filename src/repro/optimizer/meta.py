@@ -23,11 +23,10 @@ META-...``).
 
 from __future__ import annotations
 
-import math
 from typing import Any, Callable, List, Optional, Tuple
 
 from ..analysis import analyze, analyze_light, may_be_duplicated, may_be_eliminated
-from ..datum import NIL, T, from_list, gensym, lisp_equal, sym
+from ..datum import NIL, T, gensym, lisp_equal, sym
 from ..diagnostics import Diagnostics
 from ..errors import LispError
 from ..ir.nodes import (
@@ -90,7 +89,8 @@ class SourceOptimizer:
                  diagnostics: Optional["Diagnostics"] = None):
         self.options = options or DEFAULT_OPTIONS
         self.transcript = transcript if transcript is not None else Transcript(
-            self.options.transcript_stream if self.options.transcript else None)
+            self.options.transcript_stream if self.options.transcript else None,
+            trace_rewrites=self.options.trace_rewrites)
         # Known defuns available for integration (block compilation).
         self.global_functions = global_functions or {}
         self.diagnostics = diagnostics
@@ -108,6 +108,8 @@ class SourceOptimizer:
         if not self.options.optimize:
             return root
         holder = RootHolder(root)
+        if self.transcript.trace_rewrites:
+            self.transcript.begin_root(render_node(holder.child))
         # Hard bound against rule-interaction cycles (self-expanding forms).
         self._fuel = self.options.optimizer_fuel
         self.hit_pass_limit = False
@@ -160,6 +162,10 @@ class SourceOptimizer:
                         fix_parents(node)
                     refresh_variable_links(holder.child)
                     analyze_light(holder.child)
+                    if self.transcript.trace_rewrites:
+                        # The tree has settled: stamp the whole-function
+                        # snapshot onto the entry _fire just recorded.
+                        self.transcript.attach_root(render_node(holder.child))
                     progress = True
                     changed_any = True
                     break
@@ -223,8 +229,8 @@ class SourceOptimizer:
         """(if 'const x y) => x or y  (dead-code elimination)."""
         if not isinstance(node, IfNode) or not isinstance(node.test, LiteralNode):
             return None
-        before = render_node(node)
         chosen = node.else_ if node.test.value is NIL else node.then
+        before = render_node(node)
         return self._fire("META-IF-CONSTANT", before, chosen)
 
     def _rule_progn_simplify(self, node: Node) -> Optional[Node]:
@@ -712,7 +718,6 @@ class SourceOptimizer:
             return None
         variable, arg = plan
         count = len(variable.refs)
-        before = render_node(node)
         for ref in list(variable.refs):
             if ref.parent is None:
                 continue
@@ -723,7 +728,6 @@ class SourceOptimizer:
             f" {variable.name} by {render_node(arg)}",
             render_node(node))
         self._fired += 1
-        del before
         return node
 
     def _simple_let(self, node: Node) -> Optional[Tuple[LambdaNode, List[Node]]]:

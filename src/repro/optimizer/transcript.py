@@ -8,12 +8,24 @@ Section 7's worked example shows output of the form::
 
 Entries are recorded structurally so tests (and the E5 experiment bench) can
 assert on rules fired, and rendered textually in the same style.
+
+Because the internal tree is back-translatable to source at any point
+(Table 2), each entry can also carry the *whole function* before and after
+the rewrite, rendered as a unified diff.  That capture costs one extra
+back-translation per firing, so it is gated by
+``CompilerOptions.trace_rewrites`` (the optimizer calls
+:meth:`Transcript.begin_root` / :meth:`Transcript.attach_root` around each
+mutation).  Every entry always carries a monotonic sequence number and a
+``perf_counter`` timestamp, which the :mod:`repro.trace` exporter turns
+into Chrome trace instant events.
 """
 
 from __future__ import annotations
 
+import difflib
+import time
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Mapping, Optional
 
 from ..ir.backtranslate import back_translate
 from ..reader.printer import write_to_string
@@ -24,24 +36,92 @@ class TranscriptEntry:
     rule: str
     before: str
     after: str
+    #: 1-based position of this firing within its compilation.
+    seq: int = 0
+    #: Which pipeline phase fired the rule ("optimizer" | "cse").
+    phase: str = "optimizer"
+    #: ``time.perf_counter()`` at record time (same clock as the
+    #: diagnostics phase records, so the trace exporter can interleave).
+    at_s: float = 0.0
+    #: Whole-function back-translations around the rewrite; populated only
+    #: under ``CompilerOptions.trace_rewrites``.
+    before_source: Optional[str] = None
+    after_source: Optional[str] = None
 
     def render(self) -> str:
         return (f";**** Optimizing this form: {self.before}\n"
                 f";**** to be this form: {self.after}\n"
                 f";**** courtesy of {self.rule}")
 
+    def diff(self) -> str:
+        """Unified diff of the whole function around this rewrite (falls
+        back to the local form when full sources were not captured)."""
+        before = self.before_source if self.before_source is not None \
+            else self.before
+        after = self.after_source if self.after_source is not None \
+            else self.after
+        lines = difflib.unified_diff(
+            before.splitlines(), after.splitlines(),
+            fromfile=f"before #{self.seq}", tofile=f"after #{self.seq}",
+            lineterm="")
+        return "\n".join(lines)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "rule": self.rule,
+            "phase": self.phase,
+            "at_s": self.at_s,
+            "before": self.before,
+            "after": self.after,
+            "before_source": self.before_source,
+            "after_source": self.after_source,
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "TranscriptEntry":
+        return cls(rule=data["rule"], before=data.get("before", ""),
+                   after=data.get("after", ""), seq=data.get("seq", 0),
+                   phase=data.get("phase", "optimizer"),
+                   at_s=data.get("at_s", 0.0),
+                   before_source=data.get("before_source"),
+                   after_source=data.get("after_source"))
+
 
 class Transcript:
-    def __init__(self, stream: Optional[Any] = None):
+    def __init__(self, stream: Optional[Any] = None,
+                 trace_rewrites: bool = False):
         self.entries: List[TranscriptEntry] = []
         self.stream = stream
+        #: When True, callers snapshot the whole function around each
+        #: firing (begin_root / attach_root) so entries carry full
+        #: before/after source for diff rendering.
+        self.trace_rewrites = trace_rewrites
+        self._root_source: Optional[str] = None
 
-    def record(self, rule: str, before: Any, after: Any) -> None:
+    def begin_root(self, source: str) -> None:
+        """Install the current whole-function source; the next recorded
+        entry uses it as its ``before_source``."""
+        self._root_source = source
+
+    def attach_root(self, source: str) -> None:
+        """Complete the most recent entry with the post-rewrite
+        whole-function source (which also becomes the next ``before``)."""
+        if self.entries:
+            self.entries[-1].after_source = source
+        self._root_source = source
+
+    def record(self, rule: str, before: Any, after: Any,
+               phase: str = "optimizer") -> None:
         """Record one transformation.  *before* is pre-rendered text (the
         tree is about to mutate, so the caller renders it first); *after*
         may be a Node or pre-rendered text."""
         after_text = after if isinstance(after, str) else _render(after)
-        entry = TranscriptEntry(rule=rule, before=before, after=after_text)
+        entry = TranscriptEntry(rule=rule, before=before, after=after_text,
+                                seq=len(self.entries) + 1, phase=phase,
+                                at_s=time.perf_counter())
+        if self.trace_rewrites:
+            entry.before_source = self._root_source
         self.entries.append(entry)
         if self.stream is not None:
             print(entry.render(), file=self.stream)
@@ -59,6 +139,17 @@ class Transcript:
 
     def render(self) -> str:
         return "\n".join(entry.render() for entry in self.entries)
+
+    def render_diffs(self) -> str:
+        """Every rewrite as a unified diff, in firing order."""
+        sections = []
+        for entry in self.entries:
+            sections.append(f";; rewrite #{entry.seq} "
+                            f"[{entry.phase}] {entry.rule}\n{entry.diff()}")
+        return "\n\n".join(sections)
+
+    def to_json(self) -> List[Dict[str, Any]]:
+        return [entry.to_json() for entry in self.entries]
 
 
 def _render(node: Any) -> str:

@@ -3,7 +3,7 @@ equality, and variable substitution."""
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set
+from typing import Set
 
 from ..datum import lisp_equal
 from ..ir.nodes import (

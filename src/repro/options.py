@@ -8,7 +8,7 @@ EXPERIMENTS.md flips one of these flags.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass
@@ -58,6 +58,10 @@ class CompilerOptions:
     # --- diagnostics ---
     transcript: bool = False               # record optimizer transcript entries
     transcript_stream: object = None       # file-like; None keeps entries only
+    trace_rewrites: bool = False           # capture whole-function before/after
+                                           # source per rewrite (repro.trace);
+                                           # off by default: each firing costs
+                                           # one extra back-translation
 
     # --- compilation cache (repro.cache) ---
     # None (off), a directory path (memory LRU + on-disk store rooted

@@ -8,7 +8,7 @@ and cons-cell lists.  Quote sugar expands here (``'x`` -> ``(quote x)``,
 
 from __future__ import annotations
 
-from typing import Any, Iterator, List, Optional
+from typing import Any, List, Optional
 
 from ..datum import NIL, Cons, from_list, intern_symbol, sym
 from ..datum.symbols import Symbol

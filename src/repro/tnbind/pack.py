@@ -20,11 +20,11 @@ backtracking packer could do better):
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ..options import CompilerOptions, DEFAULT_OPTIONS
 from ..target.registers import RTA, RTB, allocatable_registers
-from .tn import KIND_PDL, Location, TN
+from .tn import Location, TN
 
 
 class Packing:

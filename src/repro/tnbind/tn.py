@@ -20,8 +20,8 @@ Section 6.3).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import List, Optional, Set
+from dataclasses import dataclass
+from typing import List, Optional
 
 _TN_IDS = itertools.count(1)
 

@@ -1,0 +1,197 @@
+"""Trace exporters: Chrome trace-event JSON and Prometheus text metrics.
+
+The diagnostics layer (PR 2) records *what* each compilation did --
+per-phase wall-clock spans (now with ``started_s`` start stamps), rewrite
+transcript entries (with ``at_s`` stamps on the same ``perf_counter``
+clock), counters, and messages.  This module turns those records into two
+standard observability formats:
+
+* :func:`build_chrome_trace` / :func:`write_chrome_trace` -- the Chrome
+  trace-event JSON format (the ``{"traceEvents": [...]}`` flavor), loadable
+  in Perfetto / ``chrome://tracing``.  Phases become complete spans
+  (``"ph": "X"``), rewrites and counters become instant events
+  (``"ph": "i"``), and every compilation source gets its own pid/tid track
+  (the batch driver passes one track per worker process).  Because
+  ``perf_counter`` epochs differ across processes, timestamps are
+  normalized per track to a zero base.
+
+* :func:`prometheus_metrics` / :func:`write_metrics` -- a Prometheus text
+  exposition dump of phase seconds, rule firings, and counters, for diffing
+  runs or scraping from CI artifacts.
+
+Both accept :class:`repro.diagnostics.Diagnostics` objects or their
+``to_json()`` dicts (the batch driver ships the latter across the process
+boundary).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+#: One trace source: (diagnostics | diagnostics-json, pid, tid, label).
+TraceEntry = Tuple[Any, int, int, str]
+
+
+def _as_json(diagnostics: Any) -> Mapping[str, Any]:
+    if hasattr(diagnostics, "to_json"):
+        return diagnostics.to_json()
+    return diagnostics
+
+
+def _entry_events(diagnostics: Any, pid: int, tid: int, label: str
+                  ) -> List[Dict[str, Any]]:
+    """Raw events for one compilation, ts/dur still in perf_counter
+    *seconds* (the builder converts to normalized microseconds)."""
+    data = _as_json(diagnostics)
+    events: List[Dict[str, Any]] = []
+    phases = [p for p in data.get("phases", ())
+              if p.get("started_s") is not None]
+    if not phases:
+        return events
+    start = min(p["started_s"] for p in phases)
+    end = max(p["started_s"] + p.get("duration_s", 0.0) for p in phases)
+    # The enclosing compile span guarantees every phase nests inside it
+    # (tnbind runs *inside* the codegen wall-clock window, so sibling
+    # phase spans may overlap; the parent is the containment invariant).
+    events.append({
+        "name": label or "compile", "cat": "compile", "ph": "X",
+        "ts": start, "dur": max(end - start, 0.0), "pid": pid, "tid": tid,
+    })
+    for record in phases:
+        events.append({
+            "name": record["phase"], "cat": "phase", "ph": "X",
+            "ts": record["started_s"],
+            "dur": max(record.get("duration_s", 0.0), 0.0),
+            "pid": pid, "tid": tid,
+            "args": {
+                "function": record.get("function", ""),
+                "nodes_before": record.get("nodes_before"),
+                "nodes_after": record.get("nodes_after"),
+            },
+        })
+    for rewrite in data.get("rewrites", ()):
+        at = rewrite.get("at_s")
+        if at is None:
+            continue
+        events.append({
+            "name": rewrite.get("rule", "rewrite"), "cat": "rewrite",
+            "ph": "i", "s": "t",
+            "ts": min(max(at, start), end), "pid": pid, "tid": tid,
+            "args": {"seq": rewrite.get("seq"),
+                     "phase": rewrite.get("phase"),
+                     "before": rewrite.get("before"),
+                     "after": rewrite.get("after")},
+        })
+    for counter, value in sorted(data.get("counters", {}).items()):
+        events.append({
+            "name": counter, "cat": "counter", "ph": "i", "s": "t",
+            "ts": end, "pid": pid, "tid": tid,
+            "args": {"value": value},
+        })
+    return events
+
+
+def build_chrome_trace(entries: Iterable[TraceEntry]) -> Dict[str, Any]:
+    """Assemble the trace dict from (diagnostics, pid, tid, label) tuples.
+
+    Timestamps are normalized per (pid, tid) track to a zero base and
+    converted to microseconds (the format's unit), so tracks recorded on
+    different process clocks line up at the origin.
+    """
+    events: List[Dict[str, Any]] = []
+    track_labels: Dict[Tuple[int, int], str] = {}
+    for diagnostics, pid, tid, label in entries:
+        events.extend(_entry_events(diagnostics, pid, tid, label))
+        track_labels.setdefault((pid, tid), label)
+    bases: Dict[Tuple[int, int], float] = {}
+    for event in events:
+        track = (event["pid"], event["tid"])
+        ts = event["ts"]
+        if track not in bases or ts < bases[track]:
+            bases[track] = ts
+    for event in events:
+        base = bases[(event["pid"], event["tid"])]
+        event["ts"] = round((event["ts"] - base) * 1e6, 3)
+        if "dur" in event:
+            event["dur"] = round(event["dur"] * 1e6, 3)
+    events.sort(key=lambda e: (e["pid"], e["tid"], e["ts"]))
+    metadata: List[Dict[str, Any]] = []
+    for (pid, tid), label in sorted(track_labels.items()):
+        metadata.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+            "ts": 0, "args": {"name": label or f"track {pid}:{tid}"},
+        })
+    return {"traceEvents": metadata + events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str, entries: Iterable[TraceEntry]) -> int:
+    """Write the Chrome trace JSON; returns the number of trace events."""
+    trace = build_chrome_trace(entries)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace, handle, indent=1, default=str)
+        handle.write("\n")
+    return len(trace["traceEvents"])
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def prometheus_metrics(diagnostics_list: Sequence[Any],
+                       profile: Optional[Mapping[str, Any]] = None) -> str:
+    """Render phase seconds, rule firings, counters (summed over the given
+    compilations), plus optional machine-profile gauges, in the Prometheus
+    text exposition format."""
+    phase_seconds: Dict[str, float] = {}
+    rule_fires: Dict[str, int] = {}
+    counters: Dict[str, int] = {}
+    compilations = 0
+    for diagnostics in diagnostics_list:
+        data = _as_json(diagnostics)
+        compilations += 1
+        for record in data.get("phases", ()):
+            phase = record["phase"]
+            phase_seconds[phase] = phase_seconds.get(phase, 0.0) \
+                + record.get("duration_s", 0.0)
+        for rule, count in data.get("rule_fires", {}).items():
+            rule_fires[rule] = rule_fires.get(rule, 0) + count
+        for counter, value in data.get("counters", {}).items():
+            counters[counter] = counters.get(counter, 0) + value
+    lines = [
+        "# HELP repro_compilations_total Compilations measured in this dump.",
+        "# TYPE repro_compilations_total counter",
+        f"repro_compilations_total {compilations}",
+        "# HELP repro_phase_seconds_total Wall-clock seconds per "
+        "Table 1 phase.",
+        "# TYPE repro_phase_seconds_total counter",
+    ]
+    for phase in sorted(phase_seconds):
+        lines.append(f'repro_phase_seconds_total{{phase="'
+                     f'{_escape_label(phase)}"}} {phase_seconds[phase]:.9f}')
+    lines.append("# HELP repro_rule_fires_total Optimizer/peephole rule "
+                 "firings.")
+    lines.append("# TYPE repro_rule_fires_total counter")
+    for rule in sorted(rule_fires):
+        lines.append(f'repro_rule_fires_total{{rule="'
+                     f'{_escape_label(rule)}"}} {rule_fires[rule]}')
+    lines.append("# HELP repro_events_total Event counters (cache, batch).")
+    lines.append("# TYPE repro_events_total counter")
+    for counter in sorted(counters):
+        lines.append(f'repro_events_total{{counter="'
+                     f'{_escape_label(counter)}"}} {counters[counter]}')
+    if profile:
+        lines.append("# HELP repro_machine_cycles_total Simulated cycles "
+                     "by opcode (exact profile).")
+        lines.append("# TYPE repro_machine_cycles_total counter")
+        for opcode in sorted(profile.get("opcodes", {})):
+            stats = profile["opcodes"][opcode]
+            lines.append(f'repro_machine_cycles_total{{opcode="'
+                         f'{_escape_label(opcode)}"}} {stats["cycles"]}')
+    return "\n".join(lines) + "\n"
+
+
+def write_metrics(path: str, diagnostics_list: Sequence[Any],
+                  profile: Optional[Mapping[str, Any]] = None) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(prometheus_metrics(diagnostics_list, profile))

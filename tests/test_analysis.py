@@ -1,7 +1,6 @@
 """Tests for the analysis phases: environment, effects, complexity,
 tail-recursion, and type deduction."""
 
-import pytest
 
 from repro.analysis import (
     analyze,

@@ -1,7 +1,6 @@
 """Tests for the machine-dependent annotation phases: binding annotation,
 representation analysis, pdl numbers, special-variable lookup caching."""
 
-import pytest
 
 from repro.analysis import analyze
 from repro.annotate import (
@@ -29,7 +28,7 @@ from repro.ir import (
     convert_source,
 )
 from repro.options import CompilerOptions
-from repro.target.reps import JUMP, NONE, POINTER, SWFIX, SWFLO
+from repro.target.reps import JUMP, NONE, POINTER, SWFLO
 
 
 def prepared(text):

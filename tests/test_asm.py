@@ -3,7 +3,7 @@
 import pytest
 
 from repro import Compiler, CompilerOptions
-from repro.datum import NIL, T, from_list, lisp_equal, sym, to_list
+from repro.datum import NIL, T, from_list, lisp_equal, sym
 from repro.errors import MachineError
 from repro.machine import Machine, Program
 from repro.machine.asm import parse_listing, parse_program

@@ -1,6 +1,6 @@
 """Tests for tree -> source back-translation (Section 4.1 debugging aid)."""
 
-from repro.datum import NIL, lisp_equal, sym, to_list
+from repro.datum import lisp_equal, sym
 from repro.ir import back_translate, back_translate_to_string, convert_source
 from repro.reader import read
 
@@ -99,7 +99,6 @@ class TestQuadraticArtifact:
         from repro.reader import read as rd
 
         _, node = Converter().convert_defun(rd(self.SOURCE))
-        form = back_translate(node)
         text = back_translate_to_string(node)
         # Paper's back-translation: ((lambda (d) (if (< d 0) ...)) ...)
         assert "(lambda (d)" in text
@@ -111,4 +110,3 @@ class TestQuadraticArtifact:
         assert "cond" not in text
         # let is gone too.
         assert "(let " not in text
-        del form

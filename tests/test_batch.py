@@ -7,7 +7,7 @@ import os
 import pytest
 
 from repro import CompilerOptions, compile_batch
-from repro.batch import BatchFileResult, BatchResult, _options_spec
+from repro.batch import _options_spec
 
 from .genprog import corpus
 

@@ -8,7 +8,6 @@ diagnostics warning -- no exception may escape to the caller.
 import os
 import pickle
 
-import pytest
 
 from repro import Compiler, CompilerOptions
 from repro.cache import (

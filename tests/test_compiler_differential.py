@@ -11,8 +11,8 @@ import pytest
 
 from repro import Compiler, CompilerOptions, Interpreter, compile_and_run, naive_options
 from repro.cache import CompilationCache
-from repro.datum import NIL, T, from_list, lisp_equal, sym, to_list
-from repro.errors import LispError, ReproError
+from repro.datum import NIL, T, from_list, lisp_equal, sym
+from repro.errors import ReproError
 
 from .genprog import corpus
 

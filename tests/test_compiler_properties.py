@@ -6,7 +6,6 @@ must refine the interpreter's: identical values, or an error the compiler
 legitimately removed via dead-code elimination.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import Compiler, CompilerOptions, Interpreter, naive_options

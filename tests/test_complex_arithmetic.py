@@ -4,7 +4,7 @@ the S-1 has "single instructions for complex arithmetic" (Section 3)."""
 
 import pytest
 
-from repro import Compiler, CompilerOptions, Interpreter, compile_and_run, evaluate
+from repro import Compiler, Interpreter, compile_and_run, evaluate
 from repro.datum import sym
 
 

@@ -4,7 +4,6 @@ The paper designed (but did not implement) this as a separate, optional
 phase whose output is expressible as a source-level let.
 """
 
-from repro.datum import sym
 from repro.ir import back_translate_to_string, convert_source
 from repro.options import CompilerOptions
 from repro.optimizer import Transcript, eliminate_common_subexpressions

@@ -16,7 +16,7 @@ import pytest
 
 from repro import Compiler, CompilerOptions, Diagnostics, SourceLocation
 from repro.compiler import prelude_source
-from repro.diagnostics import DiagnosticMessage, PhaseRecord, count_nodes
+from repro.diagnostics import PhaseRecord, count_nodes
 from repro.errors import ConversionError, ReaderError
 
 

@@ -7,7 +7,6 @@ carries real verification weight.
 
 import importlib.util
 import io
-import sys
 from contextlib import redirect_stdout
 from pathlib import Path
 

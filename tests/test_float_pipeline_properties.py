@@ -13,7 +13,6 @@ from hypothesis import given, settings, strategies as st
 from repro import Compiler, CompilerOptions, Interpreter, naive_options
 from repro.datum import from_list, sym
 from repro.errors import ReproError
-from repro.ir import Converter
 from repro.reader import write_to_string
 
 FLOAT_VARS = [sym("a"), sym("b"), sym("c")]

@@ -1,6 +1,5 @@
 """Tests for the garbage collector and automatic collection triggering."""
 
-import pytest
 
 from repro import Compiler
 from repro.datum import sym, to_list

@@ -1,10 +1,9 @@
 """Tests for global procedure integration (block compilation) and
 self-integration (loop unrolling) -- the Section 5 remark made real."""
 
-import pytest
 
 from repro import Compiler, CompilerOptions, Interpreter
-from repro.datum import lisp_equal, sym
+from repro.datum import sym
 
 
 def options(**overrides):

@@ -4,7 +4,16 @@ surface) and CodeObject mechanics."""
 import pytest
 
 from repro.datum import sym
-from repro.machine import CodeObject, Instruction, frame_arg, global_ref, imm, label_ref, name_ref, reg, temp
+from repro.machine import (
+    CodeObject,
+    Instruction,
+    frame_arg,
+    global_ref,
+    imm,
+    name_ref,
+    reg,
+    temp,
+)
 from repro.machine.isa import CYCLES, RAW_BINARY_OPS, RAW_UNARY_OPS
 
 

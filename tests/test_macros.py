@@ -7,7 +7,7 @@ expansion *shapes* via macroexpand_1, including the paper's documented
 
 import pytest
 
-from repro.datum import NIL, T, lisp_equal, sym, to_list
+from repro.datum import NIL, T, sym
 from repro.errors import ConversionError
 from repro.ir import is_macro, macroexpand_1
 from repro.reader import read, write_to_string

@@ -1,8 +1,7 @@
 """Tests for the source-level optimizer (Section 5)."""
 
-import pytest
 
-from repro.datum import NIL, sym
+from repro.datum import sym
 from repro.ir import (
     CallNode,
     FunctionRefNode,
@@ -15,7 +14,7 @@ from repro.ir import (
     convert_source,
 )
 from repro.options import CompilerOptions
-from repro.optimizer import SourceOptimizer, Transcript, optimize_tree
+from repro.optimizer import SourceOptimizer, Transcript
 
 
 def opt(text, **option_overrides):

@@ -7,16 +7,14 @@ source-level optimization (and, separately, CSE).  Any divergence is an
 optimizer bug.
 """
 
-from fractions import Fraction
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.datum import NIL, T, from_list, lisp_equal, sym
 from repro.errors import LispError
 from repro.interp import Interpreter, LispClosure
 from repro.interp.environment import LexicalEnvironment
-from repro.ir import Converter, copy_tree
+from repro.ir import Converter
 from repro.options import CompilerOptions
 from repro.optimizer import SourceOptimizer, eliminate_common_subexpressions
 

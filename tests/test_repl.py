@@ -2,7 +2,6 @@
 
 import io
 
-import pytest
 
 from repro.__main__ import Repl
 

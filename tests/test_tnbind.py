@@ -1,6 +1,6 @@
 """Tests for the TNBIND packer."""
 
-from repro.options import CompilerOptions, naive_options
+from repro.options import naive_options
 from repro.target.registers import RTA, RTB, RESERVED
 from repro.tnbind import KIND_PDL, TN, pack_tns
 
@@ -40,7 +40,7 @@ class TestPacking:
     def test_disjoint_tns_share_a_register(self):
         a = make_tn(0, 3)
         b = make_tn(3, 6)
-        packing = pack_tns([a, b])
+        pack_tns([a, b])
         assert a.location.kind == "reg"
         assert b.location.kind == "reg"
         assert a.location.index == b.location.index

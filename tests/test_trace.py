@@ -1,0 +1,310 @@
+"""Tests for the repro.trace observability layer (PR 4):
+
+* Chrome trace-event JSON schema -- phase spans nest inside the enclosing
+  compile span, per-track timestamps are zero-based and monotonic, rewrite
+  instants land inside their compile span, and the whole document
+  round-trips ``json.dumps``/``json.loads``,
+* line-map accuracy on multi-defun sources (each function's instructions
+  attribute only to its own defining lines),
+* the machine's exact profiler (per-opcode / per-function / per-line
+  cycle attribution sums to the machine's cycle counter),
+* whole-function rewrite capture under ``trace_rewrites``,
+* batch counter merging for errored files,
+* Prometheus text metrics,
+* the REPL's ``:trace`` / ``:profile`` commands and ``--trace`` dumps.
+"""
+
+import io
+import json
+
+
+from repro import (
+    Compiler,
+    CompilerOptions,
+    build_chrome_trace,
+    compile_batch,
+    prometheus_metrics,
+    write_chrome_trace,
+)
+from repro.datum import sym
+from repro.__main__ import Repl
+
+MULTI_DEFUN = """(defun first-fn (x)
+  (+& x 1))
+
+(defun second-fn (y)
+  (if (>& y 0)
+      (first-fn y)
+      0))
+"""
+
+TRACING = dict(transcript=True, trace_rewrites=True)
+
+
+def _compile_diagnostics(source=MULTI_DEFUN, **options):
+    compiler = Compiler(CompilerOptions(**(options or TRACING)))
+    compiler.compile(source)
+    return compiler, compiler.last_diagnostics
+
+
+class TestChromeTraceSchema:
+    def _trace(self):
+        _, diagnostics = _compile_diagnostics()
+        return build_chrome_trace([(diagnostics, 0, 0, "test.lisp")])
+
+    def test_round_trips_json(self):
+        trace = self._trace()
+        again = json.loads(json.dumps(trace))
+        assert again["traceEvents"]
+        assert again["displayTimeUnit"] == "ms"
+
+    def test_spans_nest_inside_compile_span(self):
+        events = self._trace()["traceEvents"]
+        compiles = [e for e in events if e.get("cat") == "compile"]
+        phases = [e for e in events if e.get("cat") == "phase"]
+        assert compiles and phases
+        outer = compiles[0]
+        assert outer["ph"] == "X"
+        lo, hi = outer["ts"], outer["ts"] + outer["dur"]
+        # tnbind runs inside the codegen window, so *sibling* spans may
+        # overlap; containment in the compile span is the invariant.
+        for span in phases:
+            assert span["ph"] == "X"
+            assert span["dur"] >= 0
+            assert span["ts"] >= lo - 1e-6
+            assert span["ts"] + span["dur"] <= hi + 1e-6
+
+    def test_phase_spans_cover_table1(self):
+        events = self._trace()["traceEvents"]
+        names = {e["name"] for e in events if e.get("cat") == "phase"}
+        for phase in ("reader", "ir conversion", "analysis", "optimizer",
+                      "annotate", "tnbind", "codegen"):
+            assert phase in names
+
+    def test_timestamps_zero_based_and_monotonic(self):
+        events = [e for e in self._trace()["traceEvents"]
+                  if e.get("ph") != "M"]
+        timestamps = [e["ts"] for e in events]
+        assert min(timestamps) == 0
+        assert timestamps == sorted(timestamps)
+
+    def test_rewrite_instants_inside_compile_span(self):
+        events = self._trace()["traceEvents"]
+        outer = next(e for e in events if e.get("cat") == "compile")
+        rewrites = [e for e in events if e.get("cat") == "rewrite"]
+        assert rewrites, "tracing compile should record optimizer rewrites"
+        for instant in rewrites:
+            assert instant["ph"] == "i"
+            assert instant["s"] == "t"
+            assert outer["ts"] <= instant["ts"] \
+                <= outer["ts"] + outer["dur"] + 1e-6
+            assert instant["args"]["before"]
+            assert instant["args"]["after"]
+
+    def test_thread_name_metadata(self):
+        events = self._trace()["traceEvents"]
+        metadata = [e for e in events if e.get("ph") == "M"]
+        assert metadata
+        assert metadata[0]["name"] == "thread_name"
+        assert metadata[0]["args"]["name"] == "test.lisp"
+
+    def test_tracks_normalize_independently(self):
+        # Two tracks with different perf_counter epochs (different
+        # processes) must both start at ts 0.
+        _, d1 = _compile_diagnostics()
+        _, d2 = _compile_diagnostics()
+        shifted = d2.to_json()
+        for record in shifted["phases"]:
+            if record.get("started_s") is not None:
+                record["started_s"] += 1e6    # a different process clock
+        trace = build_chrome_trace([(d1, 1, 0, "worker-1"),
+                                    (shifted, 2, 0, "worker-2")])
+        for pid in (1, 2):
+            track = [e["ts"] for e in trace["traceEvents"]
+                     if e["pid"] == pid and e.get("ph") != "M"]
+            assert min(track) == 0
+
+    def test_accepts_json_dicts(self):
+        # The batch driver ships to_json() dicts across process
+        # boundaries; the exporter must accept them as-is.
+        _, diagnostics = _compile_diagnostics()
+        trace = build_chrome_trace([(diagnostics.to_json(), 0, 0, "x")])
+        assert any(e.get("cat") == "compile" for e in trace["traceEvents"])
+
+    def test_write_chrome_trace(self, tmp_path):
+        _, diagnostics = _compile_diagnostics()
+        path = tmp_path / "trace.json"
+        count = write_chrome_trace(str(path), [(diagnostics, 0, 0, "t")])
+        document = json.loads(path.read_text())
+        assert len(document["traceEvents"]) == count > 0
+
+
+class TestLineMap:
+    def test_multi_defun_lines_attribute_to_own_defun(self):
+        compiler, _ = _compile_diagnostics()
+        first = compiler.functions[sym("first-fn")].code
+        second = compiler.functions[sym("second-fn")].code
+        # first-fn occupies lines 1-2, second-fn lines 4-7.
+        assert set(first.line_map.values()) <= {1, 2}
+        assert set(second.line_map.values()) <= {4, 5, 6, 7}
+        assert first.line_map and second.line_map
+        assert first.source_file == "<input>"
+
+    def test_line_map_survives_peephole(self):
+        compiler, _ = _compile_diagnostics()
+        code = compiler.functions[sym("second-fn")].code
+        # Every mapped index must be a real instruction index.
+        assert all(0 <= index < len(code.instructions)
+                   for index in code.line_map)
+
+    def test_rebuild_line_map_matches_instruction_lines(self):
+        compiler, _ = _compile_diagnostics()
+        code = compiler.functions[sym("second-fn")].code
+        for index, instruction in enumerate(code.instructions):
+            if instruction.line is not None:
+                assert code.line_map[index] == instruction.line
+
+
+class TestMachineProfile:
+    def _run_profiled(self):
+        compiler = Compiler(CompilerOptions(**TRACING))
+        compiler.compile(MULTI_DEFUN)
+        machine = compiler.machine()
+        machine.enable_profiling()
+        value = machine.run(sym("second-fn"), [3])
+        return machine, value
+
+    def test_profile_attributes_all_cycles(self):
+        machine, value = self._run_profiled()
+        profile = machine.profile
+        assert profile.total_cycles == machine.cycles
+        assert profile.total_instructions == machine.instructions
+        assert sum(profile.opcode_cycles.values()) == machine.cycles
+
+    def test_per_function_and_line_attribution(self):
+        machine, _ = self._run_profiled()
+        profile = machine.profile
+        assert any("second-fn" in name for name in profile.function_cycles)
+        # second-fn's body spans source lines 4-7 of MULTI_DEFUN.
+        lines = {line for (_, line) in profile.line_cycles}
+        assert lines & {4, 5, 6, 7}
+
+    def test_report_and_json(self):
+        machine, _ = self._run_profiled()
+        report = machine.profile_report()
+        assert "Per-opcode cycles" in report
+        assert "Per-source-line cycles" in report
+        data = machine.profile_data()
+        assert data["total_cycles"] == machine.cycles
+        json.dumps(data)    # must be serializable
+
+    def test_disabled_by_default(self):
+        compiler = Compiler()
+        compiler.compile(MULTI_DEFUN)
+        machine = compiler.machine()
+        machine.run(sym("first-fn"), [1])
+        assert machine.profile is None
+        assert machine.profile_report() == "(profiling is not enabled)"
+
+
+class TestRewriteCapture:
+    def test_whole_function_snapshots(self):
+        compiler, diagnostics = _compile_diagnostics()
+        assert diagnostics.rewrites
+        for rewrite in diagnostics.rewrites:
+            assert rewrite["before_source"].startswith("(lambda")
+            assert rewrite["after_source"].startswith("(lambda")
+
+    def test_off_by_default(self):
+        _, diagnostics = _compile_diagnostics(transcript=True)
+        for rewrite in diagnostics.rewrites:
+            assert rewrite["before_source"] is None
+            assert rewrite["after_source"] is None
+
+    def test_render_diffs_unified(self):
+        compiler, _ = _compile_diagnostics()
+        transcript = compiler.functions[sym("first-fn")].transcript
+        diff = transcript.render_diffs()
+        assert "---" in diff and "+++" in diff and "@@" in diff
+
+
+class TestBatchTrace:
+    def test_errored_file_counters_survive_merge(self, tmp_path):
+        # An error after a cache probe must not discard the probe's
+        # counters (the original harvest only ran for ok files).
+        result = compile_batch(
+            [("good.lisp", "(defun ok (x) x)"),
+             ("bad.lisp", "(defun broken (x) (unknown-special-form"),],
+            cache_dir=tmp_path / "cache")
+        by_path = {r.path: r for r in result.files}
+        assert by_path["bad.lisp"].status == "error"
+        assert by_path["bad.lisp"].counters.get("cache_misses", 0) >= 0
+        assert by_path["good.lisp"].counters.get("cache_misses") == 1
+        # ... and the error itself is reported, not swallowed.
+        assert by_path["bad.lisp"].error
+
+    def test_errored_conversion_keeps_counters(self, tmp_path):
+        # Reader succeeds, conversion fails -> the cache probe happened.
+        result = compile_batch(
+            [("bad.lisp", "(defun broken (x) (go nowhere))")],
+            cache_dir=tmp_path / "cache")
+        record = result.files[0]
+        assert record.status == "error"
+        assert record.counters.get("cache_misses") == 1
+
+    def test_batch_trace_entries_export(self, tmp_path):
+        result = compile_batch([("a.lisp", "(defun fa (x) (+& x 1))"),
+                                ("b.lisp", "(defun fb (x) (*& x 2))")])
+        entries = result.trace_entries()
+        assert len(entries) == 2
+        trace = build_chrome_trace(entries)
+        labels = {e["args"]["name"] for e in trace["traceEvents"]
+                  if e.get("ph") == "M"}
+        assert {"a.lisp", "b.lisp"} <= labels
+
+
+class TestPrometheusMetrics:
+    def test_exposition_format(self):
+        _, diagnostics = _compile_diagnostics()
+        text = prometheus_metrics([diagnostics])
+        assert "repro_compilations_total 1" in text
+        assert 'repro_phase_seconds_total{phase="codegen"}' in text
+        assert "# TYPE repro_rule_fires_total counter" in text
+
+    def test_profile_gauges(self):
+        compiler, diagnostics = _compile_diagnostics()
+        machine = compiler.machine()
+        machine.enable_profiling()
+        machine.run(sym("first-fn"), [1])
+        text = prometheus_metrics([diagnostics], machine.profile_data())
+        assert "repro_machine_cycles_total{opcode=" in text
+
+
+class TestReplObservability:
+    def _repl(self):
+        out = io.StringIO()
+        return Repl(out=out), out
+
+    def test_trace_command_shows_diff(self):
+        repl, out = self._repl()
+        repl.handle("(defun t-fn (x) (+& x 1))")
+        repl.handle(":trace t-fn")
+        assert "@@" in out.getvalue() or "(no rewrites" in out.getvalue()
+
+    def test_profile_command(self):
+        repl, out = self._repl()
+        repl.handle("(defun p-fn (x) (+& x 1))")
+        repl.handle("(p-fn 41)")
+        repl.handle(":profile")
+        text = out.getvalue()
+        assert "Per-opcode cycles" in text
+        assert "<input>:" in text    # at least one source-line attribution
+
+    def test_dump_trace(self, tmp_path):
+        repl, _ = self._repl()
+        repl.handle("(defun d-fn (x) x)")
+        path = tmp_path / "repl-trace.json"
+        repl.dump_trace(str(path))
+        document = json.loads(path.read_text())
+        assert any(e.get("cat") == "compile"
+                   for e in document["traceEvents"])
