@@ -19,6 +19,11 @@ Public API highlights:
 * :mod:`repro.trace` -- Chrome trace-event / Prometheus exporters over the
   diagnostics layer (``build_chrome_trace``, ``prometheus_metrics``); the
   machine's exact profiler lives at ``Machine.enable_profiling()``
+* :mod:`repro.verify` / ``CompilerOptions(verify_ir=True)`` -- the
+  phase-boundary IR sanitizer (:class:`repro.PipelineVerifier`); violations
+  raise :class:`repro.VerificationError`
+* :func:`repro.run_fuzz` -- seeded fuzzing with verify-enabled compilation
+  and interpreter-differential checking (also ``python -m repro fuzz``)
 """
 
 from .batch import BatchFileResult, BatchResult, compile_batch
@@ -36,10 +41,13 @@ from .compiler import (
     compile_and_run,
 )
 from .diagnostics import Diagnostics, SourceLocation
+from .errors import VerificationError
+from .fuzz import FuzzFailure, FuzzReport, run_fuzz
 from .interp import Interpreter, evaluate
 from .options import CompilerOptions, DEFAULT_OPTIONS, naive_options
 from .reader import read, read_all, write_to_string
 from .target import MachineDescription, get_target
+from .verify import PipelineVerifier, Violation
 from .trace import (
     build_chrome_trace,
     prometheus_metrics,
@@ -47,7 +55,7 @@ from .trace import (
     write_metrics,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "BatchFileResult",
@@ -60,9 +68,14 @@ __all__ = [
     "CompilerOptions",
     "DEFAULT_OPTIONS",
     "Diagnostics",
+    "FuzzFailure",
+    "FuzzReport",
     "Interpreter",
+    "PipelineVerifier",
     "SourceLocation",
     "MachineDescription",
+    "VerificationError",
+    "Violation",
     "build_chrome_trace",
     "cache_key",
     "canonical_source",
@@ -75,6 +88,7 @@ __all__ = [
     "prometheus_metrics",
     "read",
     "read_all",
+    "run_fuzz",
     "write_chrome_trace",
     "write_metrics",
     "write_to_string",

@@ -30,6 +30,16 @@ pool with an optional shared content-addressed cache::
     python -m repro batch src1.lisp src2.lisp --jobs 4 --cache-dir .repro-cache
     python -m repro batch lib/*.lisp --target vax --json report.json
     python -m repro batch examples/*.lisp --trace trace.json
+
+Fuzz mode (``python -m repro fuzz``) drives the seeded program generator
+through verify-enabled compilation plus an interpreter==compiled
+differential check on every target::
+
+    python -m repro fuzz --seed 0 --count 100
+    python -m repro fuzz --seed 7 --count 50 --target vax
+
+``--verify`` (REPL and batch) turns on the same phase-boundary IR
+sanitizer for ordinary compilations.
 """
 
 from __future__ import annotations
@@ -238,12 +248,17 @@ def batch_main(argv) -> int:
     parser.add_argument("--trace-rewrites", action="store_true",
                         help="capture whole-function before/after source "
                              "per optimizer rewrite (slower)")
+    parser.add_argument("--verify", action="store_true",
+                        help="run the phase-boundary IR sanitizer "
+                             "(repro.verify) after every compiler phase; "
+                             "violations become per-file errors")
     args = parser.parse_args(argv)
 
     from . import CompilerOptions
 
     options = CompilerOptions(target=args.target,
-                              trace_rewrites=args.trace_rewrites)
+                              trace_rewrites=args.trace_rewrites,
+                              verify_ir=args.verify)
     result = compile_batch(args.files, options=options, jobs=args.jobs,
                            cache_dir=args.cache_dir,
                            load_prelude=args.prelude)
@@ -265,15 +280,58 @@ def batch_main(argv) -> int:
     return 0 if result.error_count == 0 else 1
 
 
+def fuzz_main(argv) -> int:
+    """``python -m repro fuzz --seed N --count K [--target T]...``"""
+    from .fuzz import ALL_TARGETS, run_fuzz
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro fuzz",
+        description="Drive the seeded program generator through "
+                    "verify-enabled compilation plus an "
+                    "interpreter==compiled differential check.")
+    parser.add_argument("--seed", type=int, default=0, metavar="N",
+                        help="base seed; program i uses seed N+i "
+                             "(default 0)")
+    parser.add_argument("--count", type=int, default=50, metavar="K",
+                        help="number of programs to generate (default 50)")
+    parser.add_argument("--target", action="append", default=None,
+                        choices=list(ALL_TARGETS), metavar="T",
+                        help="target(s) to compile for; repeatable "
+                             "(default: all three)")
+    parser.add_argument("--max-depth", type=int, default=4, metavar="D",
+                        help="maximum expression nesting depth (default 4)")
+    parser.add_argument("--no-verify", action="store_true",
+                        help="skip the phase-boundary IR sanitizer (keep "
+                             "only the differential check)")
+    parser.add_argument("--cse", action="store_true",
+                        help="also enable common subexpression elimination")
+    parser.add_argument("--peephole", action="store_true",
+                        help="also enable the peephole optimizer")
+    args = parser.parse_args(argv)
+
+    from . import CompilerOptions
+
+    options = CompilerOptions(enable_cse=args.cse,
+                              enable_peephole=args.peephole)
+    report = run_fuzz(base_seed=args.seed, count=args.count,
+                      targets=tuple(args.target or ALL_TARGETS),
+                      verify=not args.no_verify, options=options,
+                      max_depth=args.max_depth)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "batch":
         return batch_main(argv[1:])
+    if argv and argv[0] == "fuzz":
+        return fuzz_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Compile-and-go REPL for the S-1 Lisp compiler "
                     "reproduction.  (See also: python -m repro batch "
-                    "--help.)")
+                    "--help, python -m repro fuzz --help.)")
     parser.add_argument(
         "--diagnostics-json", metavar="PATH", default=None,
         help="write per-compilation phase timings, rule-fire counters, and "
@@ -285,11 +343,16 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--metrics", metavar="PATH", default=None,
         help="write a Prometheus text metrics dump when the session ends")
+    parser.add_argument(
+        "--verify", action="store_true",
+        help="run the phase-boundary IR sanitizer (repro.verify) after "
+             "every compiler phase of every entry")
     args = parser.parse_args(argv)
 
     print("repro: the S-1 Lisp compiler reproduction "
           "(:quit to leave, :prelude for the library)")
-    repl = Repl()
+    repl = Repl(CompilerOptions(transcript=True, trace_rewrites=True,
+                                verify_ir=args.verify))
     try:
         while True:
             try:

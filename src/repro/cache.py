@@ -49,9 +49,11 @@ _MAGIC = "repro-cache"
 
 #: CompilerOptions fields that do not affect generated code: they only
 #: control reporting (or configure the cache itself) and must not perturb
-#: the key.
+#: the key.  verify_ir belongs here: the sanitizer either passes (the code
+#: is what it would have been anyway) or raises (nothing is cached).
 NON_SEMANTIC_OPTION_FIELDS = frozenset(
-    {"transcript", "transcript_stream", "trace_rewrites", "cache"})
+    {"transcript", "transcript_stream", "trace_rewrites", "cache",
+     "verify_ir"})
 
 
 # ---------------------------------------------------------------------------

@@ -161,6 +161,8 @@ class FunctionCodegen:
         self.tnbind_seconds = 0.0
         self.tnbind_started = 0.0
         self.tns_packed = 0
+        self.packing = None
+        self.pack_options = options
         # node id -> [special symbols] whose lookup caches here
         self.cache_triggers: Dict[int, List[Symbol]] = {}
         # variables let-bound to known (jump/fast) lambdas
@@ -1163,6 +1165,11 @@ class FunctionCodegen:
         packing = pack_tns(self.tns, pack_options)
         self.tnbind_seconds = time.perf_counter() - pack_start
         self.tns_packed = len(self.tns)
+        # Exposed for the phase-boundary verifier (repro.verify.alloc):
+        # the packing result and the *effective* options it ran under
+        # (registers_available is capped to the target's file size here).
+        self.packing = packing
+        self.pack_options = pack_options
         resolved = self._resolve_operands()
         legalized = self._legalize_rt(resolved)
         instructions: List[Instruction] = []

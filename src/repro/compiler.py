@@ -407,6 +407,12 @@ class Compiler:
         fname = str(name)
         trace = PhaseTrace()
         trace.record("preliminary conversion")
+        verifier = None
+        if self.options.verify_ir:
+            from .verify import PipelineVerifier
+
+            verifier = PipelineVerifier(fname, diagnostics=diagnostics)
+            verifier.check_tree(node, "ir conversion")
         transcript = Transcript(self.options.transcript_stream
                                 if self.options.transcript else None,
                                 trace_rewrites=self.options.trace_rewrites)
@@ -416,6 +422,8 @@ class Compiler:
         analyze(node)
         timer.finish(nodes_after=count_nodes(node))
         trace.record("source-program analysis")
+        if verifier is not None:
+            verifier.check_tree(node, "analysis")
 
         if self.options.optimize:
             registry = dict(self.function_trees)
@@ -439,6 +447,10 @@ class Compiler:
                 raise ConversionError(
                     f"{name}: optimization did not preserve the lambda")
             trace.record("source-level optimization")
+            if verifier is not None:
+                verifier.check_tree(node, "optimizer")
+                verifier.check_roundtrip(
+                    node, "optimizer", self.converter.proclaimed_specials)
 
         if self.options.enable_cse:
             timer = diagnostics.start_phase("cse", function=fname,
@@ -449,6 +461,10 @@ class Compiler:
             if not isinstance(node, LambdaNode):
                 raise ConversionError(f"{name}: CSE did not preserve lambda")
             trace.record("common subexpression elimination")
+            if verifier is not None:
+                verifier.check_tree(node, "cse")
+                verifier.check_roundtrip(
+                    node, "cse", self.converter.proclaimed_specials)
 
         timer = diagnostics.start_phase("annotate", function=fname,
                                         nodes_before=count_nodes(node))
@@ -459,6 +475,8 @@ class Compiler:
         trace.record("special variable lookups")
         trace.record("representation annotation")
         trace.record("pdl number annotation")
+        if verifier is not None:
+            verifier.check_tree(node, "annotate")
 
         generator = FunctionCodegen(str(name), node, self.options, plans)
         codegen_start = time.perf_counter()
@@ -478,6 +496,10 @@ class Compiler:
             started_s=codegen_start)
         trace.record("target annotation (TNBIND/PACK)")
         trace.record("code generation")
+        if verifier is not None:
+            verifier.check_allocation(generator.tns, generator.packing,
+                                      generator.pack_options, "tnbind")
+            verifier.check_code(code, "codegen")
 
         if self.options.enable_peephole:
             from .codegen.peephole import optimize_code
@@ -489,6 +511,8 @@ class Compiler:
             timer.finish(nodes_after=len(code.instructions))
             diagnostics.record_rules(peephole_stats.as_rule_counts())
             trace.record("peephole (linear-block packing)")
+            if verifier is not None:
+                verifier.check_code(code, "peephole")
 
         diagnostics.record_rules(transcript.rule_counts())
         diagnostics.record_rewrites(transcript.to_json())

@@ -71,6 +71,17 @@ class UnknownTargetError(ReproError, KeyError):
         return Exception.__str__(self)
 
 
+class VerificationError(ReproError):
+    """A phase-boundary invariant violation found by repro.verify.
+
+    Carries the structured :class:`repro.verify.Violation` records so
+    harnesses can report check names and phases, not just a message."""
+
+    def __init__(self, *args, violations=None, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.violations = list(violations or [])
+
+
 class LispError(ReproError):
     """A run-time error signalled by Lisp execution (interpreter or machine):
     wrong argument types, wrong argument counts, unbound variables, etc."""

@@ -1,0 +1,232 @@
+"""Seeded program generation and the verify-enabled fuzz harness.
+
+The generator (formerly ``tests/genprog.py``; the tests now import it from
+here) produces programs as *text* -- the compiler's real input surface --
+from a ``random.Random`` seed, so every run sees the same corpus.  The
+expression language is chosen so that every program
+
+* terminates (no unbounded recursion, loop counts are literal),
+* is total (no division, no car/cdr of atoms, no unbound variables),
+* is deterministic (pure integer arithmetic and control flow),
+
+which makes "interpreter == compiled" a meaningful oracle for any
+generated program on any target.
+
+:func:`run_fuzz` drives that corpus through the full pipeline with the
+phase-boundary sanitizer enabled (``CompilerOptions.verify_ir``) and
+differentially checks each compiled result against the reference
+interpreter, per target.  CLI::
+
+    python -m repro fuzz --seed 0 --count 100
+    python -m repro fuzz --seed 7 --count 50 --target vax --no-verify
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+_UNARY_OPS = ("1+", "1-", "abs", "zerop", "not")
+_BINARY_OPS = ("+", "-", "*", "max", "min")
+_COMPARE_OPS = ("<", ">", "=", "<=", ">=")
+
+ALL_TARGETS = ("s1", "vax", "pdp10")
+
+
+# ---------------------------------------------------------------------------
+# program generation
+
+
+def _gen_expr(rng: random.Random, env: Sequence[str], depth: int) -> str:
+    """One pure integer-valued expression over the variables in *env*."""
+    if depth <= 0 or rng.random() < 0.25:
+        if env and rng.random() < 0.6:
+            return rng.choice(list(env))
+        return str(rng.randint(-30, 30))
+    choice = rng.random()
+    if choice < 0.30:
+        op = rng.choice(_BINARY_OPS)
+        return (f"({op} {_gen_expr(rng, env, depth - 1)} "
+                f"{_gen_expr(rng, env, depth - 1)})")
+    if choice < 0.45:
+        op = rng.choice(_UNARY_OPS)
+        inner = _gen_expr(rng, env, depth - 1)
+        if op in ("zerop", "not"):
+            # Boolean-producing ops only appear under `if`, via _gen_test.
+            return f"(if ({op} {inner}) 1 0)"
+        return f"({op} {inner})"
+    if choice < 0.70:
+        return (f"(if {_gen_test(rng, env, depth - 1)} "
+                f"{_gen_expr(rng, env, depth - 1)} "
+                f"{_gen_expr(rng, env, depth - 1)})")
+    if choice < 0.85:
+        var = f"v{rng.randint(0, 99)}"
+        value = _gen_expr(rng, env, depth - 1)
+        body = _gen_expr(rng, list(env) + [var], depth - 1)
+        return f"(let (({var} {value})) {body})"
+    # setq inside a let: exercises assignment + shadowing.
+    var = f"s{rng.randint(0, 99)}"
+    init = _gen_expr(rng, env, depth - 1)
+    update = _gen_expr(rng, list(env) + [var], depth - 1)
+    body = _gen_expr(rng, list(env) + [var], depth - 1)
+    return f"(let (({var} {init})) (progn (setq {var} {update}) {body}))"
+
+
+def _gen_test(rng: random.Random, env: Sequence[str], depth: int) -> str:
+    op = rng.choice(_COMPARE_OPS)
+    return (f"({op} {_gen_expr(rng, env, depth)} "
+            f"{_gen_expr(rng, env, depth)})")
+
+
+def generate_function(rng: random.Random, name: str = "f",
+                      max_depth: int = 4) -> Tuple[str, List[int]]:
+    """One ``(defun name (args...) body)`` plus argument values for a call."""
+    n_args = rng.randint(1, 3)
+    params = [f"a{i}" for i in range(n_args)]
+    body = _gen_expr(rng, params, rng.randint(2, max_depth))
+    source = f"(defun {name} ({' '.join(params)}) {body})"
+    args = [rng.randint(-20, 20) for _ in params]
+    return source, args
+
+
+def generate_program(seed: int, n_functions: int = 1,
+                     max_depth: int = 4) -> Tuple[str, str, List[int]]:
+    """A deterministic program for *seed*: returns ``(source, entry_fn,
+    entry_args)``.  With ``n_functions > 1`` the extra functions are
+    compiled too (cache/batch load) but only the entry is called."""
+    rng = random.Random(seed)
+    sources = []
+    entry_args: List[int] = []
+    for index in range(n_functions):
+        name = "f" if index == 0 else f"aux{index}"
+        source, args = generate_function(rng, name=name, max_depth=max_depth)
+        sources.append(source)
+        if index == 0:
+            entry_args = args
+    return "\n".join(sources), "f", entry_args
+
+
+def corpus(n_programs: int, base_seed: int = 0, n_functions: int = 1,
+           max_depth: int = 4) -> List[Tuple[str, str, List[int]]]:
+    """A reproducible list of ``(source, fn, args)`` programs."""
+    return [generate_program(base_seed + i, n_functions=n_functions,
+                             max_depth=max_depth)
+            for i in range(n_programs)]
+
+
+# ---------------------------------------------------------------------------
+# the harness
+
+
+@dataclass
+class FuzzFailure:
+    """One failed program: which seed, where it failed, and why."""
+
+    seed: int
+    target: str
+    stage: str      # "interpret" | "compile" | "run" | "differential"
+    message: str
+    source: str
+
+    def render(self) -> str:
+        return (f"seed {self.seed} [{self.target}] {self.stage}: "
+                f"{self.message}\n    {self.source}")
+
+
+@dataclass
+class FuzzReport:
+    """Everything one :func:`run_fuzz` call checked."""
+
+    base_seed: int
+    count: int
+    targets: Tuple[str, ...]
+    verify: bool
+    compilations: int = 0
+    failures: List[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def render(self) -> str:
+        lines = [
+            f"fuzz: {self.count} program(s) from seed {self.base_seed}, "
+            f"targets {'/'.join(self.targets)}, "
+            f"verify_ir={'on' if self.verify else 'off'}: "
+            f"{self.compilations} compilation(s), "
+            f"{len(self.failures)} failure(s)"
+        ]
+        for failure in self.failures:
+            lines.append("  " + failure.render())
+        return "\n".join(lines)
+
+
+def _interpret(source: str, fn: str, args: Sequence[int]):
+    from .datum import sym
+    from .interp import Interpreter
+
+    interp = Interpreter()
+    interp.eval_source(source)
+    return interp.apply_function(interp.global_functions[sym(fn)], args)
+
+
+def run_fuzz(base_seed: int = 0, count: int = 50,
+             targets: Sequence[str] = ALL_TARGETS, verify: bool = True,
+             options=None, max_depth: int = 4,
+             stop_after: Optional[int] = None) -> FuzzReport:
+    """Generate *count* programs from *base_seed* and, per target, compile
+    them with the phase-boundary sanitizer (unless ``verify=False``) and
+    check compiled results against the reference interpreter.
+
+    *options* is an optional :class:`CompilerOptions` template; target and
+    verify_ir are overridden per run.  *stop_after* bounds the number of
+    recorded failures (None: check the whole corpus regardless).
+    """
+    from .compiler import Compiler
+    from .datum import lisp_equal
+    from .errors import ReproError
+    from .options import CompilerOptions
+    from .reader.printer import write_to_string
+
+    template = options or CompilerOptions()
+    report = FuzzReport(base_seed=base_seed, count=count,
+                        targets=tuple(targets), verify=verify)
+    for index in range(count):
+        seed = base_seed + index
+        source, fn, args = generate_program(seed, max_depth=max_depth)
+        try:
+            expected = _interpret(source, fn, args)
+        except ReproError as err:
+            report.failures.append(FuzzFailure(
+                seed, "-", "interpret", f"{type(err).__name__}: {err}",
+                source))
+            continue
+        for target in targets:
+            run_options = dataclasses.replace(
+                template, target=target, verify_ir=verify)
+            try:
+                compiler = Compiler(run_options)
+                compiler.compile_source(source)
+                report.compilations += 1
+            except ReproError as err:
+                report.failures.append(FuzzFailure(
+                    seed, target, "compile",
+                    f"{type(err).__name__}: {err}", source))
+                continue
+            try:
+                got = compiler.run(fn, args)
+            except ReproError as err:
+                report.failures.append(FuzzFailure(
+                    seed, target, "run",
+                    f"{type(err).__name__}: {err}", source))
+                continue
+            if not lisp_equal(got, expected):
+                report.failures.append(FuzzFailure(
+                    seed, target, "differential",
+                    f"compiled {write_to_string(got)} != interpreted "
+                    f"{write_to_string(expected)} (args {args})", source))
+        if stop_after is not None and len(report.failures) >= stop_after:
+            break
+    return report

@@ -38,29 +38,69 @@ from .nodes import (
 _SELF_EVALUATING_TYPES = (int, float, complex, str)
 
 
-def _variable_symbol(variable: Variable,
-                     names: Dict[Variable, Symbol]) -> Symbol:
+class _Names:
+    """Per-back-translation naming state: the Variable -> Symbol memo plus
+    the set of names lexical variables must not be renamed into (every
+    special's name -- a special *is* its name, so a lexical landing on one
+    would shadow it in the re-read source)."""
+
+    __slots__ = ("memo", "reserved")
+
+    def __init__(self, reserved=()):
+        self.memo: Dict[Variable, Symbol] = {}
+        self.reserved = set(reserved)
+
+
+def _variable_symbol(variable: Variable, names: _Names) -> Symbol:
     """Pick a printable name for a variable, disambiguating duplicates."""
-    chosen = names.get(variable)
+    chosen = names.memo.get(variable)
     if chosen is not None:
         return chosen
+    if variable.special:
+        # A special variable's name is its identity: renaming it would
+        # make the round-tripped source bind/read a *different* dynamic
+        # variable.  Distinct Variable objects for the same special name
+        # are the same variable, so no disambiguation is ever needed.
+        names.memo[variable] = variable.name
+        return variable.name
     base = variable.name.name
-    taken = set(s.name for s in names.values())
+    taken = names.reserved | set(s.name for s in names.memo.values())
     candidate = base
     counter = 1
     while candidate in taken:
         counter += 1
         candidate = f"{base}.{counter}"
-    chosen = sym(candidate) if variable.name.interned else variable.name
-    if candidate != base:
+    if variable.name.interned:
         chosen = sym(candidate)
-    names[variable] = chosen
+    elif candidate != base:
+        # A renamed *gensym* must stay uninterned: interning the
+        # disambiguated name would let the round-tripped source capture a
+        # user symbol spelled the same way.
+        chosen = Symbol(candidate, interned=False)
+    else:
+        chosen = variable.name
+    names.memo[variable] = chosen
     return chosen
+
+
+def _special_names(node: Node):
+    """Names of every special variable in the subtree (reserved up front
+    so lexical disambiguation cannot collide with them, regardless of
+    printing order)."""
+    reserved = set()
+    for item in node.walk():
+        if isinstance(item, (VarRefNode, SetqNode)) \
+                and item.variable.special:
+            reserved.add(item.variable.name.name)
+        elif isinstance(item, LambdaNode):
+            reserved.update(v.name.name for v in item.all_variables()
+                            if v.special)
+    return reserved
 
 
 def back_translate(node: Node) -> Any:
     """Render a subtree as source data (a Lisp form)."""
-    return _bt(node, {})
+    return _bt(node, _Names(_special_names(node)))
 
 
 def _quote_literal(value: Any) -> Any:
@@ -73,20 +113,23 @@ def _quote_literal(value: Any) -> Any:
     return from_list([sym("quote"), value])
 
 
-def _bt(node: Node, names: Dict[Variable, Symbol]) -> Any:
+def _bt(node: Node, names: _Names) -> Any:
     if isinstance(node, LiteralNode):
         return _quote_literal(node.value)
     if isinstance(node, VarRefNode):
         return _variable_symbol(node.variable, names)
     if isinstance(node, FunctionRefNode):
-        return node.name
+        # In value position a bare name would re-read as a (special)
+        # variable reference; only a call head may print unwrapped.
+        return from_list([sym("function"), node.name])
     if isinstance(node, IfNode):
         return from_list([sym("if"), _bt(node.test, names),
                           _bt(node.then, names), _bt(node.else_, names)])
     if isinstance(node, LambdaNode):
         return _bt_lambda(node, names)
     if isinstance(node, CallNode):
-        head = _bt(node.fn, names)
+        head = node.fn.name if isinstance(node.fn, FunctionRefNode) \
+            else _bt(node.fn, names)
         return from_list([head] + [_bt(a, names) for a in node.args])
     if isinstance(node, PrognNode):
         return from_list([sym("progn")] + [_bt(f, names) for f in node.forms])
@@ -117,7 +160,7 @@ def _bt(node: Node, names: Dict[Variable, Symbol]) -> Any:
     raise TypeError(f"cannot back-translate {node!r}")  # pragma: no cover
 
 
-def _bt_lambda(node: LambdaNode, names: Dict[Variable, Symbol]) -> Any:
+def _bt_lambda(node: LambdaNode, names: _Names) -> Any:
     lambda_list: List[Any] = [
         _variable_symbol(v, names) for v in node.required
     ]
@@ -132,8 +175,43 @@ def _bt_lambda(node: LambdaNode, names: Dict[Variable, Symbol]) -> Any:
     if node.rest is not None:
         lambda_list.append(sym("&rest"))
         lambda_list.append(_variable_symbol(node.rest, names))
-    return from_list([sym("lambda"), from_list(lambda_list),
-                      _bt(node.body, names)])
+    declarations = _bt_declarations(node, names)
+    return from_list([sym("lambda"), from_list(lambda_list)]
+                     + declarations + [_bt(node.body, names)])
+
+
+#: Inverse of the converter's declarable-type table: the representation a
+#: declaration assigns back to the declaration head that assigns it.
+_REP_DECLARATIONS = {
+    "SWFIX": "fixnum",
+    "SWFLO": "single-float",
+    "DWFLO": "double-float",
+    "HWFLO": "short-float",
+    "TWFLO": "long-float",
+    "SWCPLX": "complex",
+}
+
+
+def _bt_declarations(node: LambdaNode,
+                     names: _Names) -> List[Any]:
+    """Reconstruct ``(declare ...)`` forms so locally declared specials and
+    types survive the round trip (re-conversion reads them back)."""
+    specials: List[Symbol] = []
+    typed: List[Any] = []
+    for variable in node.all_variables():
+        if variable.special:
+            specials.append(_variable_symbol(variable, names))
+        head = _REP_DECLARATIONS.get(variable.declared_type or "")
+        if head is not None:
+            typed.append(from_list([sym(head),
+                                    _variable_symbol(variable, names)]))
+    clauses: List[Any] = []
+    if specials:
+        clauses.append(from_list([sym("special")] + specials))
+    clauses.extend(typed)
+    if not clauses:
+        return []
+    return [from_list([sym("declare")] + clauses)]
 
 
 def back_translate_to_string(node: Node) -> str:

@@ -55,6 +55,11 @@ class MultiMachine:
             self.processors.append(cpu)
         self.gc_threshold = gc_threshold
         self._results: List[Any] = [NIL] * processors
+        # Fuel ceiling for one run_tasks call, snapshotted while every
+        # processor still has its full allowance (cpu.fuel never changes,
+        # but snapshotting here keeps the budget immune to callers that
+        # retune individual processors later).
+        self._stall_budget = sum(cpu.fuel for cpu in self.processors)
 
     # -- program-wide state -------------------------------------------------
 
@@ -73,18 +78,27 @@ class MultiMachine:
 
     def run_tasks(self, tasks: Sequence[Tuple[Symbol, Sequence[Any]]]
                   ) -> List[Any]:
-        """Run one task per processor (cycled if fewer tasks) to completion
-        under round-robin scheduling; returns each task's result."""
+        """Run one task per processor to completion under round-robin
+        scheduling; returns each task's result, in task order.  With fewer
+        tasks than processors the excess processors stay idle; more tasks
+        than processors is an error (queueing is the caller's job)."""
         if len(tasks) > len(self.processors):
             raise MachineError(
                 f"{len(tasks)} tasks but only {len(self.processors)}"
                 " processors (queueing is the caller's job)")
+        # Fresh results each call: a prior run's value must not leak into
+        # the result of a shorter task list.
+        self._results = [NIL] * len(self.processors)
         active = []
         for index, (function, args) in enumerate(tasks):
             cpu = self.processors[index]
             cpu.start(function, list(args))
             active.append(index)
-        stall_budget = sum(cpu.fuel for cpu in self.processors)
+        # cpu.instructions is cumulative across calls; budget this call's
+        # *delta* against the fixed allowance so repeated run_tasks calls
+        # do not spuriously exhaust.
+        instructions_at_start = sum(
+            cpu.instructions for cpu in self.processors)
         steps_without_progress = 0
         while active:
             progressed = False
@@ -105,7 +119,9 @@ class MultiMachine:
                                        "processors spinning on locks)")
             else:
                 steps_without_progress = 0
-            if sum(cpu.instructions for cpu in self.processors) > stall_budget:
+            spent = sum(cpu.instructions for cpu in self.processors) \
+                - instructions_at_start
+            if spent > self._stall_budget:
                 raise MachineError("multiprocessor fuel exhausted")
         return [self._results[i] for i in range(len(tasks))]
 

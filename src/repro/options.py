@@ -55,6 +55,11 @@ class CompilerOptions:
     enable_tail_calls: bool = True         # False: every call pushes a frame (P6 ablation)
     registers_available: int = 32
 
+    # --- verification (repro.verify) ---
+    verify_ir: bool = False                # run the phase-boundary sanitizer
+                                           # after every Table 1 phase; any
+                                           # violation raises VerificationError
+
     # --- diagnostics ---
     transcript: bool = False               # record optimizer transcript entries
     transcript_stream: object = None       # file-like; None keeps entries only

@@ -61,6 +61,14 @@ def pack_tns(tns: List[TN], options: CompilerOptions = DEFAULT_OPTIONS
     def register_free(reg: int, tn: TN) -> bool:
         return all(not tn.overlaps(other) for other in occupancy.get(reg, []))
 
+    def preference_allowed(reg: int, tn: TN) -> bool:
+        """May *tn* follow a preference partner into *reg*?  Only into a
+        register it could have been given directly: the general pool, or
+        RTA/RTB via its own RT preference."""
+        if reg in register_pool:
+            return True
+        return tn.prefer_rt and reg in (RTA, RTB)
+
     def take_register(reg: int, tn: TN) -> None:
         occupancy.setdefault(reg, []).append(tn)
         location = Location("reg", reg)
@@ -80,11 +88,15 @@ def pack_tns(tns: List[TN], options: CompilerOptions = DEFAULT_OPTIONS
     for tn in sorted(live, key=priority):
         if tn.location is not None:
             continue
-        # Preference: land where a partner already lives, if free.
+        # Preference: land where a partner already lives, if free -- but
+        # only in a register this TN could have been given directly
+        # (partners in RTA/RTB must not pull non-RT TNs into the
+        # bottleneck registers, nor past the configured pool).
         placed = False
         for partner in tn.preferences:
             loc = partner.location
             if loc is not None and loc.kind == "reg" \
+                    and preference_allowed(loc.index, tn) \
                     and register_free(loc.index, tn):
                 take_register(loc.index, tn)
                 placed = True

@@ -1,0 +1,207 @@
+"""Code-object checks: labels, line map, opcodes, and stack balance.
+
+The last family is a static abstract interpretation of the calling
+convention over the emitted instructions: PUSH/POP move the operand stack
+by one; a call consumes its ``nargs`` pushed arguments and pushes one
+result; a tail call consumes its arguments and must leave the operand
+stack empty (the frame is replaced); RET must see an empty operand stack
+(everything pushed was consumed).  Depths are propagated along the control
+flow graph (fallthrough plus every label operand); a join reached at two
+different depths, a pop below empty, or a leftover operand at a return is
+exactly the kind of bug that otherwise corrupts the caller's frame at run
+time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from . import Violation
+
+# Opcodes that consume nargs pushed arguments and push one result.
+_CALLS = ("CALL", "KCALL", "CALLF", "APPLYF")
+# Opcodes that consume nargs and replace the frame (terminal).
+_TAIL_CALLS = ("TAILCALL", "TAILCALLF")
+# Conditional branches: label target plus fallthrough.
+_COND_BRANCHES = ("JUMPNIL", "JUMPNNIL", "CMPBR", "EQLBR")
+
+
+def check_code(code, phase: str) -> List[Violation]:
+    violations: List[Violation] = []
+    violations.extend(_check_opcodes(code, phase))
+    violations.extend(_check_labels(code, phase))
+    violations.extend(_check_line_map(code, phase))
+    # The stack walk needs resolvable labels to traverse the CFG.
+    if not violations:
+        violations.extend(_check_stack_balance(code, phase))
+    return violations
+
+
+def _instruction_labels(instruction) -> List[str]:
+    names: List[str] = []
+    for operand in instruction.operands:
+        if not (isinstance(operand, tuple) and operand):
+            continue
+        if operand[0] == "label":
+            names.append(operand[1])
+        elif operand[0] == "imm" and instruction.opcode == "ARGDISPATCH":
+            names.extend(label for _, label in operand[1])
+    return names
+
+
+def _check_opcodes(code, phase: str) -> List[Violation]:
+    from ..machine.cpu import _DISPATCH
+
+    violations: List[Violation] = []
+    for index, instruction in enumerate(code.instructions):
+        if instruction.opcode not in _DISPATCH:
+            violations.append(Violation(
+                "opcodes", phase,
+                f"unknown opcode {instruction.opcode} at {index}",
+                subject=f"{code.name}:{index}"))
+    return violations
+
+
+def _check_labels(code, phase: str) -> List[Violation]:
+    violations: List[Violation] = []
+    size = len(code.instructions)
+    for label, index in code.labels.items():
+        if not 0 <= index <= size:
+            violations.append(Violation(
+                "labels", phase,
+                f"label {label} points at {index}, outside the "
+                f"{size}-instruction body",
+                subject=f"{code.name}:{label}"))
+    for index, instruction in enumerate(code.instructions):
+        for label in _instruction_labels(instruction):
+            if label not in code.labels:
+                violations.append(Violation(
+                    "labels", phase,
+                    f"{instruction.opcode} at {index} references "
+                    f"undefined label {label}",
+                    subject=f"{code.name}:{index}"))
+    return violations
+
+
+def _check_line_map(code, phase: str) -> List[Violation]:
+    violations: List[Violation] = []
+    size = len(code.instructions)
+    for index, line in code.line_map.items():
+        if not 0 <= index < size:
+            violations.append(Violation(
+                "line-map", phase,
+                f"line map entry for instruction {index}, outside the "
+                f"{size}-instruction body",
+                subject=f"{code.name}:{index}"))
+        elif code.instructions[index].line != line:
+            violations.append(Violation(
+                "line-map", phase,
+                f"line map says instruction {index} is line {line}, the "
+                f"instruction says {code.instructions[index].line}",
+                subject=f"{code.name}:{index}"))
+    for index, instruction in enumerate(code.instructions):
+        if instruction.line is not None and index not in code.line_map:
+            violations.append(Violation(
+                "line-map", phase,
+                f"instruction {index} carries line {instruction.line} "
+                f"but the line map has no entry (stale rebuild?)",
+                subject=f"{code.name}:{index}"))
+    return violations
+
+
+def _call_nargs(instruction) -> int:
+    for operand in instruction.operands:
+        if isinstance(operand, tuple) and operand and operand[0] == "imm" \
+                and isinstance(operand[1], int):
+            return operand[1]
+    return 0
+
+
+def _check_stack_balance(code, phase: str) -> List[Violation]:
+    violations: List[Violation] = []
+    instructions = code.instructions
+    if not instructions:
+        return violations
+    depths: Dict[int, int] = {0: 0}
+    work: List[int] = [0]
+
+    def propagate(target: int, depth: int, index: int) -> None:
+        if target >= len(instructions):
+            # A label may legally sit just past the last instruction only
+            # if nothing jumps there expecting more code.
+            violations.append(Violation(
+                "stack-balance", phase,
+                f"control reaches past the last instruction from {index}",
+                subject=f"{code.name}:{index}"))
+            return
+        known = depths.get(target)
+        if known is None:
+            depths[target] = depth
+            work.append(target)
+        elif known != depth:
+            violations.append(Violation(
+                "stack-balance", phase,
+                f"instruction {target} reached with operand-stack depth "
+                f"{depth} and {known} (join mismatch via {index})",
+                subject=f"{code.name}:{target}"))
+
+    while work and len(violations) < 20:
+        index = work.pop()
+        depth = depths[index]
+        instruction = instructions[index]
+        opcode = instruction.opcode
+        labels = _instruction_labels(instruction)
+        next_depth = depth
+        if opcode == "PUSH":
+            next_depth = depth + 1
+        elif opcode == "POP":
+            next_depth = depth - 1
+        elif opcode in _CALLS:
+            next_depth = depth - _call_nargs(instruction) + 1
+        elif opcode in _TAIL_CALLS:
+            if depth - _call_nargs(instruction) != 0:
+                violations.append(Violation(
+                    "stack-balance", phase,
+                    f"{opcode} at {index} leaves "
+                    f"{depth - _call_nargs(instruction)} operand(s) on "
+                    f"the stack",
+                    subject=f"{code.name}:{index}"))
+            continue
+        elif opcode == "RET":
+            if depth != 0:
+                violations.append(Violation(
+                    "stack-balance", phase,
+                    f"RET at {index} with {depth} unconsumed operand(s) "
+                    f"on the stack",
+                    subject=f"{code.name}:{index}"))
+            continue
+        elif opcode == "HALT":
+            continue
+        elif opcode == "JMP":
+            for label in labels:
+                propagate(code.labels[label], depth, index)
+            continue
+        elif opcode == "ARGDISPATCH":
+            for label in labels:
+                propagate(code.labels[label], depth, index)
+            continue
+        elif opcode == "CATCHPUSH":
+            # A throw lands at the catch label with the thrown value
+            # pushed on an otherwise-restored stack.
+            for label in labels:
+                propagate(code.labels[label], depth + 1, index)
+            propagate(index + 1, depth, index)
+            continue
+        elif opcode in _COND_BRANCHES:
+            for label in labels:
+                propagate(code.labels[label], depth, index)
+            propagate(index + 1, depth, index)
+            continue
+        if next_depth < 0:
+            violations.append(Violation(
+                "stack-balance", phase,
+                f"{opcode} at {index} pops below an empty operand stack",
+                subject=f"{code.name}:{index}"))
+            continue
+        propagate(index + 1, next_depth, index)
+    return violations

@@ -1,0 +1,207 @@
+"""Semantic round-trip check (Section 4.1 back-translatability).
+
+"The internal tree can always be back-translated into valid source code,
+equivalent to, though not necessarily identical to, the original source."
+
+After a rewriting phase (the optimizer, CSE) we enforce exactly that:
+back-translate the tree, check the printed text still *reads*, re-convert
+the back-translated form with the same proclaimed specials, and require
+the result to be alpha-equivalent to the live tree.  A transform that
+leaves the tree un-back-translatable -- or whose output prints as a
+*different* program -- is a soundness bug, not a style issue.
+
+The re-conversion runs over the back-translated datum (not the printed
+text): uninterned gensym symbols print as ``#:name`` and the reader
+allocates a *fresh* symbol per occurrence, so only the in-memory form
+preserves the identities the converter needs.  The printed text is still
+required to read without error.
+
+``tree_equal`` (repro.optimizer.treeutil) is unusable here: it compares
+Variables by identity and conservatively reports lambdas unequal, both of
+which are exactly what a conversion round-trip changes.  The comparator
+below is a full alpha-equivalence: fresh Variables and progbody objects
+are matched positionally, single-form progns are normalized away (the
+converter unwraps them), and literals compare with ``lisp_equal``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..datum import lisp_equal
+from ..errors import ConversionError, ReaderError
+from ..ir.nodes import (
+    CallNode,
+    CaseqNode,
+    CatcherNode,
+    FunctionRefNode,
+    GoNode,
+    IfNode,
+    LambdaNode,
+    LiteralNode,
+    Node,
+    PrognNode,
+    ProgbodyNode,
+    ReturnNode,
+    SetqNode,
+    TagMarker,
+    Variable,
+    VarRefNode,
+)
+from . import Violation, clip
+
+
+def check_roundtrip(root: Node, phase: str,
+                    proclaimed_specials=()) -> List[Violation]:
+    from ..ir.backtranslate import back_translate
+    from ..ir.convert import Converter
+    from ..reader import read_all
+    from ..reader.printer import write_to_string
+
+    try:
+        form = back_translate(root)
+        text = write_to_string(form)
+    except Exception as err:  # a tree the back-translator rejects
+        return [Violation(
+            "roundtrip", phase,
+            f"tree is not back-translatable: {err}",
+            subject=f"{root.KIND}#{root.uid}")]
+    try:
+        read_all(text)
+    except ReaderError as err:
+        return [Violation(
+            "roundtrip", phase,
+            f"back-translated source does not re-read: {err} "
+            f"(source: {clip(text)})",
+            subject=f"{root.KIND}#{root.uid}")]
+    converter = Converter(set(proclaimed_specials))
+    try:
+        redone = converter.convert(form)
+    except ConversionError as err:
+        return [Violation(
+            "roundtrip", phase,
+            f"back-translated source does not re-convert: {err} "
+            f"(source: {clip(text)})",
+            subject=f"{root.KIND}#{root.uid}")]
+    if not alpha_equal(root, redone):
+        return [Violation(
+            "roundtrip", phase,
+            f"re-converted back-translation is not alpha-equivalent to "
+            f"the live tree (source: {clip(text, 120)})",
+            subject=f"{root.KIND}#{root.uid}")]
+    return []
+
+
+# ---------------------------------------------------------------------------
+# alpha-equivalence
+
+
+def alpha_equal(a: Node, b: Node) -> bool:
+    """Structural equality up to renaming of bound variables, matching
+    progbody identities positionally and normalizing single-form progns."""
+    return _eq(a, b, {}, {})
+
+
+def _strip(node: Node) -> Node:
+    # The converter unwraps (progn x) to x; normalize both sides so a
+    # round-trip through source does not manufacture a mismatch.
+    while isinstance(node, PrognNode) and len(node.forms) == 1:
+        node = node.forms[0]
+    return node
+
+
+def _var_eq(a: Variable, b: Variable,
+            vmap: Dict[Variable, Variable]) -> bool:
+    if a.special or b.special:
+        return a.special and b.special and a.name is b.name
+    return vmap.get(a) is b
+
+
+def _eq(a: Node, b: Node, vmap: Dict[Variable, Variable],
+        pmap: Dict[ProgbodyNode, ProgbodyNode]) -> bool:
+    a = _strip(a)
+    b = _strip(b)
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, LiteralNode):
+        return lisp_equal(a.value, b.value)
+    if isinstance(a, VarRefNode):
+        return _var_eq(a.variable, b.variable, vmap)
+    if isinstance(a, FunctionRefNode):
+        return a.name is b.name
+    if isinstance(a, SetqNode):
+        return _var_eq(a.variable, b.variable, vmap) \
+            and _eq(a.value, b.value, vmap, pmap)
+    if isinstance(a, IfNode):
+        return (_eq(a.test, b.test, vmap, pmap)
+                and _eq(a.then, b.then, vmap, pmap)
+                and _eq(a.else_, b.else_, vmap, pmap))
+    if isinstance(a, CallNode):
+        if len(a.args) != len(b.args):
+            return False
+        return _eq(a.fn, b.fn, vmap, pmap) and all(
+            _eq(x, y, vmap, pmap) for x, y in zip(a.args, b.args))
+    if isinstance(a, PrognNode):
+        if len(a.forms) != len(b.forms):
+            return False
+        return all(_eq(x, y, vmap, pmap)
+                   for x, y in zip(a.forms, b.forms))
+    if isinstance(a, LambdaNode):
+        return _lambda_eq(a, b, vmap, pmap)
+    if isinstance(a, ProgbodyNode):
+        if len(a.items) != len(b.items):
+            return False
+        pmap[a] = b
+        for x, y in zip(a.items, b.items):
+            if isinstance(x, TagMarker) or isinstance(y, TagMarker):
+                if not (isinstance(x, TagMarker)
+                        and isinstance(y, TagMarker)
+                        and x.name is y.name):
+                    return False
+            elif not _eq(x, y, vmap, pmap):
+                return False
+        return True
+    if isinstance(a, GoNode):
+        return a.tag is b.tag and pmap.get(a.target) is b.target
+    if isinstance(a, ReturnNode):
+        return pmap.get(a.target) is b.target \
+            and _eq(a.value, b.value, vmap, pmap)
+    if isinstance(a, CaseqNode):
+        if len(a.clauses) != len(b.clauses):
+            return False
+        if not _eq(a.key, b.key, vmap, pmap):
+            return False
+        for (keys_a, body_a), (keys_b, body_b) in zip(a.clauses, b.clauses):
+            if len(keys_a) != len(keys_b):
+                return False
+            if not all(lisp_equal(x, y)
+                       for x, y in zip(keys_a, keys_b)):
+                return False
+            if not _eq(body_a, body_b, vmap, pmap):
+                return False
+        return _eq(a.default, b.default, vmap, pmap)
+    if isinstance(a, CatcherNode):
+        return _eq(a.tag, b.tag, vmap, pmap) \
+            and _eq(a.body, b.body, vmap, pmap)
+    return False
+
+
+def _lambda_eq(a: LambdaNode, b: LambdaNode,
+               vmap: Dict[Variable, Variable],
+               pmap: Dict[ProgbodyNode, ProgbodyNode]) -> bool:
+    if len(a.required) != len(b.required) \
+            or len(a.optionals) != len(b.optionals) \
+            or (a.rest is None) != (b.rest is None):
+        return False
+    for x, y in zip(a.all_variables(), b.all_variables()):
+        if x.special != y.special or x.declared_type != y.declared_type:
+            return False
+        if x.special:
+            if x.name is not y.name:
+                return False
+        else:
+            vmap[x] = y
+    for oa, ob in zip(a.optionals, b.optionals):
+        if not _eq(oa.default, ob.default, vmap, pmap):
+            return False
+    return _eq(a.body, b.body, vmap, pmap)

@@ -1,0 +1,148 @@
+"""Structural tree checks (Section 4.1's distributed-symbol-table shape).
+
+The internal tree owns four pieces of redundant structure that every
+transform must keep consistent:
+
+* each child's ``parent`` pointer names the node it is a child of;
+* the tree is a tree -- no node object reachable along two paths (the
+  optimizer must ``copy_tree`` when it duplicates code);
+* every lexical variable reference resolves to a binder that is an
+  ancestor lambda, and the variable's back-pointer lists contain the
+  referencing nodes ("the construct that binds the variable and all
+  references to the variable all point to the data structure, which has
+  back-pointers to the binding and all the references");
+* ``go``/``return`` target a lexically visible progbody that (for ``go``)
+  actually holds the named tag.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..ir.nodes import (
+    GoNode,
+    LambdaNode,
+    Node,
+    ProgbodyNode,
+    ReturnNode,
+    SetqNode,
+    VarRefNode,
+)
+from . import Violation, clip
+
+
+def check_tree(root: Node, phase: str) -> List[Violation]:
+    violations: List[Violation] = []
+    violations.extend(_check_parents_and_sharing(root, phase))
+    # Scope checks walk parent chains; only meaningful once parent links
+    # and treeness hold (a cycle would never terminate).
+    if not violations:
+        violations.extend(_check_variables(root, phase))
+        violations.extend(_check_control(root, phase))
+    return violations
+
+
+def _check_parents_and_sharing(root: Node, phase: str) -> List[Violation]:
+    violations: List[Violation] = []
+    seen = set()
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            violations.append(Violation(
+                "shared-subtree", phase,
+                f"node {clip(repr(node))} is reachable along two paths "
+                f"(aliased subtree; transforms must copy_tree)",
+                subject=f"{node.KIND}#{node.uid}"))
+            continue  # do not descend twice (and do not loop on cycles)
+        seen.add(id(node))
+        for child in node.children():
+            if child.parent is not node:
+                violations.append(Violation(
+                    "parent-links", phase,
+                    f"child {clip(repr(child))} of {clip(repr(node))} has "
+                    f"parent {clip(repr(child.parent))}",
+                    subject=f"{child.KIND}#{child.uid}"))
+            stack.append(child)
+    return violations
+
+
+def _ancestors(node: Node):
+    current = node.parent
+    guard = 0
+    while current is not None and guard < 100_000:
+        yield current
+        current = current.parent
+        guard += 1
+
+
+def _check_variables(root: Node, phase: str) -> List[Violation]:
+    violations: List[Violation] = []
+    for node in root.walk():
+        if isinstance(node, LambdaNode):
+            for variable in node.all_variables():
+                if variable.binder is not node:
+                    violations.append(Violation(
+                        "variable-links", phase,
+                        f"{variable!r} is bound by {clip(repr(node))} but "
+                        f"its binder points at {variable.binder!r}",
+                        subject=repr(variable)))
+        if isinstance(node, (VarRefNode, SetqNode)):
+            variable = node.variable
+            backlist = variable.setqs if isinstance(node, SetqNode) \
+                else variable.refs
+            if node not in backlist:
+                violations.append(Violation(
+                    "variable-links", phase,
+                    f"{node.KIND} of {variable!r} missing from the "
+                    f"variable's back-pointer list",
+                    subject=f"{node.KIND}#{node.uid}"))
+            if variable.special:
+                continue  # dynamically scoped: no lexical binder required
+            binder = variable.binder
+            if binder is None:
+                violations.append(Violation(
+                    "variable-scope", phase,
+                    f"lexical {variable!r} referenced by "
+                    f"{clip(repr(node))} has no binder",
+                    subject=repr(variable)))
+            elif binder is not root and binder not in _ancestors(node):
+                violations.append(Violation(
+                    "variable-scope", phase,
+                    f"{variable!r} referenced by {clip(repr(node))} is "
+                    f"bound by {clip(repr(binder))}, which does not "
+                    f"enclose the reference",
+                    subject=repr(variable)))
+    return violations
+
+
+def _check_control(root: Node, phase: str) -> List[Violation]:
+    violations: List[Violation] = []
+    for node in root.walk():
+        if isinstance(node, GoNode):
+            target = node.target
+            if not isinstance(target, ProgbodyNode) \
+                    or (target is not root
+                        and target not in _ancestors(node)):
+                violations.append(Violation(
+                    "go-targets", phase,
+                    f"(go {node.tag}) targets a progbody that does not "
+                    f"lexically enclose it",
+                    subject=f"go#{node.uid}"))
+            elif target.find_tag(node.tag) is None:
+                violations.append(Violation(
+                    "go-targets", phase,
+                    f"(go {node.tag}) targets a progbody with no tag "
+                    f"named {node.tag}",
+                    subject=f"go#{node.uid}"))
+        elif isinstance(node, ReturnNode):
+            target = node.target
+            if not isinstance(target, ProgbodyNode) \
+                    or (target is not root
+                        and target not in _ancestors(node)):
+                violations.append(Violation(
+                    "go-targets", phase,
+                    "(return ...) targets a progbody that does not "
+                    "lexically enclose it",
+                    subject=f"return#{node.uid}"))
+    return violations

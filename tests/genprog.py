@@ -1,99 +1,10 @@
-"""A seeded random-program generator for differential and cache testing.
-
-Programs are generated as *text* (the compiler's real input surface) from a
-``random.Random`` seed, so every test run sees the same corpus.  The
-expression language is chosen so that every program
-
-* terminates (no unbounded recursion, loop counts are literal),
-* is total (no division, no car/cdr of atoms, no unbound variables),
-* is deterministic (pure integer/list arithmetic and control flow),
-
-which makes "interpreter == compiled == cached-compiled" a meaningful
-assertion for any generated program on any target.
+"""Compatibility shim: the generator moved to :mod:`repro.fuzz` so the
+fuzz CLI (``python -m repro fuzz``) can drive it outside the test tree.
+Tests keep importing ``corpus``/``generate_program`` from here.
 """
 
-from __future__ import annotations
-
-import random
-from typing import List, Sequence, Tuple
-
-_UNARY_OPS = ("1+", "1-", "abs", "zerop", "not")
-_BINARY_OPS = ("+", "-", "*", "max", "min")
-_COMPARE_OPS = ("<", ">", "=", "<=", ">=")
-
-
-def _gen_expr(rng: random.Random, env: Sequence[str], depth: int) -> str:
-    """One pure integer-valued expression over the variables in *env*."""
-    if depth <= 0 or rng.random() < 0.25:
-        if env and rng.random() < 0.6:
-            return rng.choice(list(env))
-        return str(rng.randint(-30, 30))
-    choice = rng.random()
-    if choice < 0.30:
-        op = rng.choice(_BINARY_OPS)
-        return (f"({op} {_gen_expr(rng, env, depth - 1)} "
-                f"{_gen_expr(rng, env, depth - 1)})")
-    if choice < 0.45:
-        op = rng.choice(_UNARY_OPS)
-        inner = _gen_expr(rng, env, depth - 1)
-        if op in ("zerop", "not"):
-            # Boolean-producing ops only appear under `if`, via _gen_test.
-            return f"(if ({op} {inner}) 1 0)"
-        return f"({op} {inner})"
-    if choice < 0.70:
-        return (f"(if {_gen_test(rng, env, depth - 1)} "
-                f"{_gen_expr(rng, env, depth - 1)} "
-                f"{_gen_expr(rng, env, depth - 1)})")
-    if choice < 0.85:
-        var = f"v{rng.randint(0, 99)}"
-        value = _gen_expr(rng, env, depth - 1)
-        body = _gen_expr(rng, list(env) + [var], depth - 1)
-        return f"(let (({var} {value})) {body})"
-    # setq inside a let: exercises assignment + shadowing.
-    var = f"s{rng.randint(0, 99)}"
-    init = _gen_expr(rng, env, depth - 1)
-    update = _gen_expr(rng, list(env) + [var], depth - 1)
-    body = _gen_expr(rng, list(env) + [var], depth - 1)
-    return f"(let (({var} {init})) (progn (setq {var} {update}) {body}))"
-
-
-def _gen_test(rng: random.Random, env: Sequence[str], depth: int) -> str:
-    op = rng.choice(_COMPARE_OPS)
-    return (f"({op} {_gen_expr(rng, env, depth)} "
-            f"{_gen_expr(rng, env, depth)})")
-
-
-def generate_function(rng: random.Random, name: str = "f",
-                      max_depth: int = 4) -> Tuple[str, List[int]]:
-    """One ``(defun name (args...) body)`` plus argument values for a call."""
-    n_args = rng.randint(1, 3)
-    params = [f"a{i}" for i in range(n_args)]
-    body = _gen_expr(rng, params, rng.randint(2, max_depth))
-    source = f"(defun {name} ({' '.join(params)}) {body})"
-    args = [rng.randint(-20, 20) for _ in params]
-    return source, args
-
-
-def generate_program(seed: int, n_functions: int = 1,
-                     max_depth: int = 4) -> Tuple[str, str, List[int]]:
-    """A deterministic program for *seed*: returns ``(source, entry_fn,
-    entry_args)``.  With ``n_functions > 1`` the extra functions are
-    compiled too (cache/batch load) but only the entry is called."""
-    rng = random.Random(seed)
-    sources = []
-    entry_args: List[int] = []
-    for index in range(n_functions):
-        name = "f" if index == 0 else f"aux{index}"
-        source, args = generate_function(rng, name=name, max_depth=max_depth)
-        sources.append(source)
-        if index == 0:
-            entry_args = args
-    return "\n".join(sources), "f", entry_args
-
-
-def corpus(n_programs: int, base_seed: int = 0, n_functions: int = 1,
-           max_depth: int = 4) -> List[Tuple[str, str, List[int]]]:
-    """A reproducible list of ``(source, fn, args)`` programs."""
-    return [generate_program(base_seed + i, n_functions=n_functions,
-                             max_depth=max_depth)
-            for i in range(n_programs)]
+from repro.fuzz import (  # noqa: F401
+    corpus,
+    generate_function,
+    generate_program,
+)

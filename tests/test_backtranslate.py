@@ -81,6 +81,45 @@ class TestBackTranslation:
         assert lisp_equal(once, twice)
 
 
+class TestRenamingRegressions:
+    def test_renamed_gensym_stays_uninterned(self):
+        """A disambiguated gensym must not be interned: `#:g.2` spelled as
+        plain `g.2` would capture a user symbol on re-read."""
+        from repro.datum import from_list
+        from repro.datum.symbols import Symbol
+        from repro.ir import Converter
+
+        g = Symbol("g", interned=False)
+        form = from_list([
+            sym("lambda"), from_list([g]),
+            from_list([from_list([sym("lambda"), from_list([g]), g]), g]),
+        ])
+        from repro.reader import write_to_string
+
+        text = write_to_string(back_translate(Converter().convert(form)))
+        assert "#:g.2" in text
+
+    def test_special_variables_never_renamed(self):
+        """A special variable's name is its identity; printing *depth* as
+        *depth*.2 would reference a different dynamic variable."""
+        text = back_translate_to_string(convert_source(
+            "(lambda (x)"
+            " ((lambda (*depth*) (declare (special *depth*)) (+ x *depth*))"
+            "  (+ *depth* 1)))"))
+        assert ".2" not in text
+        assert "(special *depth*)" in text
+
+    def test_function_ref_in_value_position_is_wrapped(self):
+        # A bare name in value position would re-read as a variable.
+        assert lisp_equal(roundtrip("(f (function g))"),
+                          read("(f (function g))"))
+
+    def test_type_declarations_survive(self):
+        text = back_translate_to_string(
+            convert_source("(lambda (x) (declare (fixnum x)) (+ x 1))"))
+        assert "(fixnum x)" in text
+
+
 class TestQuadraticArtifact:
     """Section 4.1: the quadratic example's preliminary conversion."""
 

@@ -258,14 +258,16 @@ class TestGeneratedDifferentialSweep:
     interpreter, a cold compile, and a cache-hit compile must agree -- on
     every registered target.  (The corpus generator only emits total,
     deterministic integer programs, so plain equality is the right
-    oracle.)"""
+    oracle.)  The cold compile runs with the phase-boundary sanitizer on:
+    a verification failure anywhere in the sweep fails the test."""
 
     SWEEP = corpus(50, base_seed=7)
 
     @pytest.mark.parametrize("target", ["s1", "vax", "pdp10"])
     def test_interpreter_vs_compiled_vs_cached(self, target, tmp_path):
         cache = CompilationCache(directory=tmp_path / "store")
-        options = CompilerOptions(target=target, cache=cache)
+        options = CompilerOptions(target=target, cache=cache,
+                                  verify_ir=True)
         for index, (source, fn, args) in enumerate(self.SWEEP):
             expected = interp_result(source, fn, args)
 

@@ -120,6 +120,38 @@ class TestSynchronization:
         assert mm.run_tasks([(sym("ok"), [])]) == [sym("done")]
 
 
+class TestRunTasksHygiene:
+    def test_results_reset_between_calls(self):
+        """A prior run's values must not survive into a later call's result
+        slots (observable when a later call traps before finishing)."""
+        from repro.datum import NIL
+
+        mm = multi("(defun sq (x) (* x x))"
+                   "(defun bad () (unlock 'nope))", processors=2)
+        assert mm.run_tasks([(sym("sq"), [2]), (sym("sq"), [3])]) == [4, 9]
+        with pytest.raises(MachineError):
+            mm.run_tasks([(sym("bad"), []), (sym("sq"), [4])])
+        assert mm._results == [NIL, NIL]
+
+    def test_repeated_runs_do_not_exhaust_budget(self):
+        # cpu.instructions is cumulative; the per-call budget must be the
+        # delta, so reusing one machine for many calls keeps working.
+        mm = multi("(defun sq (x) (* x x))")
+        for i in range(5):
+            assert mm.run_tasks([(sym("sq"), [i])]) == [i * i]
+
+    def test_stall_budget_snapshotted_at_construction(self):
+        """Retuning a processor's fuel after construction must not widen
+        run_tasks' stall protection."""
+        mm = multi("(defun spin-forever () (progbody top (go top)))",
+                   processors=1, fuel=4000)
+        for cpu in mm.processors:
+            cpu.fuel = 10_000_000
+        with pytest.raises(MachineError,
+                           match="multiprocessor fuel exhausted"):
+            mm.run_tasks([(sym("spin-forever"), [])])
+
+
 class TestMultiprocessorGc:
     def test_stop_the_world_collects_across_processors(self):
         source = """

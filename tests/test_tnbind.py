@@ -124,3 +124,34 @@ class TestPacking:
         packing = pack_tns(tns, naive_options())
         assert all(tn.location.kind == "temp-slot" for tn in tns)
         assert packing.registers_used == set()
+
+
+class TestPreferencePoolGate:
+    """Preference placement may only land a TN in a register it could have
+    been given directly: partners in RTA/RTB must not pull non-RT TNs into
+    the bottleneck registers, nor past the configured pool."""
+
+    def test_preference_cannot_pull_non_rt_into_rt(self):
+        a = make_tn(0, 3, prefer_rt=True)
+        b = make_tn(4, 8)  # non-RT, disjoint, preference-linked to a
+        b.prefer(a)
+        pack_tns([a, b])
+        assert a.location.index in (RTA, RTB)
+        assert b.location.kind == "reg"
+        assert b.location.index not in (RTA, RTB)
+
+    def test_preference_does_not_follow_partner_out_of_pool(self):
+        from repro.options import CompilerOptions
+        from repro.target.registers import allocatable_registers
+        from repro.tnbind import Location
+
+        options = CompilerOptions(registers_available=8)
+        pool = {r for r in allocatable_registers() if r < 8 or r >= 32}
+        a = make_tn(0, 3)
+        a.location = Location("reg", 20)  # outside the configured pool
+        assert 20 not in pool
+        b = make_tn(4, 8)
+        b.prefer(a)
+        pack_tns([a, b], options)
+        assert b.location.kind == "reg"
+        assert b.location.index in pool
