@@ -4,10 +4,16 @@ the S-1 Lisp compiler -- as a complete Python library.
 
 Public API highlights:
 
+* :class:`repro.CompilerService` / :mod:`repro.api` -- the curated service
+  facade: the one object the CLI, REPL, batch driver, and compile daemon
+  all drive, plus the versioned wire schema (``API_VERSION``) and stability
+  tiers (``repro.api.STABILITY_TIERS``)
 * :class:`repro.Compiler` -- the full optimizing compiler (Table 1 pipeline)
 * :func:`repro.compile_and_run` -- compile source, run on the simulated S-1
 * :class:`repro.Interpreter` / :func:`repro.evaluate` -- reference semantics
-* :class:`repro.CompilerOptions` / :func:`repro.naive_options` -- ablations
+* :class:`repro.CompilerOptions` / :func:`repro.naive_options` -- ablations;
+  fields are declared semantic (cache-key relevant, wire-overridable) or
+  non-semantic (observability) -- see ``repro.options.SEMANTIC_OPTION_FIELDS``
 * :class:`repro.CompilationResult` -- what one ``Compiler.compile`` call made
 * :mod:`repro.target` / :func:`repro.get_target` -- machine descriptions
   (``s1``, ``vax``, ``pdp10``) for retargeting
@@ -15,7 +21,12 @@ Public API highlights:
 * :class:`repro.CompilationCache` / ``CompilerOptions(cache=...)`` -- the
   content-addressed compilation cache (memory LRU + on-disk store)
 * :func:`repro.compile_batch` -- parallel multi-file compilation with
-  per-file status reporting (also ``python -m repro batch``)
+  per-file status reporting (also ``python -m repro batch``); pass
+  ``server=`` to ship the work to a warm daemon instead of a local pool
+* :mod:`repro.serve` / ``python -m repro serve`` -- the long-lived compile
+  daemon (unix socket + HTTP, /metrics, bounded queue, graceful drain)
+* :func:`repro.connect` / :class:`repro.ServiceClient` /
+  ``python -m repro client`` -- talk to a running daemon
 * :mod:`repro.trace` -- Chrome trace-event / Prometheus exporters over the
   diagnostics layer (``build_chrome_trace``, ``prometheus_metrics``); the
   machine's exact profiler lives at ``Machine.enable_profiling()``
@@ -26,7 +37,17 @@ Public API highlights:
   and interpreter-differential checking (also ``python -m repro fuzz``)
 """
 
-from .batch import BatchFileResult, BatchResult, compile_batch
+# Defined before any submodule import: repro.api reports this version in
+# ping responses and would hit a partially-initialized package otherwise.
+__version__ = "1.6.0"
+
+from .api import API_VERSION, ApiError, CompilerService, ServiceResult, connect
+from .batch import (
+    BatchFileResult,
+    BatchResult,
+    compile_batch,
+    process_pool_viable,
+)
 from .cache import (
     CachedFunction,
     CompilationCache,
@@ -34,6 +55,7 @@ from .cache import (
     canonical_source,
     options_fingerprint,
 )
+from .client import ServiceClient, ServiceError, ServiceUnavailable
 from .compiler import (
     CompilationResult,
     CompiledFunction,
@@ -44,8 +66,15 @@ from .diagnostics import Diagnostics, SourceLocation
 from .errors import VerificationError
 from .fuzz import FuzzFailure, FuzzReport, run_fuzz
 from .interp import Interpreter, evaluate
-from .options import CompilerOptions, DEFAULT_OPTIONS, naive_options
+from .options import (
+    CompilerOptions,
+    DEFAULT_OPTIONS,
+    NON_SEMANTIC_OPTION_FIELDS,
+    SEMANTIC_OPTION_FIELDS,
+    naive_options,
+)
 from .reader import read, read_all, write_to_string
+from .serve import ReproServer
 from .target import MachineDescription, get_target
 from .verify import PipelineVerifier, Violation
 from .trace import (
@@ -55,9 +84,9 @@ from .trace import (
     write_metrics,
 )
 
-__version__ = "1.5.0"
-
 __all__ = [
+    "API_VERSION",
+    "ApiError",
     "BatchFileResult",
     "BatchResult",
     "CachedFunction",
@@ -66,14 +95,22 @@ __all__ = [
     "CompiledFunction",
     "Compiler",
     "CompilerOptions",
+    "CompilerService",
     "DEFAULT_OPTIONS",
     "Diagnostics",
     "FuzzFailure",
     "FuzzReport",
     "Interpreter",
-    "PipelineVerifier",
-    "SourceLocation",
     "MachineDescription",
+    "NON_SEMANTIC_OPTION_FIELDS",
+    "PipelineVerifier",
+    "ReproServer",
+    "SEMANTIC_OPTION_FIELDS",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceResult",
+    "ServiceUnavailable",
+    "SourceLocation",
     "VerificationError",
     "Violation",
     "build_chrome_trace",
@@ -81,10 +118,12 @@ __all__ = [
     "canonical_source",
     "compile_and_run",
     "compile_batch",
+    "connect",
     "evaluate",
     "get_target",
     "naive_options",
     "options_fingerprint",
+    "process_pool_viable",
     "prometheus_metrics",
     "read",
     "read_all",

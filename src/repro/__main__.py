@@ -1,7 +1,13 @@
-"""A compile-and-go REPL for the reproduction: ``python -m repro``.
+"""The CLI: ``python -m repro [repl|batch|fuzz|serve|client]``.
 
-Each expression is compiled through the full Table 1 pipeline and executed
-on the simulated S-1.  ``defun``/``defvar`` forms extend the session.
+Every subcommand shares one parent parser (``--cache-dir``, ``--trace``,
+``--metrics``, ``--verify``, ``--target``, ``--jobs``) and drives the
+compiler through the :class:`repro.api.CompilerService` facade -- the same
+object the daemon serves over its wire protocol.
+
+``repl`` (the default) is a compile-and-go REPL: each expression is
+compiled through the full Table 1 pipeline and executed on the simulated
+S-1.  ``defun``/``defvar`` forms extend the session.
 
 Meta commands::
 
@@ -16,30 +22,32 @@ Meta commands::
     :prelude          load the bundled standard library
     :quit             leave
 
-Flags::
-
-    --diagnostics-json PATH   write every compilation's diagnostics (one
-                              JSON object per compile) to PATH on exit
-    --trace PATH              write a Chrome trace-event JSON of the session
-                              (open in Perfetto / chrome://tracing) on exit
-    --metrics PATH            write a Prometheus text metrics dump on exit
-
 Batch mode (``python -m repro batch``) compiles many files across a worker
-pool with an optional shared content-addressed cache::
+pool -- or a running daemon -- with an optional shared cache::
 
     python -m repro batch src1.lisp src2.lisp --jobs 4 --cache-dir .repro-cache
     python -m repro batch lib/*.lisp --target vax --json report.json
-    python -m repro batch examples/*.lisp --trace trace.json
+    python -m repro batch examples/*.lisp --server .repro.sock
+
+Serve mode (``python -m repro serve``) starts the long-lived compile
+daemon (unix socket JSON lines + optional HTTP with /metrics)::
+
+    python -m repro serve --socket .repro.sock --cache-dir .repro-cache
+    python -m repro serve --socket .repro.sock --http 127.0.0.1:8787 --jobs 4
+
+Client mode (``python -m repro client``) talks to it::
+
+    python -m repro client --server .repro.sock --ping
+    python -m repro client examples/*.lisp --server .repro.sock
 
 Fuzz mode (``python -m repro fuzz``) drives the seeded program generator
 through verify-enabled compilation plus an interpreter==compiled
-differential check on every target::
+differential check::
 
     python -m repro fuzz --seed 0 --count 100
     python -m repro fuzz --seed 7 --count 50 --target vax
 
-``--verify`` (REPL and batch) turns on the same phase-boundary IR
-sanitizer for ordinary compilations.
+``--verify`` (any subcommand) turns on the phase-boundary IR sanitizer.
 """
 
 from __future__ import annotations
@@ -49,20 +57,62 @@ import json
 import sys
 from typing import Any, Dict, List, Optional
 
-from . import Compiler, CompilerOptions
+from .api import CompilerService
 from .datum import Cons, sym
 from .errors import ReproError
 from .machine import Machine
+from .options import CompilerOptions
 from .reader import read_all, write_to_string
+
+#: Subcommand names; anything else routes to the REPL (the historical
+#: default invocation).
+SUBCOMMANDS = ("repl", "batch", "fuzz", "serve", "client")
+
+
+def common_parser(jobs_default: int = 1) -> argparse.ArgumentParser:
+    """The shared parent parser: the flags every subcommand accepts with
+    one spelling and one help text (``parents=[common_parser()]``)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("common options")
+    group.add_argument("--cache-dir", default=None, metavar="PATH",
+                       help="content-addressed compilation cache directory "
+                            "(shared across workers, runs, and the daemon)")
+    group.add_argument("--trace", default=None, metavar="PATH",
+                       help="write a Chrome trace-event JSON on exit "
+                            "(open in Perfetto / chrome://tracing)")
+    group.add_argument("--metrics", default=None, metavar="PATH",
+                       help="write a Prometheus text metrics dump on exit")
+    group.add_argument("--verify", action="store_true",
+                       help="run the phase-boundary IR sanitizer "
+                            "(repro.verify) after every compiler phase")
+    group.add_argument("--target", action="append", default=None,
+                       metavar="T",
+                       help="machine description: s1, vax, pdp10 "
+                            "(repeatable for fuzz; last wins elsewhere; "
+                            "default s1)")
+    group.add_argument("--jobs", type=int, default=jobs_default,
+                       metavar="N",
+                       help="workers: pool size (batch/serve) or "
+                            "concurrent connections (client) "
+                            f"(default {jobs_default})")
+    return parent
+
+
+def _target_of(args: argparse.Namespace, default: str = "s1") -> str:
+    targets = getattr(args, "target", None)
+    return targets[-1] if targets else default
 
 
 class Repl:
     def __init__(self, options: Optional[CompilerOptions] = None,
-                 out=sys.stdout):
+                 out=sys.stdout,
+                 service: Optional[CompilerService] = None):
         # The REPL is interactive: full observability (transcript entries
         # plus whole-function rewrite snapshots) is worth the cost.
-        self.compiler = Compiler(options or CompilerOptions(
-            transcript=True, trace_rewrites=True))
+        self.service = service or CompilerService(
+            options or CompilerOptions(transcript=True,
+                                       trace_rewrites=True))
+        self.compiler = self.service.session()
         self.machine: Optional[Machine] = None
         self.out = out
         self._counter = 0
@@ -218,50 +268,37 @@ class Repl:
 
 def batch_main(argv) -> int:
     """``python -m repro batch FILE... [--jobs N] [--cache-dir PATH]``."""
-    from .batch import compile_batch
-
     parser = argparse.ArgumentParser(
         prog="python -m repro batch",
-        description="Compile many source files across a worker pool, with "
-                    "an optional shared content-addressed compilation "
-                    "cache.")
+        parents=[common_parser()],
+        description="Compile many source files across a worker pool -- or "
+                    "a running daemon (--server) -- with an optional "
+                    "shared content-addressed compilation cache.")
     parser.add_argument("files", nargs="+", metavar="FILE",
                         help="Lisp source files to compile")
-    parser.add_argument("--jobs", type=int, default=1, metavar="N",
-                        help="worker processes (default 1: compile inline)")
-    parser.add_argument("--cache-dir", default=None, metavar="PATH",
-                        help="content-addressed cache directory shared by "
-                             "all workers (and by later runs)")
-    parser.add_argument("--target", default="s1",
-                        help="machine description to compile for "
-                             "(s1, vax, pdp10; default s1)")
+    parser.add_argument("--server", default=None, metavar="ADDR",
+                        help="ship work to a running daemon at this "
+                             "address (unix socket path or "
+                             "http://host:port) instead of spawning a "
+                             "local pool")
     parser.add_argument("--prelude", action="store_true",
                         help="load the bundled standard library into every "
                              "worker compiler first")
     parser.add_argument("--json", default=None, metavar="PATH",
                         help="also write the full batch report as JSON")
-    parser.add_argument("--trace", default=None, metavar="PATH",
-                        help="write a Chrome trace-event JSON (one track "
-                             "per worker; open in Perfetto)")
-    parser.add_argument("--metrics", default=None, metavar="PATH",
-                        help="write a Prometheus text metrics dump")
     parser.add_argument("--trace-rewrites", action="store_true",
                         help="capture whole-function before/after source "
                              "per optimizer rewrite (slower)")
-    parser.add_argument("--verify", action="store_true",
-                        help="run the phase-boundary IR sanitizer "
-                             "(repro.verify) after every compiler phase; "
-                             "violations become per-file errors")
     args = parser.parse_args(argv)
 
-    from . import CompilerOptions
-
-    options = CompilerOptions(target=args.target,
+    options = CompilerOptions(target=_target_of(args),
                               trace_rewrites=args.trace_rewrites,
                               verify_ir=args.verify)
-    result = compile_batch(args.files, options=options, jobs=args.jobs,
-                           cache_dir=args.cache_dir,
-                           load_prelude=args.prelude)
+    service = CompilerService(options=options)
+    result = service.batch(
+        args.files, jobs=args.jobs, cache_dir=args.cache_dir,
+        load_prelude=args.prelude, server=args.server,
+        want_diagnostics=bool(args.trace or args.metrics or args.json))
     print(result.report())
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
@@ -286,6 +323,7 @@ def fuzz_main(argv) -> int:
 
     parser = argparse.ArgumentParser(
         prog="python -m repro fuzz",
+        parents=[common_parser()],
         description="Drive the seeded program generator through "
                     "verify-enabled compilation plus an "
                     "interpreter==compiled differential check.")
@@ -294,10 +332,6 @@ def fuzz_main(argv) -> int:
                              "(default 0)")
     parser.add_argument("--count", type=int, default=50, metavar="K",
                         help="number of programs to generate (default 50)")
-    parser.add_argument("--target", action="append", default=None,
-                        choices=list(ALL_TARGETS), metavar="T",
-                        help="target(s) to compile for; repeatable "
-                             "(default: all three)")
     parser.add_argument("--max-depth", type=int, default=4, metavar="D",
                         help="maximum expression nesting depth (default 4)")
     parser.add_argument("--no-verify", action="store_true",
@@ -309,50 +343,91 @@ def fuzz_main(argv) -> int:
                         help="also enable the peephole optimizer")
     args = parser.parse_args(argv)
 
-    from . import CompilerOptions
+    targets = tuple(args.target or ALL_TARGETS)
+    unknown = [t for t in targets if t not in ALL_TARGETS]
+    if unknown:
+        parser.error(f"unknown target(s): {', '.join(unknown)} "
+                     f"(choose from {', '.join(ALL_TARGETS)})")
 
     options = CompilerOptions(enable_cse=args.cse,
                               enable_peephole=args.peephole)
     report = run_fuzz(base_seed=args.seed, count=args.count,
-                      targets=tuple(args.target or ALL_TARGETS),
+                      targets=targets,
                       verify=not args.no_verify, options=options,
                       max_depth=args.max_depth)
     print(report.render())
     return 0 if report.ok else 1
 
 
-def main(argv=None) -> int:
-    argv = list(sys.argv[1:]) if argv is None else list(argv)
-    if argv and argv[0] == "batch":
-        return batch_main(argv[1:])
-    if argv and argv[0] == "fuzz":
-        return fuzz_main(argv[1:])
+def serve_main(argv) -> int:
+    """``python -m repro serve --socket PATH [--http HOST:PORT]``."""
+    from .serve import ReproServer
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        parents=[common_parser()],
+        description="Start the long-lived compile daemon: unix-socket "
+                    "JSON lines and/or HTTP (POST / for the api, GET "
+                    "/metrics for Prometheus).  Warm per-worker caches "
+                    "over the shared --cache-dir store; bounded queue "
+                    "with busy responses past --max-queue; graceful "
+                    "drain on SIGTERM/SIGINT or a shutdown op.")
+    parser.add_argument("--socket", default=None, metavar="PATH",
+                        help="unix socket to listen on (default "
+                             ".repro.sock when no --http is given)")
+    parser.add_argument("--http", default=None, metavar="HOST:PORT",
+                        help="also serve HTTP on this address")
+    parser.add_argument("--max-queue", type=int, default=8, metavar="N",
+                        help="max requests waiting for a worker before "
+                             "new ones get an immediate busy response "
+                             "(default 8)")
+    parser.add_argument("--timeout", type=float, default=120.0,
+                        metavar="SECONDS",
+                        help="per-request timeout (default 120)")
+    args = parser.parse_args(argv)
+
+    socket_path = args.socket
+    http_addr = None
+    if args.http is not None:
+        host, _, port = args.http.rpartition(":")
+        try:
+            http_addr = (host or "127.0.0.1", int(port))
+        except ValueError:
+            parser.error(f"--http wants HOST:PORT, got {args.http!r}")
+    if socket_path is None and http_addr is None:
+        socket_path = ".repro.sock"
+
+    options = CompilerOptions(target=_target_of(args),
+                              verify_ir=args.verify)
+    server = ReproServer(options,
+                         socket_path=socket_path,
+                         http_addr=http_addr,
+                         cache_dir=args.cache_dir,
+                         jobs=args.jobs,
+                         max_queue=args.max_queue,
+                         request_timeout=args.timeout)
+    return server.run()
+
+
+def repl_main(argv) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
+        parents=[common_parser()],
         description="Compile-and-go REPL for the S-1 Lisp compiler "
-                    "reproduction.  (See also: python -m repro batch "
-                    "--help, python -m repro fuzz --help.)")
+                    "reproduction.  (See also: python -m repro batch / "
+                    "fuzz / serve / client, each with --help.)")
     parser.add_argument(
         "--diagnostics-json", metavar="PATH", default=None,
         help="write per-compilation phase timings, rule-fire counters, and "
              "warnings to PATH (JSON) when the session ends")
-    parser.add_argument(
-        "--trace", metavar="PATH", default=None,
-        help="write a Chrome trace-event JSON of the session (open in "
-             "Perfetto / chrome://tracing) when it ends")
-    parser.add_argument(
-        "--metrics", metavar="PATH", default=None,
-        help="write a Prometheus text metrics dump when the session ends")
-    parser.add_argument(
-        "--verify", action="store_true",
-        help="run the phase-boundary IR sanitizer (repro.verify) after "
-             "every compiler phase of every entry")
     args = parser.parse_args(argv)
 
     print("repro: the S-1 Lisp compiler reproduction "
           "(:quit to leave, :prelude for the library)")
     repl = Repl(CompilerOptions(transcript=True, trace_rewrites=True,
-                                verify_ir=args.verify))
+                                verify_ir=args.verify,
+                                target=_target_of(args),
+                                cache=args.cache_dir))
     try:
         while True:
             try:
@@ -369,6 +444,25 @@ def main(argv=None) -> int:
             repl.dump_trace(args.trace)
         if args.metrics:
             repl.dump_metrics(args.metrics)
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] in SUBCOMMANDS:
+        name, rest = argv[0], argv[1:]
+    else:
+        name, rest = "repl", argv
+    if name == "batch":
+        return batch_main(rest)
+    if name == "fuzz":
+        return fuzz_main(rest)
+    if name == "serve":
+        return serve_main(rest)
+    if name == "client":
+        from .client import client_main
+
+        return client_main(rest, parents=[common_parser()])
+    return repl_main(rest)
 
 
 if __name__ == "__main__":

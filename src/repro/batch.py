@@ -182,7 +182,8 @@ def _item_label(item: BatchItem) -> str:
 
 def _compile_one(spec: Dict[str, Any], cache_dir: Optional[str],
                  label: str, source: Optional[str],
-                 load_prelude: bool) -> Dict[str, Any]:
+                 load_prelude: bool,
+                 want_diagnostics: bool = True) -> Dict[str, Any]:
     """Worker entry: compile one unit with a fresh Compiler.  Returns a
     plain dict (picklable across the pool boundary)."""
     from .compiler import Compiler
@@ -215,7 +216,13 @@ def _compile_one(spec: Dict[str, Any], cache_dir: Optional[str],
         result["counters"] = dict(diagnostics.counters)
         result["warnings"] = [message.render()
                               for message in diagnostics.warnings]
-        result["diagnostics"] = diagnostics.to_json()
+        # Full diagnostics JSON (phase spans, rewrites) can dwarf the
+        # actual outcome; when nothing downstream wants it (no trace/
+        # metrics export), keep the cross-process payload lean --
+        # compiled artifacts already live in the shared disk cache, so
+        # nothing heavy needs to cross the pool boundary at all.
+        if want_diagnostics:
+            result["diagnostics"] = diagnostics.to_json()
     result["seconds"] = time.perf_counter() - started
     return result
 
@@ -224,13 +231,22 @@ def compile_batch(items: Sequence[BatchItem], *,
                   options: Optional[CompilerOptions] = None,
                   jobs: int = 1,
                   cache_dir: Optional[Union[str, os.PathLike]] = None,
-                  load_prelude: bool = False) -> BatchResult:
+                  load_prelude: bool = False,
+                  server: Optional[str] = None,
+                  want_diagnostics: bool = True) -> BatchResult:
     """Compile *items* (paths or ``(label, source)`` pairs) and merge the
     per-file outcomes deterministically (input order).
 
     *jobs* > 1 runs a process pool with per-worker Compiler instances;
     *cache_dir* (or ``options.cache``) shares one content-addressed store
-    across workers and across runs."""
+    across workers and across runs.  *server* (a daemon address: unix
+    socket path or ``http://host:port``) skips local pools entirely and
+    ships ``(source, request fingerprint)`` to a warm ``repro serve``
+    daemon over *jobs* concurrent connections -- compiled artifacts stay
+    in the daemon's shared cache; only names and counters come back.
+    *want_diagnostics=False* drops the per-file diagnostics JSON from the
+    results (counters and warnings are always kept), keeping the
+    cross-process payload lean when no trace/metrics export needs it."""
     options = options or CompilerOptions()
     spec = _options_spec(options)
     if cache_dir is None and options.cache is not None:
@@ -249,19 +265,31 @@ def compile_batch(items: Sequence[BatchItem], *,
 
     started = time.perf_counter()
     jobs = max(1, int(jobs))
+
+    if server is not None:
+        from .client import compile_units_via_server
+
+        raw_results = compile_units_via_server(
+            units, server, options=options, jobs=jobs,
+            load_prelude=load_prelude)
+        files = [BatchFileResult(**entry) for entry in raw_results]
+        return BatchResult(files=files, jobs=jobs,
+                           seconds=time.perf_counter() - started,
+                           executor="server", cache_dir=cache_dir)
+
     executor_kind = "inline"
     raw: List[Optional[Dict[str, Any]]] = [None] * len(units)
 
     if jobs == 1 or len(units) <= 1:
         for index, (label, source) in enumerate(units):
             raw[index] = _compile_one(spec, cache_dir, label, source,
-                                      load_prelude)
+                                      load_prelude, want_diagnostics)
     else:
         executor_kind, pool = _make_pool(jobs)
         with pool:
             futures = {
                 pool.submit(_compile_one, spec, cache_dir, label, source,
-                            load_prelude): index
+                            load_prelude, want_diagnostics): index
                 for index, (label, source) in enumerate(units)
             }
             for future in concurrent.futures.as_completed(futures):
@@ -283,11 +311,47 @@ def compile_batch(items: Sequence[BatchItem], *,
                        executor=executor_kind, cache_dir=cache_dir)
 
 
+#: Memoized result of the cheap pre-spawn viability probe (None: not yet
+#: probed).  Process-pool viability is a property of the host/sandbox, so
+#: one probe per process is enough.
+_POOL_VIABLE: Optional[bool] = None
+
+
+def process_pool_viable() -> bool:
+    """Whether this host can actually run a process pool, probed *before*
+    paying the pool-spawn cost.
+
+    Restricted sandboxes typically fail at multiprocessing's first
+    semaphore (no /dev/shm) or at fork/spawn itself; probing a SemLock and
+    a Process object costs microseconds, while spawning a full
+    ProcessPoolExecutor only to watch its first task die costs seconds.
+    The result is memoized per process."""
+    global _POOL_VIABLE
+    if _POOL_VIABLE is None:
+        try:
+            import multiprocessing
+
+            context = multiprocessing.get_context()
+            # The pool's call queue needs a working SemLock; this is the
+            # canonical failure point in sandboxes without /dev/shm.
+            context.Semaphore(1)
+            # And it needs to be able to describe a child process at all.
+            context.Process(target=int)
+            _POOL_VIABLE = True
+        except Exception:  # noqa: BLE001 - any failure means "no pool"
+            _POOL_VIABLE = False
+    return _POOL_VIABLE
+
+
 def _make_pool(jobs: int):
     """A process pool when the platform allows it, else a thread pool (the
     result notes which, so reports stay honest about parallelism).  The
-    probe task surfaces platforms where pool creation succeeds but the
-    first spawn fails (restricted sandboxes)."""
+    cheap :func:`process_pool_viable` probe runs first, skipping straight
+    to threads on hosts that cannot spawn; the probe task then surfaces
+    platforms where pool creation succeeds but the first spawn fails."""
+    if not process_pool_viable():
+        return "thread", concurrent.futures.ThreadPoolExecutor(
+            max_workers=jobs)
     try:
         pool = concurrent.futures.ProcessPoolExecutor(max_workers=jobs)
         pool.submit(os.getpid).result(timeout=60)

@@ -40,20 +40,19 @@ from typing import Any, Dict, Iterable, List, Optional, Union
 
 from .machine import CodeObject
 
+# NON_SEMANTIC_OPTION_FIELDS: the declaration lives on the option fields
+# themselves (``repro.options.non_semantic``); re-exported here for callers
+# that historically imported it from this module.  The same declared split
+# feeds the ``repro.api`` wire schema, so the cache key and the service
+# protocol can never disagree about which fields are semantic.
+from .options import NON_SEMANTIC_OPTION_FIELDS  # noqa: F401
+
 #: Bump whenever the pickled payload layout or the key derivation changes;
 #: entries written under another version are treated as misses.
 CACHE_FORMAT_VERSION = 2  # v2: CodeObject grew line_map/source_file
 
 #: Pickle payload envelope tag (a cheap sanity check before trusting data).
 _MAGIC = "repro-cache"
-
-#: CompilerOptions fields that do not affect generated code: they only
-#: control reporting (or configure the cache itself) and must not perturb
-#: the key.  verify_ir belongs here: the sanitizer either passes (the code
-#: is what it would have been anyway) or raises (nothing is cached).
-NON_SEMANTIC_OPTION_FIELDS = frozenset(
-    {"transcript", "transcript_stream", "trace_rewrites", "cache",
-     "verify_ir"})
 
 
 # ---------------------------------------------------------------------------

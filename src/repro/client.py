@@ -1,0 +1,383 @@
+"""Client for the compile daemon: ``repro.api.connect()`` and
+``python -m repro client``.
+
+:class:`ServiceClient` is a small blocking client that speaks the
+versioned JSON schema of :mod:`repro.api` over either transport the
+daemon offers (unix-socket JSON lines or HTTP).  It is what the
+daemon-backed batch path uses: instead of pickling trees into a cold
+process pool, each unit ships ``(source, cache_key)`` to a warm server
+and only names/counters come back -- compiled artifacts stay in the
+shared content-addressed store.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import json
+import os
+import socket
+import time
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .api import API_VERSION
+from .cache import options_fingerprint
+from .errors import ReproError
+from .options import CompilerOptions
+
+
+class ServiceUnavailable(ReproError):
+    """The daemon could not be reached (not running, wrong address, or it
+    hung up mid-request)."""
+
+
+class ServiceError(ReproError):
+    """The daemon answered with an error envelope; carries the structured
+    ``code`` so callers can branch (``busy``, ``timeout``, ...)."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+
+
+def _is_http(address: str) -> bool:
+    return address.startswith("http://") or address.startswith("https://")
+
+
+class ServiceClient:
+    """A blocking client for one daemon address.
+
+    *address* is a unix-socket path or an ``http://host:port`` URL.  Each
+    request opens its own connection, so one client object may be shared
+    freely across threads (the batch path fans out with a thread pool of
+    them)."""
+
+    def __init__(self, address: str, timeout: float = 30.0):
+        self.address = address
+        self.timeout = timeout
+
+    # -- transport ---------------------------------------------------------
+
+    def request_raw(self, request: Mapping[str, Any]) -> Dict[str, Any]:
+        """Send one already-enveloped request object, return the parsed
+        response object (which may be an error envelope)."""
+        if _is_http(self.address):
+            return self._request_http(request)
+        return self._request_socket(request)
+
+    def _request_socket(self, request: Mapping[str, Any]) -> Dict[str, Any]:
+        payload = json.dumps(request).encode("utf-8") + b"\n"
+        try:
+            conn = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            conn.settimeout(self.timeout)
+            conn.connect(self.address)
+        except OSError as err:
+            raise ServiceUnavailable(
+                f"cannot reach daemon at {self.address}: {err}")
+        try:
+            conn.sendall(payload)
+            chunks: List[bytes] = []
+            while True:
+                data = conn.recv(65536)
+                if not data:
+                    break
+                chunks.append(data)
+                if data.endswith(b"\n"):
+                    break
+        except OSError as err:
+            raise ServiceUnavailable(
+                f"daemon at {self.address} hung up: {err}")
+        finally:
+            conn.close()
+        raw = b"".join(chunks)
+        if not raw:
+            raise ServiceUnavailable(
+                f"daemon at {self.address} closed the connection without "
+                f"answering")
+        try:
+            return json.loads(raw)
+        except ValueError as err:
+            raise ServiceUnavailable(
+                f"unparseable response from {self.address}: {err}")
+
+    def _request_http(self, request: Mapping[str, Any]) -> Dict[str, Any]:
+        from http.client import HTTPConnection
+        from urllib.parse import urlparse
+
+        parsed = urlparse(self.address)
+        try:
+            conn = HTTPConnection(parsed.hostname, parsed.port or 80,
+                                  timeout=self.timeout)
+            conn.request("POST", parsed.path or "/",
+                         body=json.dumps(request),
+                         headers={"Content-Type": "application/json"})
+            response = conn.getresponse()
+            raw = response.read()
+        except OSError as err:
+            raise ServiceUnavailable(
+                f"cannot reach daemon at {self.address}: {err}")
+        finally:
+            try:
+                conn.close()
+            except Exception:  # noqa: BLE001 - best-effort close
+                pass
+        try:
+            return json.loads(raw)
+        except ValueError as err:
+            raise ServiceUnavailable(
+                f"unparseable response from {self.address}: {err}")
+
+    def request(self, op: str, **params: Any) -> Dict[str, Any]:
+        """Send one *op* with *params*; returns the response payload on
+        success, raises :class:`ServiceError` on an error envelope."""
+        envelope: Dict[str, Any] = {"api": API_VERSION, "op": op}
+        envelope.update(params)
+        response = self.request_raw(envelope)
+        if not response.get("ok", False):
+            error = response.get("error") or {}
+            raise ServiceError(error.get("code", "unknown"),
+                               error.get("message", "unknown error"))
+        return response
+
+    # -- the operations ----------------------------------------------------
+
+    def ping(self) -> Dict[str, Any]:
+        return self.request("ping")
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request("stats")
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self.request("shutdown")
+
+    def compile(self, source: str, *, name: str = "*toplevel*",
+                prelude: bool = False,
+                options: Optional[Mapping[str, Any]] = None,
+                cache_key: Optional[str] = None,
+                listing: bool = False,
+                diagnostics: bool = False) -> Dict[str, Any]:
+        params: Dict[str, Any] = {"source": source, "name": name}
+        if prelude:
+            params["prelude"] = True
+        if options:
+            params["options"] = dict(options)
+        if cache_key is not None:
+            params["cache_key"] = cache_key
+        if listing:
+            params["listing"] = True
+        if diagnostics:
+            params["diagnostics"] = True
+        return self.request("compile", **params)
+
+    def wait_ready(self, timeout: float = 10.0,
+                   interval: float = 0.05) -> bool:
+        """Poll ping until the daemon answers (used right after spawning
+        one); returns False if it never did within *timeout*."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            try:
+                self.ping()
+                return True
+            except (ServiceUnavailable, ServiceError):
+                time.sleep(interval)
+        return False
+
+
+def _request_with_busy_retry(client: ServiceClient, op: str,
+                             params: Mapping[str, Any]) -> Dict[str, Any]:
+    """Send *op*, backing off and retrying on the daemon's structured
+    ``busy`` response until the client timeout is spent (backpressure is a
+    flow-control signal, not a failure, for a batch driver)."""
+    deadline = time.monotonic() + client.timeout
+    delay = 0.05
+    while True:
+        try:
+            return client.request(op, **dict(params))
+        except ServiceError as err:
+            if err.code != "busy" or time.monotonic() + delay > deadline:
+                raise
+            time.sleep(delay)
+            delay = min(delay * 2, 1.0)
+
+
+def compile_units_via_server(
+        units: Sequence[Tuple[str, Optional[str]]],
+        server: str, *,
+        options: Optional[CompilerOptions] = None,
+        jobs: int = 1,
+        load_prelude: bool = False,
+        timeout: float = 120.0,
+        units_per_request: Optional[int] = None) -> List[Dict[str, Any]]:
+    """The daemon-backed batch engine: ship every ``(label, source)`` unit
+    (source read from *label* when None) to the warm server, results in
+    input order.
+
+    Units travel in chunks (batch wire ops, a handful of round trips
+    instead of one per file) over *jobs* concurrent connections, and every
+    unit carries a client-computed fingerprint -- exact source + semantic
+    options, cheap to hash -- so a warm daemon answers repeats straight
+    from its response cache.  Returns one ``BatchFileResult``-shaped dict
+    per unit."""
+    options = options or CompilerOptions()
+    client = ServiceClient(server, timeout=timeout)
+    # The response-cache key is opaque to the server, so the batch path
+    # hashes the raw text instead of paying api.request_fingerprint's
+    # canonicalizing parse per unit; the semantic-options part is computed
+    # once for the whole batch.
+    options_part = options_fingerprint(options)
+
+    def unit_key(source: str) -> str:
+        import hashlib
+
+        digest = hashlib.sha256()
+        digest.update(options_part.encode("utf-8"))
+        digest.update(f":prelude={bool(load_prelude)}:".encode("utf-8"))
+        digest.update(source.encode("utf-8"))
+        return "req-" + digest.hexdigest()
+
+    def error_entry(label: str, err: Exception,
+                    seconds: float = 0.0) -> Dict[str, Any]:
+        return {"path": label, "status": "error", "defined": [],
+                "seconds": seconds,
+                "error": f"{type(err).__name__}: {err}",
+                "counters": {}, "warnings": [], "pid": 0,
+                "diagnostics": None}
+
+    results: List[Optional[Dict[str, Any]]] = [None] * len(units)
+    ready: List[Tuple[int, str, str]] = []
+    for index, (label, source) in enumerate(units):
+        if source is None:
+            try:
+                with open(label, "r", encoding="utf-8") as handle:
+                    source = handle.read()
+            except OSError as err:
+                results[index] = error_entry(label, err)
+                continue
+        ready.append((index, label, source))
+
+    jobs = max(1, int(jobs))
+    if units_per_request is None:
+        # A few requests per connection: amortize the per-request round
+        # trip while keeping requests small enough that per-request
+        # timeouts and the daemon's queue accounting stay meaningful.
+        units_per_request = max(1, -(-len(ready) // (jobs * 4)))
+    chunks = [ready[at:at + units_per_request]
+              for at in range(0, len(ready), units_per_request)]
+
+    def send_chunk(chunk: List[Tuple[int, str, str]]) -> None:
+        payload = [{"label": label, "source": source,
+                    "cache_key": unit_key(source)}
+                   for _, label, source in chunk]
+        started = time.perf_counter()
+        try:
+            response = _request_with_busy_retry(
+                client, "batch", {"units": payload,
+                                  "prelude": load_prelude})
+        except (ReproError, OSError) as err:
+            seconds = (time.perf_counter() - started) / len(chunk)
+            for index, label, _ in chunk:
+                results[index] = error_entry(label, err, seconds)
+            return
+        files = response.get("files", [])
+        for position, (index, label, _) in enumerate(chunk):
+            if position >= len(files):
+                results[index] = error_entry(
+                    label, ServiceError("short-response",
+                                        "server returned no result for "
+                                        "this unit"))
+                continue
+            entry = files[position]
+            results[index] = {
+                "path": label,
+                "status": entry.get("status", "error"),
+                "defined": list(entry.get("defined", [])),
+                "seconds": float(entry.get("seconds", 0.0)),
+                "error": entry.get("error"),
+                "counters": dict(entry.get("counters", {})),
+                "warnings": list(entry.get("warnings", [])),
+                "pid": 0,
+                "diagnostics": None,
+            }
+
+    if jobs == 1 or len(chunks) <= 1:
+        for chunk in chunks:
+            send_chunk(chunk)
+    else:
+        with concurrent.futures.ThreadPoolExecutor(
+                max_workers=jobs) as pool:
+            for future in [pool.submit(send_chunk, chunk)
+                           for chunk in chunks]:
+                future.result()
+    return [entry for entry in results if entry is not None]
+
+
+def client_main(argv: Sequence[str], parents=()) -> int:
+    """``python -m repro client``: poke a running daemon.
+
+    With FILEs: daemon-backed batch compile (one request per file,
+    ``--jobs`` concurrent connections).  Without: ``--ping`` / ``--stats``
+    / ``--shutdown``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro client",
+        parents=list(parents),
+        description="Talk to a running compile daemon (python -m repro "
+                    "serve) over its unix socket or HTTP address.")
+    parser.add_argument("files", nargs="*", metavar="FILE",
+                        help="Lisp source files to compile on the daemon")
+    parser.add_argument("--server", default=None, metavar="ADDR",
+                        help="daemon address: unix socket path or "
+                             "http://host:port (default: "
+                             "$REPRO_SERVER or .repro.sock)")
+    parser.add_argument("--ping", action="store_true",
+                        help="check the daemon is alive")
+    parser.add_argument("--stats", action="store_true",
+                        help="print the daemon's stats JSON")
+    parser.add_argument("--shutdown", action="store_true",
+                        help="ask the daemon to drain and exit")
+    parser.add_argument("--prelude", action="store_true",
+                        help="load the bundled standard library before "
+                             "each file")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="also write the batch report as JSON")
+    args = parser.parse_args(list(argv))
+
+    address = args.server or os.environ.get("REPRO_SERVER", ".repro.sock")
+    client = ServiceClient(address)
+    try:
+        if args.ping:
+            response = client.ping()
+            print(f"pong from pid {response.get('pid')} "
+                  f"(repro {response.get('version')}, api v"
+                  f"{response.get('api')})")
+        if args.stats:
+            print(json.dumps(client.stats(), indent=2, default=str))
+        if args.files:
+            from .batch import compile_batch
+
+            options = CompilerOptions(
+                target=(args.target[-1] if getattr(args, "target", None)
+                        else "s1"))
+            result = compile_batch(
+                args.files, options=options,
+                jobs=getattr(args, "jobs", 1) or 1,
+                server=address, load_prelude=args.prelude)
+            print(result.report())
+            if args.json:
+                with open(args.json, "w", encoding="utf-8") as handle:
+                    json.dump(result.to_json(), handle, indent=2)
+            if result.error_count:
+                return 1
+        if args.shutdown:
+            client.shutdown()
+            print("daemon draining")
+        if not (args.ping or args.stats or args.files or args.shutdown):
+            parser.error("nothing to do: give FILEs or one of "
+                         "--ping/--stats/--shutdown")
+    except ServiceUnavailable as err:
+        print(f"error: {err}")
+        return 2
+    except ServiceError as err:
+        print(f"error [{err.code}]: {err}")
+        return 1
+    return 0

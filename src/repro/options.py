@@ -4,75 +4,98 @@ The paper stresses that whole phases are optional ("Like the source-level
 optimization phase, its use is completely optional, for it only affects the
 efficiency of the resulting code").  Every experiment ablation in
 EXPERIMENTS.md flips one of these flags.
+
+Every field is declared either **semantic** (it changes the generated
+code, so it must perturb the content-addressed cache key and it may be
+overridden over the service wire protocol) or **non-semantic** (it only
+controls reporting, verification, or the cache itself).  The declaration
+lives on the dataclass field's ``metadata`` and is projected into
+:data:`SEMANTIC_OPTION_FIELDS` / :data:`NON_SEMANTIC_OPTION_FIELDS` --
+the single source of truth consumed by both :func:`repro.cache.cache_key`
+and the ``repro.api`` wire schema.  A field added without an explicit
+declaration defaults to semantic, which is the safe direction (an
+unnecessary cache-key perturbation costs a miss; a missing one would
+serve wrong code).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, fields
+
+
+def semantic(default):
+    """A field that affects the generated code: part of the cache key and
+    overridable through the service wire schema."""
+    return field(default=default, metadata={"semantic": True})
+
+
+def non_semantic(default):
+    """A field that cannot change the generated code: excluded from the
+    cache key (reporting, verification, and cache plumbing only)."""
+    return field(default=default, metadata={"semantic": False})
 
 
 @dataclass
 class CompilerOptions:
     # --- source-level optimization (Section 5) ---
-    optimize: bool = True                  # master switch for the meta-evaluator
-    max_passes: int = 20                   # fixpoint iteration bound
-    optimizer_fuel: int = 2000             # total rule-firing bound (guards
+    optimize: bool = semantic(True)        # master switch for the meta-evaluator
+    max_passes: int = semantic(20)         # fixpoint iteration bound
+    optimizer_fuel: int = semantic(2000)   # total rule-firing bound (guards
                                            # against self-expanding forms)
-    enable_beta: bool = True               # the three beta-conversion rules
-    enable_procedure_integration: bool = True
-    enable_constant_folding: bool = True   # compile-time expression evaluation
-    enable_if_distribution: bool = True    # (if (if x y z) v w) transformation
-    enable_dead_code: bool = True          # constant-predicate if/caseq
-    enable_assoc_commut: bool = True       # re-association + identity elimination
-    enable_argument_reversal: bool = True  # constants first (CONSIDER-REVERSING)
-    enable_sin_to_sinc: bool = True        # machine-inspired sin$f -> sinc$f
-    enable_type_specialization: bool = False  # generic ops -> typed ops (extension)
-    substitution_size_limit: int = 2       # copied-code bound for duplicating substitution
-    integration_size_limit: int = 40       # complexity bound for multi-use integration
+    enable_beta: bool = semantic(True)     # the three beta-conversion rules
+    enable_procedure_integration: bool = semantic(True)
+    enable_constant_folding: bool = semantic(True)   # compile-time evaluation
+    enable_if_distribution: bool = semantic(True)    # (if (if x y z) v w)
+    enable_dead_code: bool = semantic(True)          # constant-predicate if/caseq
+    enable_assoc_commut: bool = semantic(True)       # re-association + identities
+    enable_argument_reversal: bool = semantic(True)  # constants first
+    enable_sin_to_sinc: bool = semantic(True)        # sin$f -> sinc$f
+    enable_type_specialization: bool = semantic(False)  # generic -> typed ops
+    substitution_size_limit: int = semantic(2)   # copied-code bound
+    integration_size_limit: int = semantic(40)   # multi-use integration bound
 
     # --- global procedure integration (block compilation; the paper's
     #     loop-unrolling remark in Section 5) ---
-    enable_global_integration: bool = False  # inline known defuns at call sites
-    global_integration_limit: int = 30       # complexity bound for inlining
-    self_unroll_depth: int = 0                # times a fn may inline itself
-                                              # ("achieves loop unrolling")
+    enable_global_integration: bool = semantic(False)  # inline known defuns
+    global_integration_limit: int = semantic(30)       # inlining bound
+    self_unroll_depth: int = semantic(0)       # times a fn may inline itself
+                                               # ("achieves loop unrolling")
 
     # --- common subexpression elimination (Section 4.3; optional phase) ---
-    enable_cse: bool = False               # off by default, like the paper
-    cse_min_complexity: int = 3
+    enable_cse: bool = semantic(False)     # off by default, like the paper
+    cse_min_complexity: int = semantic(3)
 
     # --- machine-dependent annotation (Section 6) ---
-    enable_representation_analysis: bool = True
-    enable_pdl_numbers: bool = True
-    enable_special_caching: bool = True
-    enable_closure_analysis: bool = True
+    enable_representation_analysis: bool = semantic(True)
+    enable_pdl_numbers: bool = semantic(True)
+    enable_special_caching: bool = semantic(True)
+    enable_closure_analysis: bool = semantic(True)
 
     # --- codegen / allocator ---
-    target: str = "s1"                     # "s1" | "vax" | "pdp10" (retargeting)
-    enable_tnbind: bool = True             # False: naive stack-slot allocation
-    enable_peephole: bool = False          # linear-block packing (Section 4.5;
-                                           # the paper had none -- extension)
-    enable_tail_calls: bool = True         # False: every call pushes a frame (P6 ablation)
-    registers_available: int = 32
+    target: str = semantic("s1")           # "s1" | "vax" | "pdp10"
+    enable_tnbind: bool = semantic(True)   # False: naive stack-slot allocation
+    enable_peephole: bool = semantic(False)  # linear-block packing (Section 4.5;
+                                             # the paper had none -- extension)
+    enable_tail_calls: bool = semantic(True)  # False: every call pushes a frame
+    registers_available: int = semantic(32)
 
     # --- verification (repro.verify) ---
-    verify_ir: bool = False                # run the phase-boundary sanitizer
-                                           # after every Table 1 phase; any
-                                           # violation raises VerificationError
+    # Non-semantic: the sanitizer either passes (the code is what it would
+    # have been anyway) or raises (nothing is cached).
+    verify_ir: bool = non_semantic(False)
 
     # --- diagnostics ---
-    transcript: bool = False               # record optimizer transcript entries
-    transcript_stream: object = None       # file-like; None keeps entries only
-    trace_rewrites: bool = False           # capture whole-function before/after
-                                           # source per rewrite (repro.trace);
-                                           # off by default: each firing costs
-                                           # one extra back-translation
+    transcript: bool = non_semantic(False)   # record optimizer transcript
+    transcript_stream: object = non_semantic(None)  # file-like; None keeps
+                                                    # entries only
+    trace_rewrites: bool = non_semantic(False)  # whole-function before/after
+                                                # source per rewrite (costly)
 
     # --- compilation cache (repro.cache) ---
     # None (off), a directory path (memory LRU + on-disk store rooted
     # there), or a repro.cache.CompilationCache instance (possibly shared
-    # between compilers).  Presentation-only: never part of the cache key.
-    cache: object = None
+    # between compilers).  Plumbing-only: never part of the cache key.
+    cache: object = non_semantic(None)
 
     def __post_init__(self) -> None:
         # Fail at option-construction time, not deep inside codegen: an
@@ -80,6 +103,21 @@ class CompilerOptions:
         from .target.machines import get_target
 
         get_target(self.target)
+
+
+def _field_is_semantic(f) -> bool:
+    return bool(f.metadata.get("semantic", True))
+
+
+#: Every CompilerOptions field that affects generated code, by name.
+#: ``repro.cache`` hashes exactly these; the ``repro.api`` wire schema
+#: accepts overrides for exactly these.
+SEMANTIC_OPTION_FIELDS = frozenset(
+    f.name for f in fields(CompilerOptions) if _field_is_semantic(f))
+
+#: The complement: reporting/verification/cache plumbing.  Never hashed.
+NON_SEMANTIC_OPTION_FIELDS = frozenset(
+    f.name for f in fields(CompilerOptions) if not _field_is_semantic(f))
 
 
 DEFAULT_OPTIONS = CompilerOptions()

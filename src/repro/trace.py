@@ -138,26 +138,55 @@ def _escape_label(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
 
+def new_metric_totals() -> Dict[str, Any]:
+    """An empty running-totals accumulator for
+    :func:`merge_diagnostics_totals` / :func:`prometheus_from_totals`.
+    The compile daemon keeps one of these alive for its whole run instead
+    of retaining every compilation's diagnostics."""
+    return {"compilations": 0, "phase_seconds": {}, "rule_fires": {},
+            "counters": {}}
+
+
+def merge_diagnostics_totals(totals: Dict[str, Any],
+                             diagnostics: Any) -> Dict[str, Any]:
+    """Fold one compilation's diagnostics (object or ``to_json()`` dict)
+    into a running *totals* accumulator; returns *totals*."""
+    data = _as_json(diagnostics)
+    totals["compilations"] += 1
+    phase_seconds = totals["phase_seconds"]
+    for record in data.get("phases", ()):
+        phase = record["phase"]
+        phase_seconds[phase] = phase_seconds.get(phase, 0.0) \
+            + record.get("duration_s", 0.0)
+    rule_fires = totals["rule_fires"]
+    for rule, count in data.get("rule_fires", {}).items():
+        rule_fires[rule] = rule_fires.get(rule, 0) + count
+    counters = totals["counters"]
+    for counter, value in data.get("counters", {}).items():
+        counters[counter] = counters.get(counter, 0) + value
+    return totals
+
+
 def prometheus_metrics(diagnostics_list: Sequence[Any],
                        profile: Optional[Mapping[str, Any]] = None) -> str:
     """Render phase seconds, rule firings, counters (summed over the given
     compilations), plus optional machine-profile gauges, in the Prometheus
     text exposition format."""
-    phase_seconds: Dict[str, float] = {}
-    rule_fires: Dict[str, int] = {}
-    counters: Dict[str, int] = {}
-    compilations = 0
+    totals = new_metric_totals()
     for diagnostics in diagnostics_list:
-        data = _as_json(diagnostics)
-        compilations += 1
-        for record in data.get("phases", ()):
-            phase = record["phase"]
-            phase_seconds[phase] = phase_seconds.get(phase, 0.0) \
-                + record.get("duration_s", 0.0)
-        for rule, count in data.get("rule_fires", {}).items():
-            rule_fires[rule] = rule_fires.get(rule, 0) + count
-        for counter, value in data.get("counters", {}).items():
-            counters[counter] = counters.get(counter, 0) + value
+        merge_diagnostics_totals(totals, diagnostics)
+    return prometheus_from_totals(totals, profile)
+
+
+def prometheus_from_totals(totals: Mapping[str, Any],
+                           profile: Optional[Mapping[str, Any]] = None
+                           ) -> str:
+    """Render an already-aggregated totals accumulator (see
+    :func:`new_metric_totals`) in the Prometheus text format."""
+    phase_seconds = totals["phase_seconds"]
+    rule_fires = totals["rule_fires"]
+    counters = totals["counters"]
+    compilations = totals["compilations"]
     lines = [
         "# HELP repro_compilations_total Compilations measured in this dump.",
         "# TYPE repro_compilations_total counter",

@@ -1,0 +1,530 @@
+"""Tests for the compile daemon (repro.serve) and its client
+(repro.client): wire round trips over both transports, backpressure,
+timeouts, graceful shutdown, and concurrent shared-disk-cache access."""
+
+import asyncio
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.api import API_VERSION, request_fingerprint
+from repro.batch import compile_batch
+from repro.client import ServiceClient, ServiceError, ServiceUnavailable
+from repro.options import CompilerOptions
+from repro.serve import ReproServer
+
+
+class RunningServer:
+    """Run one ReproServer on a private event loop in a daemon thread."""
+
+    def __init__(self, server: ReproServer):
+        self.server = server
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        asyncio.run(self._main())
+
+    async def _main(self):
+        await self.server.start()
+        self._ready.set()
+        await self.server._stop_event.wait()
+
+    def start(self):
+        self._thread.start()
+        assert self._ready.wait(10), "server never came up"
+        return self
+
+    def stop(self, timeout=30.0):
+        loop = self.server._loop
+        if loop is not None and not loop.is_closed():
+            try:
+                future = asyncio.run_coroutine_threadsafe(
+                    self.server.shutdown(), loop)
+                future.result(timeout=timeout)
+            except RuntimeError:
+                pass  # loop already closing: shutdown ran elsewhere
+        self._thread.join(timeout=timeout)
+
+
+class SlowServer(ReproServer):
+    """Holds every queued op for `delay` seconds (backpressure tests)."""
+
+    delay = 0.25
+
+    def _execute(self, op, params):
+        time.sleep(self.delay)
+        return super()._execute(op, params)
+
+
+@pytest.fixture
+def server_factory(tmp_path):
+    running = []
+
+    def make(server_cls=ReproServer, options=None, **kwargs):
+        kwargs.setdefault("socket_path",
+                          str(tmp_path / f"daemon{len(running)}.sock"))
+        server = server_cls(options or CompilerOptions(), **kwargs)
+        handle = RunningServer(server).start()
+        running.append(handle)
+        return handle
+
+    yield make
+    for handle in running:
+        handle.stop()
+
+
+def _raw_socket_request(path, payload: bytes) -> dict:
+    conn = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    conn.settimeout(10)
+    conn.connect(path)
+    try:
+        conn.sendall(payload)
+        chunks = []
+        while True:
+            data = conn.recv(65536)
+            if not data:
+                break
+            chunks.append(data)
+            if data.endswith(b"\n"):
+                break
+    finally:
+        conn.close()
+    return json.loads(b"".join(chunks))
+
+
+class TestSocketTransport:
+    def test_ping(self, server_factory):
+        handle = server_factory()
+        client = ServiceClient(handle.server.socket_path)
+        response = client.ping()
+        assert response["pong"] is True
+        assert response["api"] == API_VERSION
+
+    def test_compile_round_trip(self, server_factory):
+        handle = server_factory()
+        client = ServiceClient(handle.server.socket_path)
+        response = client.compile("(defun inc (x) (+ x 1))", listing=True)
+        assert response["defined"] == ["inc"]
+        assert "inc" in response["listing"]
+
+    def test_response_cache_on_repeat(self, server_factory):
+        handle = server_factory(jobs=1)
+        client = ServiceClient(handle.server.socket_path)
+        source = "(defun inc (x) (+ x 1))"
+        key = request_fingerprint(source, handle.server.options)
+        first = client.compile(source, cache_key=key)
+        assert "served_from" not in first
+        second = client.compile(source, cache_key=key)
+        assert second["served_from"] == "response-cache"
+        assert second["counters"]["response_cache_hits"] >= 1
+        assert second["defined"] == first["defined"]
+
+    def test_unknown_api_version_is_structured(self, server_factory):
+        handle = server_factory()
+        client = ServiceClient(handle.server.socket_path)
+        response = client.request_raw({"api": 99, "op": "ping"})
+        assert response["ok"] is False
+        assert response["error"]["code"] == "unsupported-api-version"
+
+    def test_unknown_op(self, server_factory):
+        handle = server_factory()
+        client = ServiceClient(handle.server.socket_path)
+        with pytest.raises(ServiceError) as err:
+            client.request("frobnicate")
+        assert err.value.code == "unknown-op"
+
+    def test_bad_json_line(self, server_factory):
+        handle = server_factory()
+        response = _raw_socket_request(handle.server.socket_path,
+                                       b"this is not json\n")
+        assert response["ok"] is False
+        assert response["error"]["code"] == "bad-json"
+
+    def test_compile_error_is_enveloped(self, server_factory):
+        handle = server_factory()
+        client = ServiceClient(handle.server.socket_path)
+        with pytest.raises(ServiceError) as err:
+            client.compile("(defun broken (")
+        assert err.value.code == "internal-error"
+
+    def test_many_requests_per_connection(self, server_factory):
+        handle = server_factory()
+        conn = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        conn.settimeout(10)
+        conn.connect(handle.server.socket_path)
+        try:
+            reader = conn.makefile("rb")
+            for index in range(3):
+                request = {"api": API_VERSION, "op": "compile",
+                           "source": f"(defun f{index} () {index})"}
+                conn.sendall(json.dumps(request).encode() + b"\n")
+                response = json.loads(reader.readline())
+                assert response["ok"] is True
+                assert response["defined"] == [f"f{index}"]
+        finally:
+            conn.close()
+
+    def test_stats_shape(self, server_factory):
+        handle = server_factory(max_queue=3, jobs=2)
+        client = ServiceClient(handle.server.socket_path)
+        client.compile("(defun f () 1)")
+        stats = client.stats()
+        assert stats["jobs"] == 2
+        assert stats["max_queue"] == 3
+        assert stats["draining"] is False
+        assert stats["requests"].get("compile", 0) >= 1
+        assert 0.0 <= stats["cache_hit_ratio"] <= 1.0
+
+
+class TestBackpressure:
+    def test_busy_never_hang(self, server_factory):
+        handle = server_factory(server_cls=SlowServer, jobs=1, max_queue=1)
+        path = handle.server.socket_path
+        codes = []
+        lock = threading.Lock()
+
+        def one(index):
+            client = ServiceClient(path, timeout=15)
+            try:
+                client.compile(f"(defun g{index} () {index})")
+                outcome = "ok"
+            except ServiceError as err:
+                outcome = err.code
+            with lock:
+                codes.append(outcome)
+
+        threads = [threading.Thread(target=one, args=(i,))
+                   for i in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        # Every request got an answer (no hangs, no crashes): some ran,
+        # the overflow got an immediate structured busy.
+        assert len(codes) == 6
+        assert codes.count("ok") >= 1
+        assert codes.count("busy") >= 1
+        assert set(codes) <= {"ok", "busy"}
+        assert handle.server.metrics.busy >= 1
+
+    def test_monitoring_bypasses_full_queue(self, server_factory):
+        handle = server_factory(server_cls=SlowServer, jobs=1, max_queue=1)
+        path = handle.server.socket_path
+        started = [threading.Thread(
+            target=lambda i=i: self._swallow(path, i)) for i in range(3)]
+        for thread in started:
+            thread.start()
+        time.sleep(0.05)  # let the queue fill
+        # ping and stats must answer inline even while saturated.
+        client = ServiceClient(path, timeout=2)
+        assert client.ping()["pong"] is True
+        assert client.stats()["in_flight"] + client.stats()["queue_depth"] \
+            >= 0
+        for thread in started:
+            thread.join(timeout=30)
+
+    @staticmethod
+    def _swallow(path, index):
+        try:
+            ServiceClient(path, timeout=15).compile(
+                f"(defun s{index} () {index})")
+        except ServiceError:
+            pass
+
+    def test_request_timeout(self, server_factory):
+        handle = server_factory(server_cls=SlowServer, jobs=1,
+                                request_timeout=0.05)
+        client = ServiceClient(handle.server.socket_path, timeout=10)
+        with pytest.raises(ServiceError) as err:
+            client.compile("(defun slow () 1)")
+        assert err.value.code == "timeout"
+        assert handle.server.metrics.timeouts >= 1
+
+
+class TestShutdown:
+    def test_needs_a_listener(self):
+        with pytest.raises(ValueError):
+            ReproServer(CompilerOptions())
+
+    def test_graceful_drain_completes_in_flight(self, server_factory):
+        handle = server_factory(server_cls=SlowServer, jobs=1)
+        path = handle.server.socket_path
+        outcome = {}
+
+        def slow_compile():
+            client = ServiceClient(path, timeout=15)
+            try:
+                outcome["response"] = client.compile("(defun d () 1)")
+            except Exception as err:  # noqa: BLE001 - recorded for assert
+                outcome["error"] = err
+
+        worker = threading.Thread(target=slow_compile)
+        worker.start()
+        time.sleep(0.05)  # request is in flight now
+        handle.stop()     # drains before tearing down
+        worker.join(timeout=30)
+        assert "error" not in outcome, outcome.get("error")
+        assert outcome["response"]["defined"] == ["d"]
+        # And the daemon really is gone afterwards.
+        with pytest.raises(ServiceUnavailable):
+            ServiceClient(path, timeout=1).ping()
+
+    def test_shutdown_op(self, server_factory):
+        handle = server_factory()
+        client = ServiceClient(handle.server.socket_path)
+        response = client.shutdown()
+        assert response["draining"] is True
+        handle._thread.join(timeout=30)
+        assert not handle._thread.is_alive()
+        with pytest.raises(ServiceUnavailable):
+            ServiceClient(handle.server.socket_path, timeout=1).ping()
+
+
+class TestSharedDiskCache:
+    def test_many_clients_one_daemon(self, server_factory, tmp_path):
+        store = tmp_path / "store"
+        handle = server_factory(jobs=4, max_queue=64,
+                                cache_dir=str(store))
+        path = handle.server.socket_path
+        sources = [f"(defun c{index} (x) (+ x {index}))"
+                   for index in range(4)]
+        errors = []
+        lock = threading.Lock()
+
+        def hammer(worker):
+            client = ServiceClient(path, timeout=30)
+            for round_number in range(3):
+                for source in sources:
+                    try:
+                        response = client.compile(source)
+                        assert response["defined"]
+                    except Exception as err:  # noqa: BLE001
+                        with lock:
+                            errors.append((worker, round_number, err))
+
+        threads = [threading.Thread(target=hammer, args=(i,))
+                   for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors, errors[:3]
+        # Hit/miss accounting stayed consistent across every worker: the
+        # same 4 bodies were compiled 96 times, so probes = hits + misses
+        # and the overwhelming majority were hits.
+        totals = handle.server.metrics.diagnostics_totals["counters"]
+        hits = totals.get("cache_hits", 0)
+        misses = totals.get("cache_misses", 0)
+        assert hits + misses == 8 * 3 * len(sources)
+        assert hits > misses
+        assert handle.server.metrics.cache_hit_ratio() > 0.5
+        # The disk layer survived the concurrent atomic-replace traffic
+        # and warms a brand-new daemon immediately.
+        second = server_factory(jobs=1, cache_dir=str(store))
+        client = ServiceClient(second.server.socket_path)
+        client.compile(sources[0])
+        totals = second.server.metrics.diagnostics_totals["counters"]
+        assert totals.get("cache_hits", 0) >= 1
+        assert totals.get("cache_misses", 0) == 0
+
+
+class TestHttpTransport:
+    @pytest.fixture
+    def http_server(self, server_factory):
+        handle = server_factory(socket_path=None,
+                                http_addr=("127.0.0.1", 0))
+        port = handle.server.http_port
+        assert port
+        return handle, f"http://127.0.0.1:{port}"
+
+    def test_post_compile(self, http_server):
+        _, url = http_server
+        client = ServiceClient(url)
+        response = client.compile("(defun inc (x) (+ x 1))")
+        assert response["defined"] == ["inc"]
+
+    def _get(self, url, path):
+        from http.client import HTTPConnection
+        from urllib.parse import urlparse
+
+        parsed = urlparse(url)
+        conn = HTTPConnection(parsed.hostname, parsed.port, timeout=10)
+        try:
+            conn.request("GET", path)
+            response = conn.getresponse()
+            return response.status, response.read().decode()
+        finally:
+            conn.close()
+
+    def test_healthz(self, http_server):
+        _, url = http_server
+        status, body = self._get(url, "/healthz")
+        assert status == 200
+        assert json.loads(body) == {"ok": True, "api": API_VERSION}
+
+    def test_metrics_document(self, http_server):
+        handle, url = http_server
+        ServiceClient(url).compile("(defun m (x) (* x x))")
+        status, body = self._get(url, "/metrics")
+        assert status == 200
+        assert "repro_server_uptime_seconds" in body
+        assert "repro_server_queue_depth 0" in body
+        assert "repro_server_in_flight 0" in body
+        assert 'repro_server_requests_total{op="compile"} 1' in body
+        assert 'repro_server_request_seconds_bucket{op="compile",le="+Inf"}' \
+            in body
+        assert "repro_server_cache_hit_ratio" in body
+        # the compiler's own exporter rides along, fed by running totals
+        assert "repro_compilations_total 1" in body
+        assert "repro_phase_seconds_total" in body
+
+    def test_unknown_api_version_is_400(self, http_server):
+        _, url = http_server
+        from http.client import HTTPConnection
+        from urllib.parse import urlparse
+
+        parsed = urlparse(url)
+        conn = HTTPConnection(parsed.hostname, parsed.port, timeout=10)
+        try:
+            conn.request("POST", "/", body=json.dumps(
+                {"api": 99, "op": "ping"}))
+            response = conn.getresponse()
+            assert response.status == 400
+            payload = json.loads(response.read())
+            assert payload["error"]["code"] == "unsupported-api-version"
+        finally:
+            conn.close()
+
+    def test_other_methods_rejected(self, http_server):
+        _, url = http_server
+        from http.client import HTTPConnection
+        from urllib.parse import urlparse
+
+        parsed = urlparse(url)
+        conn = HTTPConnection(parsed.hostname, parsed.port, timeout=10)
+        try:
+            conn.request("PUT", "/")
+            assert conn.getresponse().status == 405
+        finally:
+            conn.close()
+
+
+class TestDaemonBackedBatch:
+    def test_compile_batch_via_server(self, server_factory, tmp_path):
+        # jobs=1 keeps one worker thread, so the repeat below is
+        # guaranteed to land on the thread whose response cache is warm.
+        handle = server_factory(jobs=1, max_queue=32,
+                                cache_dir=str(tmp_path / "store"))
+        paths = []
+        for index in range(4):
+            path = tmp_path / f"unit{index}.lisp"
+            path.write_text(f"(defun b{index} (x) (+ x {index}))")
+            paths.append(str(path))
+        result = compile_batch(paths, server=handle.server.socket_path,
+                               jobs=2)
+        assert result.executor == "server"
+        assert result.error_count == 0
+        assert [f.defined for f in result.files] \
+            == [[f"b{index}"] for index in range(4)]
+        # A repeat of the same workload is answered from the daemon's
+        # response cache: the client-computed fingerprint travels with
+        # each request.
+        again = compile_batch(paths, server=handle.server.socket_path,
+                              jobs=1)
+        assert again.error_count == 0
+        assert again.counters().get("response_cache_hits", 0) >= 1
+
+    def test_batch_reports_per_file_errors(self, server_factory, tmp_path):
+        handle = server_factory()
+        good = tmp_path / "good.lisp"
+        good.write_text("(defun ok () 1)")
+        result = compile_batch(
+            [str(good), str(tmp_path / "missing.lisp")],
+            server=handle.server.socket_path)
+        assert result.files[0].ok
+        assert not result.files[1].ok
+        assert "missing" in result.files[1].path
+
+    def test_unreachable_server_is_per_file_error(self, tmp_path):
+        good = tmp_path / "good.lisp"
+        good.write_text("(defun ok () 1)")
+        result = compile_batch([str(good)],
+                               server=str(tmp_path / "nothing.sock"))
+        assert result.error_count == 1
+        assert "ServiceUnavailable" in result.files[0].error
+
+
+class TestClientCli:
+    def test_ping(self, server_factory, capsys):
+        from repro.__main__ import main
+
+        handle = server_factory()
+        code = main(["client", "--server", handle.server.socket_path,
+                     "--ping"])
+        assert code == 0
+        assert "pong" in capsys.readouterr().out
+
+    def test_compile_files(self, server_factory, tmp_path, capsys):
+        from repro.__main__ import main
+
+        handle = server_factory()
+        path = tmp_path / "cli.lisp"
+        path.write_text("(defun cli-f (x) x)")
+        code = main(["client", str(path),
+                     "--server", handle.server.socket_path])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 ok / 0 failed" in out
+        assert "(server)" in out
+
+    def test_no_daemon_exits_2(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        code = main(["client", "--ping",
+                     "--server", str(tmp_path / "absent.sock")])
+        assert code == 2
+        assert "error" in capsys.readouterr().out
+
+    def test_shutdown_flag(self, server_factory, capsys):
+        from repro.__main__ import main
+
+        handle = server_factory()
+        code = main(["client", "--server", handle.server.socket_path,
+                     "--shutdown"])
+        assert code == 0
+        assert "draining" in capsys.readouterr().out
+        handle._thread.join(timeout=30)
+        assert not handle._thread.is_alive()
+
+
+class TestServeCli:
+    def test_serve_and_client_subcommands_listed(self):
+        from repro.__main__ import SUBCOMMANDS
+
+        assert set(SUBCOMMANDS) == {"repl", "batch", "fuzz", "serve",
+                                    "client"}
+
+    def test_serve_help_mentions_shared_flags(self, capsys):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["serve", "--help"])
+        out = capsys.readouterr().out
+        for flag in ("--cache-dir", "--jobs", "--max-queue", "--socket",
+                     "--http", "--target", "--verify"):
+            assert flag in out
+
+    def test_every_subcommand_shares_the_common_flags(self, capsys):
+        from repro.__main__ import main
+
+        for subcommand in ("batch", "fuzz", "serve", "client"):
+            with pytest.raises(SystemExit):
+                main([subcommand, "--help"])
+            out = capsys.readouterr().out
+            for flag in ("--cache-dir", "--trace", "--metrics",
+                         "--verify", "--target", "--jobs"):
+                assert flag in out, (subcommand, flag)
