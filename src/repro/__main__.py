@@ -384,6 +384,12 @@ def serve_main(argv) -> int:
     parser.add_argument("--timeout", type=float, default=120.0,
                         metavar="SECONDS",
                         help="per-request timeout (default 120)")
+    parser.add_argument("--max-request-bytes", type=int,
+                        default=None, metavar="N",
+                        help="largest accepted request (socket line or "
+                             "HTTP body; default 64 MiB); oversized "
+                             "requests get a structured too-large / "
+                             "413 answer")
     args = parser.parse_args(argv)
 
     socket_path = args.socket
@@ -399,13 +405,17 @@ def serve_main(argv) -> int:
 
     options = CompilerOptions(target=_target_of(args),
                               verify_ir=args.verify)
+    extra = {}
+    if args.max_request_bytes is not None:
+        extra["max_request_bytes"] = args.max_request_bytes
     server = ReproServer(options,
                          socket_path=socket_path,
                          http_addr=http_addr,
                          cache_dir=args.cache_dir,
                          jobs=args.jobs,
                          max_queue=args.max_queue,
-                         request_timeout=args.timeout)
+                         request_timeout=args.timeout,
+                         **extra)
     return server.run()
 
 

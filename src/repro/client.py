@@ -19,7 +19,7 @@ import socket
 import time
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from .api import API_VERSION
+from .api import API_VERSION, options_to_wire
 from .cache import options_fingerprint
 from .errors import ReproError
 from .options import CompilerOptions
@@ -224,6 +224,11 @@ def compile_units_via_server(
     # canonicalizing parse per unit; the semantic-options part is computed
     # once for the whole batch.
     options_part = options_fingerprint(options)
+    # The daemon compiles with ITS defaults unless the request pins the
+    # semantic options, so ship the full declared-semantic set with every
+    # chunk -- otherwise `--target vax` against an s1-defaulted daemon
+    # would silently compile for the wrong machine.
+    wire_options = options_to_wire(options)
 
     def unit_key(source: str) -> str:
         import hashlib
@@ -271,6 +276,7 @@ def compile_units_via_server(
         try:
             response = _request_with_busy_retry(
                 client, "batch", {"units": payload,
+                                  "options": wire_options,
                                   "prelude": load_prelude})
         except (ReproError, OSError) as err:
             seconds = (time.perf_counter() - started) / len(chunk)

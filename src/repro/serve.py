@@ -57,6 +57,31 @@ from .trace import merge_diagnostics_totals, new_metric_totals, \
 LATENCY_BUCKETS = (0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
                    1.0, 2.5, 5.0, 10.0)
 
+#: Default cap on one request's wire size (socket line or HTTP body).
+#: asyncio streams default to a 64 KiB limit, far below a realistic
+#: source file; this is also the bound the HTTP handler enforces on
+#: Content-Length so a client cannot make the daemon buffer arbitrary
+#: amounts of memory.
+DEFAULT_MAX_REQUEST_BYTES = 64 * 1024 * 1024
+
+
+def _socket_answers(path: str, timeout: float = 0.5) -> bool:
+    """True when something accepts connections on the unix socket *path*
+    -- distinguishes a live daemon (refuse to steal its address) from a
+    stale socket file left by a crash (safe to unlink)."""
+    import socket as _socket
+
+    probe = _socket.socket(_socket.AF_UNIX, _socket.SOCK_STREAM)
+    probe.settimeout(timeout)
+    try:
+        probe.connect(path)
+    except OSError:
+        return False
+    else:
+        return True
+    finally:
+        probe.close()
+
 
 class ServerMetrics:
     """Thread-safe counters/gauges/histograms for one server, rendered in
@@ -186,12 +211,21 @@ class _WorkerState:
         self.responses: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
         self.response_cache_size = max(0, int(response_cache_size))
 
-    def cached_response(self, key: Optional[str]
+    def cached_response(self, key: Optional[str], *,
+                        want_diagnostics: bool = False
                         ) -> Optional[Dict[str, Any]]:
+        """Cached entries always carry diagnostics (the worker compiles
+        with them unconditionally); they are stripped per-request here, so
+        a requester asking for diagnostics never gets a cached response
+        without them.  A legacy entry lacking them forces a recompile."""
         if key is None or key not in self.responses:
             return None
-        self.responses.move_to_end(key)
         response = dict(self.responses[key])
+        if want_diagnostics and "diagnostics" not in response:
+            return None
+        self.responses.move_to_end(key)
+        if not want_diagnostics:
+            response.pop("diagnostics", None)
         counters = dict(response.get("counters", {}))
         counters["response_cache_hits"] = \
             counters.get("response_cache_hits", 0) + 1
@@ -221,7 +255,8 @@ class ReproServer:
                  jobs: int = 1,
                  max_queue: int = 8,
                  request_timeout: float = 120.0,
-                 response_cache_size: int = 128):
+                 response_cache_size: int = 128,
+                 max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES):
         if socket_path is None and http_addr is None:
             raise ValueError("serve needs a unix socket path and/or an "
                              "HTTP address to listen on")
@@ -233,6 +268,7 @@ class ReproServer:
         self.max_queue = max(0, int(max_queue))
         self.request_timeout = request_timeout
         self.response_cache_size = response_cache_size
+        self.max_request_bytes = max(1024, int(max_request_bytes))
         self.metrics = ServerMetrics()
         # One monitoring-only service for ping/stats (no compiles run on
         # it, so answering inline from the event loop is safe and cheap).
@@ -272,22 +308,25 @@ class ReproServer:
             if not isinstance(request_key, str):
                 request_key = None
             if op == "compile":
-                cached = worker.cached_response(request_key)
+                want = bool(params.get("diagnostics", False))
+                cached = worker.cached_response(request_key,
+                                                want_diagnostics=want)
                 if cached is not None:
                     return ok_response(op, cached)
                 params = {k: v for k, v in params.items()
                           if k != "cache_key"}
                 # Always collect diagnostics worker-side: /metrics is fed
-                # from them; strip from the response unless asked.
-                want = bool(params.get("diagnostics", False))
+                # from them, and the response cache keeps them so a later
+                # requester may ask; strip from the response unless asked.
                 params = dict(params, diagnostics=True)
                 payload = worker.service.handle_op(op, params)
-                diagnostics = payload.pop("diagnostics", None)
+                diagnostics = payload.get("diagnostics")
                 if diagnostics is not None:
                     self.metrics.merge_diagnostics(diagnostics)
-                    if want:
-                        payload["diagnostics"] = diagnostics
                 worker.remember_response(request_key, payload)
+                if not want:
+                    payload = {k: v for k, v in payload.items()
+                               if k != "diagnostics"}
                 return ok_response(op, payload)
             if op == "batch":
                 return ok_response(op, self._execute_batch(worker, params))
@@ -334,11 +373,16 @@ class ReproServer:
                               "error": f"{type(err).__name__}: {err}"})
                 continue
             payload = result.to_json()
-            diagnostics = payload.pop("diagnostics", None)
+            diagnostics = payload.get("diagnostics")
             if diagnostics is not None:
                 self.metrics.merge_diagnostics(diagnostics)
+            # Remember the full payload (diagnostics included) so a later
+            # compile op on the same key can ask for them; batch entries
+            # themselves never carry per-unit diagnostics.
             worker.remember_response(key, payload)
-            files.append({"path": label, "status": "ok", **payload})
+            slim = {k: v for k, v in payload.items()
+                    if k != "diagnostics"}
+            files.append({"path": label, "status": "ok", **slim})
         ok = sum(1 for entry in files if entry["status"] == "ok")
         return {"files": files, "ok": ok, "errors": len(files) - ok}
 
@@ -442,7 +486,24 @@ class ReproServer:
             while True:
                 try:
                     line = await reader.readline()
-                except (ConnectionResetError, asyncio.LimitOverrunError):
+                except ConnectionResetError:
+                    break
+                except ValueError:
+                    # readline() reports a stream-limit overrun as
+                    # ValueError (not LimitOverrunError); the buffered
+                    # data is unusable, so answer structurally and drop
+                    # the connection.
+                    response = error_response(ApiError(
+                        "too-large",
+                        f"request line exceeds the server's "
+                        f"{self.max_request_bytes} byte limit"))
+                    try:
+                        writer.write(
+                            json.dumps(response).encode("utf-8") + b"\n")
+                        await writer.drain()
+                    except (ConnectionResetError, BrokenPipeError,
+                            OSError):
+                        pass
                     break
                 if not line:
                     break
@@ -515,7 +576,19 @@ class ReproServer:
                 length = int(headers.get("content-length", "0"))
             except ValueError:
                 length = 0
-            body = await reader.readexactly(length) if length else b""
+            length = max(0, length)
+            if length > self.max_request_bytes:
+                body = json.dumps(error_response(ApiError(
+                    "too-large",
+                    f"request body of {length} bytes exceeds the "
+                    f"server's {self.max_request_bytes} byte limit")))
+                await self._http_reply(writer, 413, "application/json",
+                                       body.encode("utf-8") + b"\n")
+                return
+            try:
+                body = await reader.readexactly(length) if length else b""
+            except (asyncio.IncompleteReadError, ConnectionResetError):
+                return
             try:
                 request = json.loads(body or b"null")
             except ValueError as err:
@@ -541,7 +614,8 @@ class ReproServer:
     async def _http_reply(self, writer: asyncio.StreamWriter, status: int,
                           content_type: str, body: bytes) -> None:
         reason = {200: "OK", 400: "Bad Request",
-                  405: "Method Not Allowed"}.get(status, "OK")
+                  405: "Method Not Allowed",
+                  413: "Payload Too Large"}.get(status, "OK")
         head = (f"HTTP/1.1 {status} {reason}\r\n"
                 f"Content-Type: {content_type}\r\n"
                 f"Content-Length: {len(body)}\r\n"
@@ -560,14 +634,23 @@ class ReproServer:
             max_workers=self.jobs, thread_name_prefix="repro-serve")
         if self.socket_path is not None:
             if os.path.exists(self.socket_path):
-                os.unlink(self.socket_path)
+                if _socket_answers(self.socket_path):
+                    raise ReproError(
+                        f"a daemon is already listening on "
+                        f"{self.socket_path}; shut it down first "
+                        f"(python -m repro client --server "
+                        f"{self.socket_path} --shutdown) or pick "
+                        f"another --socket")
+                os.unlink(self.socket_path)      # stale leftover
             server = await asyncio.start_unix_server(
-                self._handle_socket, path=self.socket_path)
+                self._handle_socket, path=self.socket_path,
+                limit=self.max_request_bytes)
             self._servers.append(server)
         if self.http_addr is not None:
             host, port = self.http_addr
             server = await asyncio.start_server(
-                self._handle_http, host=host, port=port)
+                self._handle_http, host=host, port=port,
+                limit=self.max_request_bytes)
             self._servers.append(server)
 
     @property
@@ -651,5 +734,8 @@ class ReproServer:
             asyncio.run(self.serve_until_stopped())
         except KeyboardInterrupt:
             pass
+        except ReproError as err:
+            print(f"repro serve: error: {err}", flush=True)
+            return 1
         print("repro serve: drained and stopped", flush=True)
         return 0

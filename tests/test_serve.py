@@ -168,6 +168,40 @@ class TestSocketTransport:
         finally:
             conn.close()
 
+    def test_large_source_over_socket(self, server_factory):
+        # The asyncio default stream limit is 64 KiB; a realistically
+        # sized source file must still travel over the socket transport.
+        handle = server_factory()
+        client = ServiceClient(handle.server.socket_path)
+        source = '(defun big () "' + "a" * 200_000 + '")'
+        response = client.compile(source)
+        assert response["defined"] == ["big"]
+
+    def test_oversized_request_is_structured_error(self, server_factory):
+        handle = server_factory(max_request_bytes=4096)
+        response = _raw_socket_request(handle.server.socket_path,
+                                       b"x" * 10_000 + b"\n")
+        assert response["ok"] is False
+        assert response["error"]["code"] == "too-large"
+
+    def test_cached_response_still_serves_diagnostics(self, server_factory):
+        # A diagnostics-wanting client must never get a cached response
+        # without them, whoever populated the cache first.
+        handle = server_factory(jobs=1)
+        client = ServiceClient(handle.server.socket_path)
+        source = "(defun inc (x) (+ x 1))"
+        key = request_fingerprint(source, handle.server.options)
+        plain = client.compile(source, cache_key=key)
+        assert "diagnostics" not in plain
+        with_diags = client.compile(source, cache_key=key,
+                                    diagnostics=True)
+        assert with_diags["served_from"] == "response-cache"
+        assert with_diags["diagnostics"] is not None
+        # ... and a later plain request still gets a slim response.
+        plain_again = client.compile(source, cache_key=key)
+        assert plain_again["served_from"] == "response-cache"
+        assert "diagnostics" not in plain_again
+
     def test_stats_shape(self, server_factory):
         handle = server_factory(max_queue=3, jobs=2)
         client = ServiceClient(handle.server.socket_path)
@@ -332,6 +366,28 @@ class TestSharedDiskCache:
         assert totals.get("cache_misses", 0) == 0
 
 
+class TestSocketOwnership:
+    def test_refuses_to_steal_live_socket(self, server_factory):
+        from repro.errors import ReproError
+
+        handle = server_factory()
+        assert ServiceClient(handle.server.socket_path).ping()["pong"]
+        second = ReproServer(CompilerOptions(),
+                             socket_path=handle.server.socket_path)
+        with pytest.raises(ReproError, match="already listening"):
+            asyncio.run(second.start())
+        # the live daemon kept its address
+        assert ServiceClient(handle.server.socket_path).ping()["pong"]
+
+    def test_stale_socket_is_replaced(self, server_factory, tmp_path):
+        path = tmp_path / "stale.sock"
+        leftover = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        leftover.bind(str(path))
+        leftover.close()  # file remains, nothing accepts: a crash relic
+        handle = server_factory(socket_path=str(path))
+        assert ServiceClient(handle.server.socket_path).ping()["pong"]
+
+
 class TestHttpTransport:
     @pytest.fixture
     def http_server(self, server_factory):
@@ -399,6 +455,23 @@ class TestHttpTransport:
         finally:
             conn.close()
 
+    def test_oversized_body_is_413(self, server_factory):
+        from http.client import HTTPConnection
+
+        handle = server_factory(socket_path=None,
+                                http_addr=("127.0.0.1", 0),
+                                max_request_bytes=2048)
+        conn = HTTPConnection("127.0.0.1", handle.server.http_port,
+                              timeout=10)
+        try:
+            conn.request("POST", "/", body=b"x" * 10_000)
+            response = conn.getresponse()
+            assert response.status == 413
+            payload = json.loads(response.read())
+            assert payload["error"]["code"] == "too-large"
+        finally:
+            conn.close()
+
     def test_other_methods_rejected(self, http_server):
         _, url = http_server
         from http.client import HTTPConnection
@@ -437,6 +510,38 @@ class TestDaemonBackedBatch:
                               jobs=1)
         assert again.error_count == 0
         assert again.counters().get("response_cache_hits", 0) >= 1
+
+    def test_client_options_reach_the_daemon(self, server_factory,
+                                             tmp_path):
+        # The daemon compiles with ITS defaults unless the request pins
+        # the semantic options: a `batch --server --target vax` against
+        # an s1-defaulted daemon must ship the full semantic set.
+        from repro.client import compile_units_via_server
+        from repro.options import SEMANTIC_OPTION_FIELDS
+
+        class RecordingServer(ReproServer):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                self.seen = []
+
+            def _execute(self, op, params):
+                self.seen.append((op, dict(params)))
+                return super()._execute(op, params)
+
+        handle = server_factory(server_cls=RecordingServer)
+        results = compile_units_via_server(
+            [("unit.lisp", "(defun v (x) (+ x 1))")],
+            handle.server.socket_path,
+            options=CompilerOptions(target="vax"))
+        assert results[0]["status"] == "ok"
+        batches = [params for op, params in handle.server.seen
+                   if op == "batch"]
+        assert batches, "no batch op reached the daemon"
+        wire = batches[0].get("options")
+        assert wire is not None
+        assert wire["target"] == "vax"
+        # every declared-semantic field is pinned, not just the changed one
+        assert set(wire) == set(SEMANTIC_OPTION_FIELDS)
 
     def test_batch_reports_per_file_errors(self, server_factory, tmp_path):
         handle = server_factory()
