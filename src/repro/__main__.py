@@ -1,9 +1,9 @@
 """The CLI: ``python -m repro [repl|batch|fuzz|serve|client]``.
 
 Every subcommand shares one parent parser (``--cache-dir``, ``--trace``,
-``--metrics``, ``--verify``, ``--target``, ``--jobs``) and drives the
-compiler through the :class:`repro.api.CompilerService` facade -- the same
-object the daemon serves over its wire protocol.
+``--metrics``, ``--verify``, ``--target``, ``--tier``, ``--jobs``) and
+drives the compiler through the :class:`repro.api.CompilerService` facade
+-- the same object the daemon serves over its wire protocol.
 
 ``repl`` (the default) is a compile-and-go REPL: each expression is
 compiled through the full Table 1 pipeline and executed on the simulated
@@ -17,6 +17,7 @@ Meta commands::
     :source NAME      show the optimized (back-translated) source
     :stats            cumulative machine statistics for this session
     :profile          exact execution profile (per-opcode / function / line)
+    :tier [TIER]      show or switch the execution tier (simulate, native)
     :phases           the phase pipeline of the last compilation
     :diag             phase timings / rule fires / warnings (last compile)
     :prelude          load the bundled standard library
@@ -60,7 +61,7 @@ from typing import Any, Dict, List, Optional
 from .api import CompilerService
 from .datum import Cons, sym
 from .errors import ReproError
-from .machine import Machine
+from .machine import Machine, TIERS
 from .options import CompilerOptions
 from .reader import read_all, write_to_string
 
@@ -90,6 +91,11 @@ def common_parser(jobs_default: int = 1) -> argparse.ArgumentParser:
                        help="machine description: s1, vax, pdp10 "
                             "(repeatable for fuzz; last wins elsewhere; "
                             "default s1)")
+    group.add_argument("--tier", action="append", default=None,
+                       metavar="TIER",
+                       help="execution tier: simulate, native "
+                            "(repeatable for fuzz; last wins elsewhere; "
+                            "default simulate)")
     group.add_argument("--jobs", type=int, default=jobs_default,
                        metavar="N",
                        help="workers: pool size (batch/serve) or "
@@ -101,6 +107,11 @@ def common_parser(jobs_default: int = 1) -> argparse.ArgumentParser:
 def _target_of(args: argparse.Namespace, default: str = "s1") -> str:
     targets = getattr(args, "target", None)
     return targets[-1] if targets else default
+
+
+def _tier_of(args: argparse.Namespace, default: str = "simulate") -> str:
+    tiers = getattr(args, "tier", None)
+    return tiers[-1] if tiers else default
 
 
 class Repl:
@@ -212,6 +223,18 @@ class Repl:
             else:
                 self._say(self.machine.profile_report())
             return True
+        if command == ":tier":
+            if len(parts) == 1:
+                self._say(f"tier: {self.compiler.options.tier}")
+            elif parts[1] in TIERS:
+                self.compiler.options.tier = parts[1]
+                if self.machine is not None:
+                    self.machine.tier = parts[1]
+                self._say(f"tier: {parts[1]}")
+            else:
+                self._say(f"unknown tier: {parts[1]} "
+                          f"(choose from {', '.join(TIERS)})")
+            return True
         if command == ":phases":
             self._say(self.compiler.phase_report())
             return True
@@ -292,6 +315,7 @@ def batch_main(argv) -> int:
     args = parser.parse_args(argv)
 
     options = CompilerOptions(target=_target_of(args),
+                              tier=_tier_of(args),
                               trace_rewrites=args.trace_rewrites,
                               verify_ir=args.verify)
     service = CompilerService(options=options)
@@ -348,11 +372,16 @@ def fuzz_main(argv) -> int:
     if unknown:
         parser.error(f"unknown target(s): {', '.join(unknown)} "
                      f"(choose from {', '.join(ALL_TARGETS)})")
+    tiers = tuple(args.tier or TIERS)
+    unknown = [t for t in tiers if t not in TIERS]
+    if unknown:
+        parser.error(f"unknown tier(s): {', '.join(unknown)} "
+                     f"(choose from {', '.join(TIERS)})")
 
     options = CompilerOptions(enable_cse=args.cse,
                               enable_peephole=args.peephole)
     report = run_fuzz(base_seed=args.seed, count=args.count,
-                      targets=targets,
+                      targets=targets, tiers=tiers,
                       verify=not args.no_verify, options=options,
                       max_depth=args.max_depth)
     print(report.render())
@@ -404,6 +433,7 @@ def serve_main(argv) -> int:
         socket_path = ".repro.sock"
 
     options = CompilerOptions(target=_target_of(args),
+                              tier=_tier_of(args),
                               verify_ir=args.verify)
     extra = {}
     if args.max_request_bytes is not None:
@@ -437,6 +467,7 @@ def repl_main(argv) -> int:
     repl = Repl(CompilerOptions(transcript=True, trace_rewrites=True,
                                 verify_ir=args.verify,
                                 target=_target_of(args),
+                                tier=_tier_of(args),
                                 cache=args.cache_dir))
     try:
         while True:

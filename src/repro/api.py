@@ -360,6 +360,7 @@ class CompilerService:
                 "compile_seconds_total": self._compile_seconds,
                 "prelude_warm": self._prelude_warm,
                 "target": self.options.target,
+                "tier": self.options.tier,
             }
         data["cache"] = self.cache.to_json() if self.cache is not None \
             else None

@@ -546,7 +546,8 @@ class Compiler:
 
         machine = Machine(self.program, fuel=fuel,
                           cycle_costs=dict(get_target(self.options.target)
-                                           .cycles))
+                                           .cycles),
+                          tier=self.options.tier)
         for name, value in self.global_values.items():
             machine.define_global(name, value)
         return machine

@@ -129,10 +129,11 @@ class FuzzFailure:
     stage: str      # "interpret" | "compile" | "run" | "differential"
     message: str
     source: str
+    tier: str = "simulate"   # execution tier for run/differential failures
 
     def render(self) -> str:
-        return (f"seed {self.seed} [{self.target}] {self.stage}: "
-                f"{self.message}\n    {self.source}")
+        return (f"seed {self.seed} [{self.target}/{self.tier}] "
+                f"{self.stage}: {self.message}\n    {self.source}")
 
 
 @dataclass
@@ -143,6 +144,7 @@ class FuzzReport:
     count: int
     targets: Tuple[str, ...]
     verify: bool
+    tiers: Tuple[str, ...] = ("simulate",)
     compilations: int = 0
     failures: List[FuzzFailure] = field(default_factory=list)
 
@@ -154,6 +156,7 @@ class FuzzReport:
         lines = [
             f"fuzz: {self.count} program(s) from seed {self.base_seed}, "
             f"targets {'/'.join(self.targets)}, "
+            f"tiers {'/'.join(self.tiers)}, "
             f"verify_ir={'on' if self.verify else 'off'}: "
             f"{self.compilations} compilation(s), "
             f"{len(self.failures)} failure(s)"
@@ -175,24 +178,28 @@ def _interpret(source: str, fn: str, args: Sequence[int]):
 def run_fuzz(base_seed: int = 0, count: int = 50,
              targets: Sequence[str] = ALL_TARGETS, verify: bool = True,
              options=None, max_depth: int = 4,
-             stop_after: Optional[int] = None) -> FuzzReport:
+             stop_after: Optional[int] = None,
+             tiers: Sequence[str] = ("simulate", "native")) -> FuzzReport:
     """Generate *count* programs from *base_seed* and, per target, compile
     them with the phase-boundary sanitizer (unless ``verify=False``) and
-    check compiled results against the reference interpreter.
+    check compiled results against the reference interpreter -- once per
+    execution *tier*, so the default sweep is the three-way differential
+    oracle ``interpreter == simulator == native`` on every program.
 
     *options* is an optional :class:`CompilerOptions` template; target and
     verify_ir are overridden per run.  *stop_after* bounds the number of
     recorded failures (None: check the whole corpus regardless).
     """
     from .compiler import Compiler
-    from .datum import lisp_equal
+    from .datum import lisp_equal, sym
     from .errors import ReproError
     from .options import CompilerOptions
     from .reader.printer import write_to_string
 
     template = options or CompilerOptions()
     report = FuzzReport(base_seed=base_seed, count=count,
-                        targets=tuple(targets), verify=verify)
+                        targets=tuple(targets), verify=verify,
+                        tiers=tuple(tiers))
     for index in range(count):
         seed = base_seed + index
         source, fn, args = generate_program(seed, max_depth=max_depth)
@@ -201,7 +208,7 @@ def run_fuzz(base_seed: int = 0, count: int = 50,
         except ReproError as err:
             report.failures.append(FuzzFailure(
                 seed, "-", "interpret", f"{type(err).__name__}: {err}",
-                source))
+                source, tier="-"))
             continue
         for target in targets:
             run_options = dataclasses.replace(
@@ -213,20 +220,27 @@ def run_fuzz(base_seed: int = 0, count: int = 50,
             except ReproError as err:
                 report.failures.append(FuzzFailure(
                     seed, target, "compile",
-                    f"{type(err).__name__}: {err}", source))
+                    f"{type(err).__name__}: {err}", source, tier="-"))
                 continue
-            try:
-                got = compiler.run(fn, args)
-            except ReproError as err:
-                report.failures.append(FuzzFailure(
-                    seed, target, "run",
-                    f"{type(err).__name__}: {err}", source))
-                continue
-            if not lisp_equal(got, expected):
-                report.failures.append(FuzzFailure(
-                    seed, target, "differential",
-                    f"compiled {write_to_string(got)} != interpreted "
-                    f"{write_to_string(expected)} (args {args})", source))
+            # One compilation, one run per tier: the tiers execute the
+            # same CodeObjects, so any disagreement is an execution bug,
+            # not a compilation difference.
+            for tier in tiers:
+                machine = compiler.machine()
+                machine.tier = tier
+                try:
+                    got = machine.run(sym(fn), list(args))
+                except ReproError as err:
+                    report.failures.append(FuzzFailure(
+                        seed, target, "run",
+                        f"{type(err).__name__}: {err}", source, tier=tier))
+                    continue
+                if not lisp_equal(got, expected):
+                    report.failures.append(FuzzFailure(
+                        seed, target, "differential",
+                        f"compiled {write_to_string(got)} != interpreted "
+                        f"{write_to_string(expected)} (args {args})",
+                        source, tier=tier))
         if stop_after is not None and len(report.failures) >= stop_after:
             break
     return report

@@ -10,6 +10,7 @@ exactly by :class:`Machine`.
 from .cpu import FrameRecord, Machine, MachineProfile, UNBOUND
 from .multi import MultiMachine
 from .heap import Heap
+from .native import NativeBlock, NativeCode, TIERS, translate
 from .isa import (
     CYCLES,
     CodeObject,
@@ -38,8 +39,8 @@ from .values import (
 __all__ = [
     "CYCLES", "Cell", "Closure", "CodeObject", "FrameRecord", "Heap",
     "HeapNumber", "Instruction", "Machine", "MachineProfile", "MultiMachine",
-    "PdlNumber", "PrimitiveFn",
-    "Program", "UNBOUND", "env_slot", "frame_arg", "global_ref", "imm",
-    "is_pointer_value", "is_raw_number", "label_ref", "name_ref",
-    "pointer_to_lisp", "reg", "temp",
+    "NativeBlock", "NativeCode", "PdlNumber", "PrimitiveFn",
+    "Program", "TIERS", "UNBOUND", "env_slot", "frame_arg", "global_ref",
+    "imm", "is_pointer_value", "is_raw_number", "label_ref", "name_ref",
+    "pointer_to_lisp", "reg", "temp", "translate",
 ]

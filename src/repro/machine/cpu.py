@@ -57,6 +57,11 @@ class FrameRecord:
     old_cp: Optional[List[Any]]
     nargs: int
     serial: int
+    #: Native tier only: the caller's continuation NativeBlock at
+    #: (ret_code, ret_pc), stamped by generated CALL code so RET can
+    #: bypass the dispatch loop's block lookup.  Always None for frames
+    #: pushed by the simulator; ignored outside the native tier.
+    ret_block: Any = None
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"#<frame nargs={self.nargs} serial={self.serial}>"
@@ -161,9 +166,18 @@ class Machine:
 
     def __init__(self, program: Program, fuel: int = 50_000_000,
                  gc_threshold: Optional[int] = None,
-                 cycle_costs: Optional[Dict[str, int]] = None):
+                 cycle_costs: Optional[Dict[str, int]] = None,
+                 tier: str = "simulate"):
+        if tier not in ("simulate", "native"):
+            raise MachineError(
+                f"unknown execution tier {tier!r} "
+                "(choose 'simulate' or 'native')")
         self.program = program
         self.fuel = fuel
+        #: Execution engine: "simulate" is the cycle-honest reference
+        #: interpreter; "native" runs blocks translated to Python by
+        #: repro.machine.native (same results, block-granular accounting).
+        self.tier = tier
         # Opcode -> cycle cost; a retargeted compiler passes its
         # MachineDescription's table so the cycle counter models that
         # machine (default: the S-1 model).
@@ -186,6 +200,20 @@ class Machine:
         self._live_serials: set = set()
         self.result: Any = NIL
         self._halted = False
+        # Run-entry snapshot (stack height, fp/tp/cp, catch depth,
+        # specials depth) so a fatal trap can restore a usable machine;
+        # _poisoned marks "this run died mid-flight".
+        self._entry_state: Optional[Tuple] = None
+        self._poisoned = False
+        # Allocation watermark for the automatic-GC trigger: the check
+        # runs only on instructions that actually allocated.
+        self._gc_alloc_mark = 0
+        # Native tier state: id(CodeObject) -> (code, NativeCode) to pin
+        # identity, plus a per-run block-execution counter that stats()
+        # lazily folds into opcode_counts.
+        self._native_cache: Dict[int, Tuple[CodeObject, Any]] = {}
+        self._native_last: Optional[Tuple[CodeObject, Any]] = None
+        self._native_counts: Counter = Counter()
         # statistics
         self.instructions = 0
         self.cycles = 0
@@ -208,8 +236,9 @@ class Machine:
         if fuel is not None:
             self.fuel = fuel
         code = self.program.get(function)
-        entry_state = (len(self.stack), self.fp, self.tp, self.cp,
-                       len(self.catch_stack), self.specials.depth())
+        self._entry_state = (len(self.stack), self.fp, self.tp, self.cp,
+                             len(self.catch_stack), self.specials.depth())
+        self._poisoned = False
         for arg in args:
             self.stack.append(self.lisp_to_pointer(arg))
         self._push_frame(None, 0, len(args))
@@ -222,14 +251,30 @@ class Machine:
             # A trap mid-run leaves frames, catch records, and dynamic
             # bindings behind; restore the entry state so the machine stays
             # usable (the REPL reuses one machine across errors).
-            height, fp, tp, cp, catches, spec_depth = entry_state
+            self._abort_run()
+            raise
+        finally:
+            self._flush_native_counts()
+        return self.machine_to_lisp(self.result)
+
+    def _abort_run(self) -> None:
+        """Restore the entry-state snapshot after a fatal trap and mark
+        the machine halted + poisoned: whatever run was in flight is dead
+        and must not be rescheduled (multi.py checks ``halted``)."""
+        if self._entry_state is not None:
+            height, fp, tp, cp, catches, spec_depth = self._entry_state
             del self.stack[height:]
             self.fp, self.tp, self.cp = fp, tp, cp
             del self.catch_stack[catches:]
             self.specials.pop_to(spec_depth)
-            self._halted = True
-            raise
-        return self.machine_to_lisp(self.result)
+        self._halted = True
+        self._poisoned = True
+
+    @property
+    def poisoned(self) -> bool:
+        """True when the last start()/run() died on a fatal error (the
+        entry state was restored; the result is not meaningful)."""
+        return self._poisoned
 
     def frame_alive(self, serial: int) -> bool:
         return serial in self._live_serials
@@ -255,6 +300,7 @@ class Machine:
         return None if self.profile is None else self.profile.to_json()
 
     def stats(self) -> Dict[str, Any]:
+        self._flush_native_counts()
         return {
             "instructions": self.instructions,
             "cycles": self.cycles,
@@ -341,6 +387,9 @@ class Machine:
     # -- the execution loop -------------------------------------------------------------
 
     def _execute(self) -> None:
+        if self.tier == "native":
+            self._execute_native()
+            return
         while not self._halted:
             self.step_instruction()
 
@@ -375,16 +424,165 @@ class Machine:
                               self.cycles - cycles_before)
         if len(self.stack) > self.max_stack:
             self.max_stack = len(self.stack)
-        if self.gc_threshold is not None \
-                and self.instructions % 64 == 0 \
-                and self.heap.live_count() > self.gc_threshold:
-            self.collect_garbage()
+        if self.gc_threshold is not None:
+            self._maybe_auto_collect()
+
+    def _maybe_auto_collect(self) -> None:
+        """Automatic collection, allocation-watermark keyed: the live-set
+        check runs whenever the heap has allocated since the last check,
+        so a single handler that allocates heavily (RESTCOLLECT, a
+        list-building GENERIC) cannot overshoot gc_threshold between the
+        old every-64-instructions boundaries."""
+        heap = self.heap
+        if heap.alloc_counter != self._gc_alloc_mark:
+            self._gc_alloc_mark = heap.alloc_counter
+            if heap.live_count() > self.gc_threshold:
+                self.collect_garbage()
+
+    # -- the native tier (repro.machine.native) -----------------------------
+
+    def _native_code_for(self, code: CodeObject):
+        """The NativeCode for *code*, translating on first use.  Keyed by
+        id() (CodeObjects are unhashable) with the object pinned in the
+        value so a recycled id cannot alias a dead CodeObject."""
+        cached = self._native_cache.get(id(code))
+        if cached is None or cached[0] is not code:
+            from .native import translate
+
+            cached = (code, translate(code, self.cycle_costs))
+            self._native_cache[id(code)] = cached
+        return cached[1]
+
+    def step_block(self) -> None:
+        """Execute one translated basic block (native tier's unit of
+        progress: fuel, cycles, GC, and the stack high-water mark are
+        all checked at block granularity)."""
+        code = self.code
+        last = self._native_last
+        if last is not None and last[0] is code:
+            native = last[1]
+        else:
+            native = self._native_code_for(code)
+            self._native_last = (code, native)
+        block = native.blocks.get(self.pc)
+        if block is None:
+            if self.pc >= len(code.instructions):
+                raise MachineError(
+                    f"fell off the end of {code.name} at pc={self.pc}")
+            raise MachineError(  # pragma: no cover - translator invariant
+                f"native tier: pc={self.pc} is not a block leader in "
+                f"{code.name}")
+        profile = self.profile
+        if profile is None:
+            block.run(self)
+        else:
+            cycles_before = self.cycles
+            block.run(self)
+            # Block-granular attribution: each instruction gets its static
+            # table cost; dynamic extras (GENERIC primitive cycles) are
+            # charged to the block's last instruction.
+            extra = self.cycles - cycles_before - block.cycles
+            for index, opcode, cycles in block.attributions[:-1]:
+                profile.attribute(code, index, opcode, cycles)
+            index, opcode, cycles = block.attributions[-1]
+            profile.attribute(code, index, opcode, cycles + extra)
+        self._native_counts[block] += 1
+        if len(self.stack) > self.max_stack:
+            self.max_stack = len(self.stack)
+        if self.gc_threshold is not None:
+            self._maybe_auto_collect()
+
+    def _execute_native(self) -> None:
+        if self.profile is not None:
+            # Profiling wants per-instruction attribution: take the
+            # precise (slower) per-block path.
+            step_block = self.step_block
+            while not self._halted:
+                step_block()
+            self._flush_native_counts()
+            return
+        # Hot loop: follow statically chained blocks (run() returns the
+        # successor NativeBlock for intra-code edges) and fall back to a
+        # pc-keyed lookup only at calls/returns/fallbacks.
+        counts = self._native_counts
+        stack = self.stack
+        cache = self._native_cache
+        gc_on = self.gc_threshold is not None
+        max_stack = self.max_stack
+        block = None
+        try:
+            while True:
+                if block is None:
+                    # Dynamic transfer (call/return miss, fallback, or
+                    # halt).  Halting always surfaces here -- HALT and
+                    # the outermost RET both hand back None -- so the
+                    # statically/cache-linked fast path never needs to
+                    # test _halted.
+                    if self._halted:
+                        break
+                    code = self.code
+                    # Straight to the id-keyed cache: a call/return pair
+                    # alternates between two CodeObjects, which defeats
+                    # the single-entry _native_last used by step_block.
+                    entry = cache.get(id(code))
+                    if entry is not None and entry[0] is code:
+                        native = entry[1]
+                    else:
+                        native = self._native_code_for(code)
+                    block = native.blocks.get(self.pc)
+                    if block is None:
+                        if self.pc >= len(code.instructions):
+                            raise MachineError(
+                                f"fell off the end of {code.name} at "
+                                f"pc={self.pc}")
+                        raise MachineError(  # pragma: no cover - invariant
+                            f"native tier: pc={self.pc} is not a block "
+                            f"leader in {code.name}")
+                nxt = block.run(self)
+                counts[block] += 1
+                size = len(stack)
+                if size > max_stack:
+                    max_stack = size
+                if gc_on:
+                    self._maybe_auto_collect()
+                block = nxt
+        finally:
+            if max_stack > self.max_stack:
+                self.max_stack = max_stack
+            self._flush_native_counts()
+
+    def _flush_native_counts(self) -> None:
+        """Fold per-block execution counters into opcode_counts (the
+        native tier bumps one counter per block, not one per opcode)."""
+        if not self._native_counts:
+            return
+        opcode_counts = self.opcode_counts
+        for block, runs in self._native_counts.items():
+            for opcode, count in block.opcodes.items():
+                opcode_counts[opcode] += count * runs
+        self._native_counts.clear()
 
     # -- asynchronous driving (multiprocessor support) ----------------------
 
     def start(self, function: Symbol, args: Sequence[Any]) -> None:
-        """Set up a call without running it; drive with step()/halted."""
+        """Set up a call without running it; drive with step()/halted.
+
+        Statistics are per start(): instructions, cycles, opcode counts,
+        calls, and the stack high-water mark are reset here so two
+        sequential start()/step() runs report independent counts (the
+        same per-call-leak family multi.py's fuel budgeting works
+        around).  run() keeps cumulating across calls -- the REPL's
+        :stats is documented as session-cumulative."""
         code = self.program.get(function)
+        self.instructions = 0
+        self.cycles = 0
+        self.opcode_counts = Counter()
+        self.call_count = 0
+        self.max_stack = 0
+        self._native_counts.clear()
+        self._poisoned = False
+        self._entry_state = (len(self.stack), self.fp, self.tp, self.cp,
+                             len(self.catch_stack), self.specials.depth())
         for arg in args:
             self.stack.append(self.lisp_to_pointer(arg))
         self._push_frame(None, 0, len(args))
@@ -397,11 +595,26 @@ class Machine:
         return self._halted
 
     def step(self, quantum: int = 1) -> bool:
-        """Run up to *quantum* instructions; returns True when halted."""
-        for _ in range(quantum):
-            if self._halted:
-                break
-            self.step_instruction()
+        """Run up to *quantum* instructions (native tier: whole blocks,
+        until at least *quantum* instructions have run); returns True when
+        halted.  A fatal error poisons the machine -- halted, entry state
+        restored -- so a scheduler that catches the error cannot
+        re-schedule a half-stepped run."""
+        try:
+            if self.tier == "native":
+                target = self.instructions + quantum
+                while not self._halted and self.instructions < target:
+                    self.step_block()
+            else:
+                for _ in range(quantum):
+                    if self._halted:
+                        break
+                    self.step_instruction()
+        except Exception:
+            self._abort_run()
+            raise
+        if self._halted:
+            self._flush_native_counts()
         return self._halted
 
     # -- instruction implementations -----------------------------------------------------

@@ -35,18 +35,19 @@ from .isa import Program
 class MultiMachine:
     def __init__(self, program: Program, processors: int = 2,
                  quantum: int = 8, fuel: int = 50_000_000,
-                 gc_threshold: Optional[int] = None):
+                 gc_threshold: Optional[int] = None,
+                 tier: str = "simulate"):
         if processors < 1:
             raise ValueError("need at least one processor")
         self.quantum = quantum
         self.processors: List[Machine] = []
         locks: Dict[Any, int] = {}
-        first = Machine(program, fuel=fuel, gc_threshold=None)
+        first = Machine(program, fuel=fuel, gc_threshold=None, tier=tier)
         first.processor_id = 0
         first.locks = locks
         self.processors.append(first)
         for index in range(1, processors):
-            cpu = Machine(program, fuel=fuel, gc_threshold=None)
+            cpu = Machine(program, fuel=fuel, gc_threshold=None, tier=tier)
             cpu.processor_id = index
             cpu.locks = locks
             cpu.heap = first.heap  # shared heap
@@ -100,29 +101,39 @@ class MultiMachine:
         instructions_at_start = sum(
             cpu.instructions for cpu in self.processors)
         steps_without_progress = 0
-        while active:
-            progressed = False
-            for index in list(active):
-                cpu = self.processors[index]
-                before = cpu.instructions
-                cpu.step(self.quantum)
-                if cpu.instructions != before:
-                    progressed = True
-                if cpu.halted:
-                    self._results[index] = cpu.machine_to_lisp(cpu.result)
-                    active.remove(index)
-            self._maybe_collect()
-            if not progressed:
-                steps_without_progress += 1
-                if steps_without_progress > 10:  # pragma: no cover
-                    raise MachineError("multiprocessor deadlock (all "
-                                       "processors spinning on locks)")
-            else:
-                steps_without_progress = 0
-            spent = sum(cpu.instructions for cpu in self.processors) \
-                - instructions_at_start
-            if spent > self._stall_budget:
-                raise MachineError("multiprocessor fuel exhausted")
+        try:
+            while active:
+                progressed = False
+                for index in list(active):
+                    cpu = self.processors[index]
+                    before = cpu.instructions
+                    cpu.step(self.quantum)
+                    if cpu.instructions != before:
+                        progressed = True
+                    if cpu.halted:
+                        self._results[index] = \
+                            cpu.machine_to_lisp(cpu.result)
+                        active.remove(index)
+                self._maybe_collect()
+                if not progressed:
+                    steps_without_progress += 1
+                    if steps_without_progress > 10:  # pragma: no cover
+                        raise MachineError("multiprocessor deadlock (all "
+                                           "processors spinning on locks)")
+                else:
+                    steps_without_progress = 0
+                spent = sum(cpu.instructions for cpu in self.processors) \
+                    - instructions_at_start
+                if spent > self._stall_budget:
+                    raise MachineError("multiprocessor fuel exhausted")
+        except Exception:
+            # One processor died (fuel, trap, uncaught throw): the others
+            # are mid-task with frames on their stacks.  Abort them too so
+            # every processor is halted and restored -- a later run_tasks
+            # on this MultiMachine starts clean.
+            for index in active:
+                self.processors[index]._abort_run()
+            raise
         return [self._results[i] for i in range(len(tasks))]
 
     def _maybe_collect(self) -> None:

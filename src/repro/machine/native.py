@@ -1,0 +1,813 @@
+"""The native execution tier: CodeObjects translated to Python closures.
+
+The cycle-honest simulator in :mod:`repro.machine.cpu` fetches, decodes,
+and dispatches one :class:`~repro.machine.isa.Instruction` at a time.
+That loop is the hot path of every benchmark, fuzz run, and daemon
+request.  Following the Emacs native-comp playbook ("Bringing GNU Emacs
+to Native Code"), this module adds a second tier that compiles each
+:class:`~repro.machine.isa.CodeObject` into *generated Python*, one
+function per basic block, direct-threaded:
+
+* the instruction stream is split at **leaders** -- index 0, every label
+  target, the index after every terminator (branches, calls, RET, HALT),
+  and every LOCK (which re-dispatches itself to spin);
+* each block becomes one Python function that runs its instructions
+  straight-line with operand addressing resolved at translation time
+  (``regs[3]``, ``stack[_tp + 2]``, inline constants), always assigns
+  ``m.pc``/``m.code`` on exit, and *returns* the successor
+  :class:`NativeBlock` when the edge is static (branch targets and
+  fall-throughs within the same CodeObject) so the dispatch loop can
+  chain block-to-block without a lookup;
+* hot opcodes (moves, raw arithmetic, branches, UNBOX/BOXF/PDLBOX, RET,
+  known calls, GENERIC with a resolved primitive) are emitted inline;
+  everything else falls back to the simulator's own ``_DISPATCH``
+  handlers, so the two tiers share one runtime (heap, frames, catch
+  stack, specials, locks).
+
+Accounting is **block-granular** in this tier (see DESIGN.md): the
+instruction count, fuel check, and static cycle cost are hoisted to
+block entry, and opcode counts are materialized per executed block.
+Totals (``instructions``, ``cycles``) agree exactly with the simulator
+for any run both tiers complete; only *where within a block* fuel runs
+out, GC triggers, and the stack high-water mark is sampled differ.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from fractions import Fraction
+from typing import Any, Callable, Dict, List, Optional
+
+from ..datum import NIL, T
+from ..datum.numbers import lisp_eql
+from ..datum.symbols import sym
+from ..errors import MachineError, WrongTypeError
+from ..primitives import lookup_primitive
+from .cpu import _DISPATCH, FrameRecord, _raw_binary, _raw_unary
+from .isa import (
+    CYCLES,
+    CodeObject,
+    Instruction,
+    RAW_BINARY_OPS,
+    RAW_UNARY_OPS,
+)
+from .values import HeapNumber, PdlNumber, is_raw_number, pointer_to_lisp
+
+#: The execution tiers a Machine can run ("simulate" is the reference).
+TIERS = ("simulate", "native")
+
+#: Opcodes that end a basic block because control may leave it.
+_BRANCHES = {"JMP", "JUMPNIL", "JUMPNNIL", "CMPBR", "EQLBR", "ARGDISPATCH"}
+_CALLS = {"CALL", "KCALL", "CALLF", "TAILCALL", "TAILCALLF", "APPLYF"}
+_TERMINATORS = _BRANCHES | _CALLS | {"RET", "HALT", "LOCK"}
+
+_PY_RELATION = {"lt": "<", "le": "<=", "gt": ">", "ge": ">=",
+                "eq": "==", "ne": "!="}
+
+_INLINE_BINARY = {
+    "ADD": "_x + _y", "FADD": "_x + _y",
+    "SUB": "_x - _y", "FSUB": "_x - _y",
+    "MULT": "_x * _y", "FMULT": "_x * _y",
+    "FMAX": "max(_x, _y)", "FMIN": "min(_x, _y)",
+}
+
+_INLINE_UNARY = {
+    "NEG": "-_x", "FNEG": "-_x", "FABS": "abs(_x)", "FLT": "float(_x)",
+}
+
+#: Two-argument generic primitives whose behaviour on a pair of raw
+#: int/float operands is exactly the Python operator (coerce_pair is the
+#: identity there and normalize_number only touches Fractions), letting
+#: generated code skip the full chain/fold implementation on the hot path.
+_GENERIC_FAST2_ARITH = {"+": "+", "-": "-", "*": "*"}
+_GENERIC_FAST2_CMP = {"=": "==", "<": "<", ">": ">", "<=": "<=", ">=": ">="}
+
+#: One-argument generics with the same property: ``1+``/``1-`` on a raw
+#: int/float are exactly the Python expression (generic_add with an int
+#: literal coerces nothing and normalizes nothing on those types).
+_GENERIC_FAST1 = {"1+": "_a0 + 1", "1-": "_a0 - 1"}
+
+
+def _is_terminator(instruction: Instruction) -> bool:
+    opcode = instruction.opcode
+    if opcode in _TERMINATORS:
+        return True
+    # GENERIC throw unwinds to a catch record: control leaves the block.
+    return (opcode == "GENERIC" and instruction.operands
+            and instruction.operands[0][1] is sym("throw"))
+
+
+# ---------------------------------------------------------------------------
+# runtime slow paths shared by all generated blocks
+
+
+def _need(word: Any, opcode: str) -> None:
+    raise MachineError(
+        f"{opcode}: operand is not a raw machine number: {word!r} "
+        "(representation analysis bug?)")
+
+
+def _rawbin_checked(opcode: str, a: Any, b: Any) -> Any:
+    if not is_raw_number(a):
+        _need(a, opcode)
+    if not is_raw_number(b):
+        _need(b, opcode)
+    return _raw_binary(opcode, a, b)
+
+
+def _rawun_checked(opcode: str, value: Any) -> Any:
+    if not is_raw_number(value):
+        _need(value, opcode)
+    return _raw_unary(opcode, value)
+
+
+def _unbox_slow(word: Any) -> Any:
+    if isinstance(word, PdlNumber):
+        return word.deref()
+    if is_raw_number(word) and isinstance(word, int):
+        return word
+    if isinstance(word, Fraction):
+        return float(word)
+    raise WrongTypeError(f"not a number: {pointer_to_lisp(word)!r}")
+
+
+def _boxf_slow(machine: Any, word: Any) -> Any:
+    if not is_raw_number(word):
+        _need(word, "BOXF")
+    if isinstance(word, int):
+        return word
+    return machine.heap.allocate_number(word)
+
+
+# ---------------------------------------------------------------------------
+# translation
+
+
+class NativeBlock:
+    """One translated basic block plus its static accounting.
+
+    ``run(machine)`` executes the block and returns the successor
+    NativeBlock when control transfers along a static intra-code edge,
+    or ``None`` when the dispatch loop must resolve ``m.code``/``m.pc``
+    itself (calls to other CodeObjects, returns, halts, fallbacks)."""
+
+    __slots__ = ("run", "start", "count", "cycles", "opcodes",
+                 "attributions")
+
+    def __init__(self, run: Callable[[Any], Optional["NativeBlock"]],
+                 start: int, count: int,
+                 cycles: int, opcodes: Dict[str, int],
+                 attributions: List[Any]):
+        self.run = run
+        self.start = start          # leader pc
+        self.count = count          # instructions in the block
+        self.cycles = cycles        # static cycle cost of the block
+        self.opcodes = opcodes      # opcode -> count within the block
+        #: (index, opcode, static cycles) per instruction, for the profiler.
+        self.attributions = attributions
+
+
+class NativeCode:
+    """A CodeObject's translation: block functions keyed by leader pc."""
+
+    __slots__ = ("code", "blocks", "source")
+
+    def __init__(self, code: CodeObject, blocks: Dict[int, NativeBlock],
+                 source: str):
+        self.code = code
+        self.blocks = blocks
+        self.source = source        # generated Python, for debugging
+
+    @property
+    def block_starts(self) -> List[int]:
+        return sorted(self.blocks)
+
+
+def _is_raw(var: str) -> str:
+    return (f"(type({var}) is int or type({var}) is float"
+            f" or type({var}) is complex)")
+
+
+def _imm_raw(operand) -> bool:
+    """Operand is an immediate whose raw-number-ness is decided now."""
+    kind, value = operand
+    return kind == "imm" and (type(value) is int or type(value) is float)
+
+
+class _Translator:
+    def __init__(self, code: CodeObject,
+                 cycle_costs: Optional[Dict[str, int]] = None):
+        self.code = code
+        self.costs = CYCLES if cycle_costs is None else cycle_costs
+        self.ns: Dict[str, Any] = {
+            "MachineError": MachineError,
+            "NIL": NIL,
+            "T": T,
+            "FrameRecord": FrameRecord,
+            "PdlNumber": PdlNumber,
+            "HeapNumber": HeapNumber,
+            "_eql": lisp_eql,
+            "_ptl": pointer_to_lisp,
+            "_need": _need,
+            "_rawbin": _raw_binary,
+            "_rawun": _raw_unary,
+            "_rawbin_checked": _rawbin_checked,
+            "_rawun_checked": _rawun_checked,
+            "_unbox_slow": _unbox_slow,
+            "_boxf_slow": _boxf_slow,
+        }
+        self._kcount = 0
+        self._size = len(code.instructions)
+        # Per-instruction hoist lines (prepended by emit) and per-block
+        # validity of the ``_tp`` / ``_fb`` base-address aliases.
+        self._hoists: List[str] = []
+        self._tp_ok = False
+        self._fb_ok = False
+
+    # -- namespace helpers --------------------------------------------------
+
+    def konst(self, value: Any) -> str:
+        name = f"K{self._kcount}"
+        self._kcount += 1
+        self.ns[name] = value
+        return name
+
+    # -- operand addressing --------------------------------------------------
+
+    def _temp_ref(self, offset: int) -> str:
+        # ``m.tp`` is loop-invariant within a block (only ALLOCTEMPS and
+        # fallback handlers move it, and both re-establish the alias), so
+        # hoist it once per block on first use.
+        if not self._tp_ok:
+            self._hoists.append("_tp = m.tp")
+            self._tp_ok = True
+        return f"stack[_tp + {offset}]"
+
+    def _frame_ref(self, offset: int) -> str:
+        if not self._fb_ok:
+            self._hoists.append("_fb = m.fp - stack[m.fp].nargs")
+            self._fb_ok = True
+        return f"stack[_fb + {offset}]"
+
+    def read(self, operand) -> Optional[str]:
+        kind, value = operand
+        if kind == "reg":
+            return f"regs[{value}]"
+        if kind == "temp":
+            return self._temp_ref(value)
+        if kind == "frame":
+            return self._frame_ref(value)
+        if kind == "imm":
+            if type(value) is int or type(value) is float:
+                return repr(value)
+            return self.konst(value)
+        if kind == "env":
+            return f"m.cp[{value}]"
+        return None
+
+    def write(self, operand, expr: str) -> Optional[str]:
+        kind, value = operand
+        if kind == "reg":
+            return f"regs[{value}] = {expr}"
+        if kind == "temp":
+            return f"{self._temp_ref(value)} = {expr}"
+        if kind == "frame":
+            return f"{self._frame_ref(value)} = {expr}"
+        return None
+
+    def _goto(self, target: int) -> List[str]:
+        """Set pc and transfer to *target*: statically chained when a block
+        starts there (every in-range static target is a leader), else a
+        plain return for the dispatch loop to resolve."""
+        if target < self._size:
+            return [f"m.pc = {target}", f"return B{target}"]
+        return [f"m.pc = {target}", "return"]
+
+    def _push_frame_lines(self, ret_pc: int, nargs: int) -> List[str]:
+        """Machine._push_frame, unrolled into the generated caller.  The
+        frame is stamped with the caller's continuation block (ret_pc is
+        a leader: every call is a terminator) so generated RET can hand
+        control straight back without a dispatch-loop lookup."""
+        ret_block = (f"B{ret_pc}" if ret_pc < self._size else "None")
+        return ["_sn = m._serial + 1",
+                "m._serial = _sn",
+                f"_rec = FrameRecord(m.code, {ret_pc}, m.fp, m.tp, m.cp,"
+                f" {nargs}, _sn, {ret_block})",
+                "m._live_serials.add(_sn)",
+                "stack.append(_rec)",
+                "_fp = len(stack) - 1",
+                "m.fp = _fp",
+                "m.tp = _fp + 1",
+                f"regs[5] = {nargs}",
+                "m.call_count += 1"]
+
+    def _fallback_call(self, instruction: Instruction, index: int) -> str:
+        handler = _DISPATCH.get(instruction.opcode)
+        if handler is None:
+            # Match the simulator: the trap fires when (and only when) the
+            # bad instruction is actually executed.
+            return f"raise MachineError('bad opcode {instruction.opcode}')"
+        hname, iname = f"_h{index}", f"_i{index}"
+        self.ns[hname] = handler
+        self.ns[iname] = instruction
+        return f"{hname}(m, {iname})"
+
+    # -- leaders ------------------------------------------------------------
+
+    def leaders(self) -> List[int]:
+        instructions = self.code.instructions
+        n = len(instructions)
+        leaders = {0}
+        for index in self.code.labels.values():
+            leaders.add(index)
+        for index, instruction in enumerate(instructions):
+            if _is_terminator(instruction):
+                leaders.add(index + 1)
+            if instruction.opcode == "LOCK":
+                # LOCK spins by re-dispatching itself: it must be
+                # addressable as a block of its own.
+                leaders.add(index)
+        return sorted(index for index in leaders if index < n)
+
+    # -- per-instruction emission -------------------------------------------
+
+    def emit(self, index: int) -> List[str]:
+        """Source lines for instruction *index* (relative indent 0),
+        including any base-address hoists its operands require."""
+        self._hoists = []
+        lines = self._emit(index)
+        if self._hoists:
+            lines = self._hoists + lines
+        return lines
+
+    def _emit(self, index: int) -> List[str]:
+        instruction = self.code.instructions[index]
+        op = instruction.opcode
+        ops = instruction.operands
+        konst = self.konst
+        read = self.read
+        write_or_none = self.write
+
+        def fallback():
+            # A full handler may move tp (ARGEXPAND, RESTCOLLECT) or edit
+            # the frame record, so the hoisted aliases die here.
+            self._tp_ok = False
+            self._fb_ok = False
+            return [self._fallback_call(instruction, index)]
+
+        if op == "MOV":
+            src = read(ops[1])
+            stmt = src and write_or_none(ops[0], src)
+            return [stmt] if stmt else fallback()
+
+        if op == "PUSH":
+            src = read(ops[0])
+            return [f"stack.append({src})"] if src else fallback()
+
+        if op == "POP":
+            stmt = write_or_none(ops[0], "stack.pop()")
+            return [stmt] if stmt else fallback()
+
+        if op == "ALLOCTEMPS":
+            count = ops[0][1]
+            lines = ["m.tp = _tp = len(stack)"]
+            self._tp_ok = True
+            if count:
+                lines.append(f"stack.extend({konst((NIL,) * count)})")
+            return lines
+
+        if op == "NOP":
+            return []
+
+        if op == "HALT":
+            return ["m._halted = True", "return"]
+
+        if op == "JMP":
+            return self._goto(self.code.resolve_label(ops[0][1]))
+
+        if op in ("JUMPNIL", "JUMPNNIL"):
+            src = read(ops[0])
+            if src is None:
+                return self._terminator_fallback(instruction, index)
+            target = self.code.resolve_label(ops[1][1])
+            test = "is" if op == "JUMPNIL" else "is not"
+            return ([f"_x = {src}",
+                     "if type(_x) is PdlNumber:",
+                     "    _x = _x.deref()",
+                     f"if _x {test} NIL:"]
+                    + ["    " + line for line in self._goto(target)]
+                    + self._goto(index + 1))
+
+        if op == "CMPBR":
+            rel = ops[0][1]
+            relation = rel if isinstance(rel, str) else rel.name
+            pyop = _PY_RELATION.get(relation)
+            a, b = read(ops[1]), read(ops[2])
+            if pyop is None or a is None or b is None:
+                return self._terminator_fallback(instruction, index)
+            target = self.code.resolve_label(ops[3][1])
+            lines = [f"_x = {a}", f"_y = {b}"]
+            if not _imm_raw(ops[1]):
+                lines += [f"if not {_is_raw('_x')}:",
+                          "    _need(_x, 'CMPBR')"]
+            if not _imm_raw(ops[2]):
+                lines += [f"if not {_is_raw('_y')}:",
+                          "    _need(_y, 'CMPBR')"]
+            return (lines
+                    + [f"if _x {pyop} _y:"]
+                    + ["    " + line for line in self._goto(target)]
+                    + self._goto(index + 1))
+
+        if op == "EQLBR":
+            a, b = read(ops[0]), read(ops[1])
+            if a is None or b is None:
+                return self._terminator_fallback(instruction, index)
+            target = self.code.resolve_label(ops[2][1])
+            return ([f"if _eql(_ptl({a}), _ptl({b})):"]
+                    + ["    " + line for line in self._goto(target)]
+                    + self._goto(index + 1))
+
+        if op == "UNBOX":
+            src = read(ops[1])
+            w = src and write_or_none(ops[0], "_x.value")
+            if not w:
+                return fallback()
+            if ops[1][0] == "imm" and type(ops[1][1]) is int:
+                return [write_or_none(ops[0], repr(ops[1][1]))]
+            return [f"_x = {src}",
+                    "_t = type(_x)",
+                    "if _t is HeapNumber:",
+                    f"    {write_or_none(ops[0], '_x.value')}",
+                    "elif _t is PdlNumber and _x.machine is m "
+                    "and _x.frame_serial in m._live_serials:",
+                    f"    {write_or_none(ops[0], 'stack[_x.address]')}",
+                    "elif _t is int:",
+                    f"    {write_or_none(ops[0], '_x')}",
+                    "else:",
+                    f"    {write_or_none(ops[0], '_unbox_slow(_x)')}"]
+
+        if op == "BOXF":
+            src = read(ops[1])
+            if not (src and write_or_none(ops[0], "_x")):
+                return fallback()
+            if _imm_raw(ops[1]):
+                value = ops[1][1]
+                boxed = (repr(value) if type(value) is int
+                         else f"m.heap.allocate_number({value!r})")
+                return [write_or_none(ops[0], boxed)]
+            return [f"_x = {src}",
+                    "_t = type(_x)",
+                    "if _t is int:",
+                    f"    {write_or_none(ops[0], '_x')}",
+                    "elif _t is float or _t is complex:",
+                    f"    {write_or_none(ops[0], 'm.heap.allocate_number(_x)')}",
+                    "else:",
+                    f"    {write_or_none(ops[0], '_boxf_slow(m, _x)')}"]
+
+        if op == "PDLBOX":
+            src = read(ops[2])
+            slot = ops[1]
+            if not (src and slot[0] == "temp"
+                    and write_or_none(ops[0], "_x")):
+                return fallback()
+            offset = slot[1]
+            slot_ref = self._temp_ref(offset)
+            pdl = f"PdlNumber(m, stack[m.fp].serial, _tp + {offset})"
+            return [f"_x = {src}",
+                    "_t = type(_x)",
+                    "if _t is int:",
+                    f"    {write_or_none(ops[0], '_x')}",
+                    "elif _t is float or _t is complex:",
+                    f"    {slot_ref} = _x",
+                    f"    {write_or_none(ops[0], pdl)}",
+                    "else:",
+                    f"    {self._fallback_call(instruction, index)}"]
+
+        if op == "CERTIFY":
+            src = read(ops[1])
+            stmt = src and write_or_none(ops[0], "_x")
+            if not stmt:
+                return fallback()
+            return [f"_x = {src}",
+                    "if type(_x) is PdlNumber:",
+                    "    _x = m._certify(_x)",
+                    stmt]
+
+        if op in RAW_BINARY_OPS:
+            a, b = read(ops[1]), read(ops[2])
+            if not (a and b and write_or_none(ops[0], "_x")):
+                return fallback()
+            fast = _INLINE_BINARY.get(op, f"_rawbin({op!r}, _x, _y)")
+            slow = f"_rawbin_checked({op!r}, _x, _y)"
+            # Immediates are known raw at translation time, so only the
+            # operands whose type is decided at run time get checked.
+            checks = []
+            if not _imm_raw(ops[1]):
+                checks.append(_is_raw("_x"))
+            if not _imm_raw(ops[2]):
+                checks.append(_is_raw("_y"))
+            lines = [f"_x = {a}", f"_y = {b}"]
+            if not checks:
+                return lines + [write_or_none(ops[0], fast)]
+            return lines + [f"if {' and '.join(checks)}:",
+                            f"    {write_or_none(ops[0], fast)}",
+                            "else:",
+                            f"    {write_or_none(ops[0], slow)}"]
+
+        if op in RAW_UNARY_OPS:
+            src = read(ops[1])
+            if not (src and write_or_none(ops[0], "_x")):
+                return fallback()
+            fast = _INLINE_UNARY.get(op, f"_rawun({op!r}, _x)")
+            slow = f"_rawun_checked({op!r}, _x)"
+            if _imm_raw(ops[1]):
+                return [f"_x = {src}", write_or_none(ops[0], fast)]
+            return [f"_x = {src}",
+                    f"if {_is_raw('_x')}:",
+                    f"    {write_or_none(ops[0], fast)}",
+                    "else:",
+                    f"    {write_or_none(ops[0], slow)}"]
+
+        if op == "ARGEXPAND":
+            # Mirrors Machine._op_argexpand: slide the frame record up to
+            # make room for the missing optional-parameter slots.  Moves
+            # fp/tp, so any hoisted base addresses die here.
+            total = ops[0][1]
+            self._tp_ok = False
+            self._fb_ok = False
+            return ["_rec = stack[m.fp]",
+                    f"_missing = {total} - _rec.nargs",
+                    "if _missing > 0:",
+                    "    _base = m.fp - _rec.nargs",
+                    "    _args = stack[_base:m.fp]",
+                    "    del stack[_base:m.fp + 1]",
+                    "    stack.extend(_args)",
+                    f"    stack.extend([NIL] * _missing)",
+                    f"    _rec.nargs = {total}",
+                    "    stack.append(_rec)",
+                    "    _fp = len(stack) - 1",
+                    "    m.fp = _fp",
+                    "    m.tp = _fp + 1"]
+
+        if op == "ARGCHECK":
+            low, high = ops[0][1], ops[1][1]
+            condition = f"_n < {low}"
+            if high is not None:
+                condition += f" or _n > {high}"
+            return ["_n = regs[5]",
+                    f"if {condition}:",
+                    f"    {self._fallback_call(instruction, index)}"]
+
+        if op == "ARGDISPATCH":
+            lines = ["_n = regs[5]"]
+            for count, label in ops[0][1]:
+                target = self.code.resolve_label(label)
+                if count is None:
+                    lines += self._goto(target)
+                    return lines
+                lines += ([f"if _n == {count}:"]
+                          + ["    " + line for line in self._goto(target)])
+            # No arm matched: the handler raises the arity error.
+            lines += [self._fallback_call(instruction, index), "return"]
+            return lines
+
+        if op in ("CALL", "KCALL"):
+            target, nargs = ops[0], ops[1][1]
+            push = self._push_frame_lines(index + 1, nargs)
+            if target[0] == "global":
+                kname = konst(target[1])
+                # Per-call-site inline cache [callee code, entry block]:
+                # monomorphic call sites skip the dispatch loop's lookup.
+                # Identity-checked, so a redefined function misses and
+                # re-resolves; ns (and thus the cell) is per machine.
+                cell = f"_cs{index}"
+                self.ns[cell] = [None, None]
+                return ([f"_c = m.program.functions.get({kname})",
+                         "if _c is None:",
+                         f"    m.pc = {index + 1}",
+                         f"    {self._fallback_call(instruction, index)}",
+                         "    return"]
+                        + push
+                        + ["m.code = _c",
+                           "m.pc = 0",
+                           f"if _c is {cell}[0]:",
+                           f"    return {cell}[1]",
+                           "_native = m._native_code_for(_c)",
+                           f"{cell}[0] = _c",
+                           f"{cell}[1] = _native.blocks.get(0)",
+                           f"return {cell}[1]"])
+            if target[0] == "label":
+                entry = self.code.resolve_label(target[1])
+                return push + self._goto(entry)
+            return self._terminator_fallback(instruction, index)
+
+        if op == "TAILCALL":
+            target, nargs = ops[0], ops[1][1]
+            high_water = ["_s = len(stack)",
+                          "if _s > m.max_stack:",
+                          "    m.max_stack = _s"]
+            if target[0] == "global":
+                kname = konst(target[1])
+                return ([f"_c = m.program.functions.get({kname})",
+                         "if _c is None:",
+                         f"    m.pc = {index + 1}",
+                         f"    {self._fallback_call(instruction, index)}",
+                         "    return"]
+                        + high_water
+                        + [f"m._replace_frame({nargs})",
+                           "m.cp = None",
+                           "m.code = _c",
+                           "m.pc = 0",
+                           "return"])
+            if target[0] == "label":
+                entry = self.code.resolve_label(target[1])
+                return (high_water
+                        + [f"m._replace_frame({nargs})",
+                           "m.cp = None"]
+                        + self._goto(entry))
+            return self._terminator_fallback(instruction, index)
+
+        if op == "RET":
+            src = read(ops[0])
+            if src is None:
+                return self._terminator_fallback(instruction, index)
+            return [f"_v = {src}",
+                    "if type(_v) is PdlNumber:",
+                    "    _v = m._certify(_v)",
+                    "_s = len(stack)",
+                    "if _s > m.max_stack:",
+                    "    m.max_stack = _s",
+                    "_rec = stack[m.fp]",
+                    "m._live_serials.discard(_rec.serial)",
+                    "del stack[m.fp - _rec.nargs:]",
+                    "m.fp = _rec.old_fp",
+                    "m.tp = _rec.old_tp",
+                    "m.cp = _rec.old_cp",
+                    "_c = _rec.ret_code",
+                    "if _c is None:",
+                    "    m.result = _v",
+                    "    m._halted = True",
+                    "    return",
+                    "m.code = _c",
+                    "m.pc = _rec.ret_pc",
+                    "stack.append(_v)",
+                    # ret_block is this machine's continuation block for
+                    # (ret_code, ret_pc) when the frame was pushed by
+                    # generated code, None when the simulator pushed it
+                    # (the dispatch loop then resolves m.code/m.pc).
+                    "return _rec.ret_block"]
+
+        if op == "GENERIC":
+            name = ops[0][1]
+            if name is sym("throw"):
+                return self._terminator_fallback(instruction, index)
+            primitive = lookup_primitive(name)
+            if primitive is None:
+                return fallback()
+            dst, srcs = ops[1], ops[2:]
+            lines: List[str] = []
+            argnames = []
+            for j, operand in enumerate(srcs):
+                src = read(operand)
+                if src is None:
+                    return fallback()
+                a = f"_a{j}"
+                argnames.append(a)
+                lines.append(f"{a} = {src}")
+                if operand[0] == "imm" and not isinstance(
+                        operand[1], (HeapNumber, PdlNumber)):
+                    continue  # translation-time constant: nothing to unwrap
+                lines.append(f"_t = type({a})")
+                if primitive.safe:
+                    lines += ["if _t is HeapNumber:",
+                              f"    {a} = {a}.value",
+                              "elif _t is PdlNumber:",
+                              f"    {a} = {a}.deref()"]
+                else:
+                    lines += ["if _t is PdlNumber:",
+                              f"    {a} = m._certify({a}).value",
+                              "elif _t is HeapNumber:",
+                              f"    {a} = {a}.value"]
+            if primitive.cycles:
+                lines.append(f"m.cycles += {primitive.cycles}")
+            count = len(argnames)
+            if (primitive.min_args <= count
+                    and (primitive.max_args is None
+                         or count <= primitive.max_args)):
+                # Arity is statically valid: call the implementation
+                # directly, skipping Primitive.apply's per-call check.
+                call = f"{konst(primitive.fn)}({', '.join(argnames)})"
+            else:
+                args = "(" + ", ".join(argnames) \
+                    + ("," if count == 1 else "") + ")"
+                call = f"{konst(primitive)}.apply({args})"
+            arith = _GENERIC_FAST2_ARITH.get(primitive.name)
+            cmp = _GENERIC_FAST2_CMP.get(primitive.name)
+            fast1 = _GENERIC_FAST1.get(primitive.name)
+            if count == 2 and (arith or cmp):
+                guard = ("(type(_a0) is int or type(_a0) is float)"
+                         " and (type(_a1) is int or type(_a1) is float)")
+                expr = (f"_a0 {arith} _a1" if arith
+                        else f"T if _a0 {cmp} _a1 else NIL")
+                lines += [f"if {guard}:",
+                          f"    _r = {expr}",
+                          "else:",
+                          f"    _r = {call}"]
+            elif count == 1 and fast1:
+                lines += ["if type(_a0) is int or type(_a0) is float:",
+                          f"    _r = {fast1}",
+                          "else:",
+                          f"    _r = {call}"]
+            else:
+                lines.append(f"_r = {call}")
+            if primitive.allocates:
+                lines.append("m.heap.adopt(_r)")
+            lines.append("_t = type(_r)")
+            lines.append("if _t is float or _t is complex:")
+            lines.append("    _r = m.heap.allocate_number(_r)")
+            stmt = write_or_none(dst, "_r")
+            if stmt is None:
+                return fallback()
+            lines.append(stmt)
+            return lines
+
+        if _is_terminator(instruction):
+            # CALLF / TAILCALLF / APPLYF / LOCK / GENERIC-throw and any
+            # terminator shape the fast paths above declined.
+            return self._terminator_fallback(instruction, index)
+
+        return fallback()
+
+    def _terminator_fallback(self, instruction: Instruction,
+                             index: int) -> List[str]:
+        # The handler expects the simulator's convention: pc already
+        # advanced past the instruction (CALLF saves it as the return
+        # address, LOCK spins by decrementing it, throw overwrites it).
+        return [f"m.pc = {index + 1}",
+                self._fallback_call(instruction, index),
+                "return"]
+
+    # -- whole-code translation ---------------------------------------------
+
+    def translate(self) -> NativeCode:
+        instructions = self.code.instructions
+        n = len(instructions)
+        starts = self.leaders()
+        module: List[str] = []
+        info = []
+        for position, start in enumerate(starts):
+            end = starts[position + 1] if position + 1 < len(starts) else n
+            count = end - start
+            static = sum(self.costs.get(instructions[k].opcode, 1)
+                         for k in range(start, end))
+            fname = f"_blk_{start}"
+            module.append(f"def {fname}(m):")
+            self._tp_ok = False
+            self._fb_ok = False
+            core: List[str] = []
+            for k in range(start, end):
+                core.extend(self.emit(k))
+            if not _is_terminator(instructions[end - 1]):
+                core += self._goto(end)
+            body = []
+            if any("stack" in line for line in core):
+                body.append("stack = m.stack")
+            if any("regs" in line for line in core):
+                body.append("regs = m.regs")
+            body += [f"_ni = m.instructions + {count}",
+                     "m.instructions = _ni",
+                     "if _ni > m.fuel:",
+                     "    raise MachineError('instruction budget"
+                     " exhausted')"]
+            if static:
+                body.append(f"m.cycles += {static}")
+            body += core
+            for line in body:
+                module.append("    " + line)
+            module.append("")
+            opcodes = Counter(instructions[k].opcode
+                              for k in range(start, end))
+            attributions = [(k, instructions[k].opcode,
+                             self.costs.get(instructions[k].opcode, 1))
+                            for k in range(start, end)]
+            info.append((fname, start, count, static, dict(opcodes),
+                         attributions))
+        source = "\n".join(module)
+        exec(compile(source, f"<native:{self.code.name}>", "exec"), self.ns)
+        blocks = {start: NativeBlock(self.ns[fname], start, count, static,
+                                     opcodes, attributions)
+                  for fname, start, count, static, opcodes, attributions
+                  in info}
+        # Static chaining: ``return B<leader>`` in generated code resolves
+        # to the target NativeBlock through the module namespace.
+        for start, block in blocks.items():
+            self.ns[f"B{start}"] = block
+        return NativeCode(self.code, blocks, source)
+
+
+def translate(code: CodeObject,
+              cycle_costs: Optional[Dict[str, int]] = None) -> NativeCode:
+    """Translate *code* into native blocks under *cycle_costs* (default:
+    the S-1 table).  Pure: the CodeObject is never mutated, so one
+    translation serves every machine with the same cost table."""
+    return _Translator(code, cycle_costs).translate()

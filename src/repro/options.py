@@ -79,6 +79,12 @@ class CompilerOptions:
     enable_tail_calls: bool = semantic(True)  # False: every call pushes a frame
     registers_available: int = semantic(32)
 
+    # --- execution tier (repro.machine.native) ---
+    # How compiled CodeObjects are *run*, never what they contain: the
+    # native tier executes the very same instruction stream through
+    # translated Python blocks, so this must not perturb the cache key.
+    tier: str = non_semantic("simulate")   # "simulate" | "native"
+
     # --- verification (repro.verify) ---
     # Non-semantic: the sanitizer either passes (the code is what it would
     # have been anyway) or raises (nothing is cached).
@@ -103,6 +109,12 @@ class CompilerOptions:
         from .target.machines import get_target
 
         get_target(self.target)
+        from .machine.native import TIERS
+
+        if self.tier not in TIERS:
+            raise ValueError(
+                f"unknown execution tier {self.tier!r}"
+                f" (choose one of {', '.join(TIERS)})")
 
 
 def _field_is_semantic(f) -> bool:

@@ -118,3 +118,46 @@ class TestCollectorMechanics:
         stats = machine.stats()
         assert stats["total_heap_allocations"] >= 300
         assert machine.heap.gc_runs >= 1
+
+
+BURST = """
+    (defun burst ()
+      ;; Two 15-cons allocations inside a run far shorter than 64
+      ;; instructions: the old every-64-instructions check cadence never
+      ;; fired at all.  length consumes each list so neither allocation
+      ;; is dead code.
+      (+ (length (list 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15))
+         (length (list 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15))))
+"""
+
+
+class TestAllocationWatermarkTrigger:
+    """Regression: the automatic-GC check used to run only when
+    ``instructions % 64 == 0``, so a run shorter than 64 instructions --
+    or a single instruction allocating far past the threshold (a
+    list-building GENERIC, RESTCOLLECT) -- never triggered collection
+    and overshot gc_threshold arbitrarily.  The trigger is now keyed to
+    an allocation watermark: the live-set check runs after any
+    instruction that allocated."""
+
+    def test_short_run_still_collects(self):
+        machine = machine_for(BURST, gc_threshold=10)
+        machine.run(sym("burst"), [])
+        assert machine.heap.gc_runs >= 1
+
+    def test_overshoot_bounded_by_one_instruction(self):
+        # Peak live set, sampled after every instruction, stays within
+        # threshold + one instruction's worth of allocation -- not the
+        # several bursts the old 64-instruction cadence allowed.
+        machine = machine_for(CHURN, gc_threshold=20)
+        machine.start(sym("churn"), [200])
+        peak = 0
+        while not machine.halted:
+            machine.step(1)
+            live = machine.heap.live_count()
+            if live > peak:
+                peak = live
+        assert machine.heap.gc_runs >= 1
+        # CHURN allocates 3 conses per iteration in one GENERIC; allow
+        # threshold + one burst + the loop's own live state.
+        assert peak <= 20 + 3 + 10

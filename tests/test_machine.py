@@ -464,3 +464,41 @@ class TestReviewRegressions:
         with pytest.raises(ReproError):
             machine.run(sym("boom"), [sym("inner")])
         assert machine.run(sym("probe"), []) is sym("global")
+
+
+class TestStartResetsCounters:
+    """Regression: start() used to leave the per-run statistics counters
+    holding the previous run's values, so the second of two sequential
+    start()/step() runs reported cumulative (inflated) counts."""
+
+    def _drive(self, machine, name, args):
+        machine.start(sym(name), args)
+        while not machine.halted:
+            machine.step(16)
+        return (machine.instructions, machine.cycles, machine.call_count,
+                machine.max_stack, dict(machine.opcode_counts))
+
+    def test_two_started_runs_report_independent_counts(self):
+        from repro import Compiler
+
+        compiler = Compiler()
+        compiler.compile_source(
+            "(defun fact (n) (if (< n 2) 1 (* n (fact (- n 1)))))")
+        machine = compiler.machine()
+        first = self._drive(machine, "fact", [8])
+        second = self._drive(machine, "fact", [8])
+        assert first == second
+        assert second[0] > 0
+
+    def test_run_stays_session_cumulative(self):
+        # The REPL's :stats documents run() as cumulating across calls;
+        # only start() resets.
+        from repro import Compiler
+
+        compiler = Compiler()
+        compiler.compile_source("(defun sq (x) (* x x))")
+        machine = compiler.machine()
+        machine.run(sym("sq"), [3])
+        after_one = machine.instructions
+        machine.run(sym("sq"), [3])
+        assert machine.instructions == 2 * after_one

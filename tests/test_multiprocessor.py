@@ -167,3 +167,43 @@ class TestMultiprocessorGc:
         assert mm.heap.gc_runs >= 1
         # The churn garbage was reclaimed; the keeper's list survived.
         assert mm.heap.live_count() < 400
+
+
+class TestFaultAbortsAllProcessors:
+    """Regression: a MachineError raised mid-quantum used to leave the
+    *other* processors half-stepped -- frames on their stacks, specials
+    bound -- so the next run_tasks on the same MultiMachine started from
+    corrupt state.  run_tasks now aborts every active processor on the
+    way out, and the failing step() itself restores + poisons its
+    machine."""
+
+    SOURCE = COUNTER + """
+        (defun boom (n)
+          (dotimes (i n 'unreachable)
+            (car 5)))
+    """
+
+    def test_failure_aborts_every_active_processor(self):
+        from repro.errors import ReproError
+
+        mm = multi(self.SOURCE, processors=2, quantum=4)
+        with pytest.raises(ReproError):
+            mm.run_tasks([(sym("bump-unsafe"), [500]),
+                          (sym("boom"), [3])])
+        for cpu in mm.processors:
+            assert cpu.halted
+            assert cpu.poisoned
+            assert cpu.stack == []          # entry state restored
+            assert cpu.catch_stack == []
+            assert cpu.specials.depth() == 0
+
+    def test_multimachine_usable_after_failure(self):
+        from repro.errors import ReproError
+
+        mm = multi(self.SOURCE, processors=2, quantum=4)
+        with pytest.raises(ReproError):
+            mm.run_tasks([(sym("bump-unsafe"), [500]),
+                          (sym("boom"), [3])])
+        results = mm.run_tasks([(sym("bump-safe"), [10]),
+                                (sym("bump-safe"), [10])])
+        assert results == [sym("done"), sym("done")]
