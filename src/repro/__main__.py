@@ -18,6 +18,7 @@ Meta commands::
     :stats            cumulative machine statistics for this session
     :profile          exact execution profile (per-opcode / function / line)
     :tier [TIER]      show or switch the execution tier (simulate, native)
+    :backend [B]      show or switch the optimizer backend (ordered, egraph)
     :phases           the phase pipeline of the last compilation
     :diag             phase timings / rule fires / warnings (last compile)
     :prelude          load the bundled standard library
@@ -62,7 +63,7 @@ from .api import CompilerService
 from .datum import Cons, sym
 from .errors import ReproError
 from .machine import Machine, TIERS
-from .options import CompilerOptions
+from .options import OPTIMIZER_BACKENDS, CompilerOptions
 from .reader import read_all, write_to_string
 
 #: Subcommand names; anything else routes to the REPL (the historical
@@ -96,6 +97,11 @@ def common_parser(jobs_default: int = 1) -> argparse.ArgumentParser:
                        help="execution tier: simulate, native "
                             "(repeatable for fuzz; last wins elsewhere; "
                             "default simulate)")
+    group.add_argument("--backend", action="append", default=None,
+                       metavar="B",
+                       help="optimizer backend: ordered, egraph "
+                            "(repeatable for fuzz A/B sweeps; last wins "
+                            "elsewhere; default ordered)")
     group.add_argument("--jobs", type=int, default=jobs_default,
                        metavar="N",
                        help="workers: pool size (batch/serve) or "
@@ -112,6 +118,11 @@ def _target_of(args: argparse.Namespace, default: str = "s1") -> str:
 def _tier_of(args: argparse.Namespace, default: str = "simulate") -> str:
     tiers = getattr(args, "tier", None)
     return tiers[-1] if tiers else default
+
+
+def _backend_of(args: argparse.Namespace, default: str = "ordered") -> str:
+    backends = getattr(args, "backend", None)
+    return backends[-1] if backends else default
 
 
 class Repl:
@@ -235,6 +246,19 @@ class Repl:
                 self._say(f"unknown tier: {parts[1]} "
                           f"(choose from {', '.join(TIERS)})")
             return True
+        if command == ":backend":
+            if len(parts) == 1:
+                self._say("backend: "
+                          f"{self.compiler.options.optimizer_backend}")
+            elif parts[1] in OPTIMIZER_BACKENDS:
+                # Semantic option: only *future* compiles change; already
+                # compiled functions keep the code they have.
+                self.compiler.options.optimizer_backend = parts[1]
+                self._say(f"backend: {parts[1]}")
+            else:
+                self._say(f"unknown backend: {parts[1]} "
+                          f"(choose from {', '.join(OPTIMIZER_BACKENDS)})")
+            return True
         if command == ":phases":
             self._say(self.compiler.phase_report())
             return True
@@ -316,6 +340,7 @@ def batch_main(argv) -> int:
 
     options = CompilerOptions(target=_target_of(args),
                               tier=_tier_of(args),
+                              optimizer_backend=_backend_of(args),
                               trace_rewrites=args.trace_rewrites,
                               verify_ir=args.verify)
     service = CompilerService(options=options)
@@ -365,6 +390,10 @@ def fuzz_main(argv) -> int:
                         help="also enable common subexpression elimination")
     parser.add_argument("--peephole", action="store_true",
                         help="also enable the peephole optimizer")
+    parser.add_argument("--bench-json", default=None, metavar="PATH",
+                        help="where to write the backend A/B cycle-delta "
+                             "report (default BENCH_egraph.json when more "
+                             "than one --backend is given)")
     args = parser.parse_args(argv)
 
     targets = tuple(args.target or ALL_TARGETS)
@@ -377,14 +406,26 @@ def fuzz_main(argv) -> int:
     if unknown:
         parser.error(f"unknown tier(s): {', '.join(unknown)} "
                      f"(choose from {', '.join(TIERS)})")
+    backends = tuple(args.backend or ("ordered",))
+    unknown = [b for b in backends if b not in OPTIMIZER_BACKENDS]
+    if unknown:
+        parser.error(f"unknown backend(s): {', '.join(unknown)} "
+                     f"(choose from {', '.join(OPTIMIZER_BACKENDS)})")
 
     options = CompilerOptions(enable_cse=args.cse,
                               enable_peephole=args.peephole)
     report = run_fuzz(base_seed=args.seed, count=args.count,
                       targets=targets, tiers=tiers,
                       verify=not args.no_verify, options=options,
-                      max_depth=args.max_depth)
+                      max_depth=args.max_depth, backends=backends)
     print(report.render())
+    bench_path = args.bench_json
+    if bench_path is None and len(backends) > 1:
+        bench_path = "BENCH_egraph.json"
+    if bench_path is not None and len(backends) > 1:
+        with open(bench_path, "w", encoding="utf-8") as handle:
+            json.dump(report.bench_json(), handle, indent=2)
+        print(f"backend A/B report: {bench_path}")
     return 0 if report.ok else 1
 
 
@@ -434,6 +475,7 @@ def serve_main(argv) -> int:
 
     options = CompilerOptions(target=_target_of(args),
                               tier=_tier_of(args),
+                              optimizer_backend=_backend_of(args),
                               verify_ir=args.verify)
     extra = {}
     if args.max_request_bytes is not None:
@@ -468,6 +510,7 @@ def repl_main(argv) -> int:
                                 verify_ir=args.verify,
                                 target=_target_of(args),
                                 tier=_tier_of(args),
+                                optimizer_backend=_backend_of(args),
                                 cache=args.cache_dir))
     try:
         while True:

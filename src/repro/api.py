@@ -187,7 +187,9 @@ def options_from_wire(base: CompilerOptions,
                        f"unknown option(s): {', '.join(sorted(unknown))}")
     try:
         return replace(base, **dict(overrides))
-    except ReproError as err:  # e.g. UnknownTargetError from __post_init__
+    except (ReproError, ValueError) as err:
+        # e.g. UnknownTargetError or an unknown optimizer_backend /
+        # execution tier (plain ValueError) from __post_init__.
         raise ApiError("bad-options", str(err))
 
 

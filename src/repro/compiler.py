@@ -436,9 +436,11 @@ class Compiler:
                 snapshot = copy_tree(node)
                 analyze(snapshot)
                 registry[name] = snapshot
-            optimizer = SourceOptimizer(self.options, transcript,
-                                        global_functions=registry,
-                                        diagnostics=diagnostics)
+            from .optimizer.egraph import make_optimizer
+
+            optimizer = make_optimizer(self.options, transcript,
+                                       global_functions=registry,
+                                       diagnostics=diagnostics)
             timer = diagnostics.start_phase("optimizer", function=fname,
                                             nodes_before=count_nodes(node))
             node = optimizer.optimize(node)

@@ -1,0 +1,266 @@
+"""The e-graph: e-classes, hashcons'd e-nodes, congruence closure.
+
+An e-graph represents a (possibly infinite) set of equivalent program
+terms compactly: every *e-class* is a set of *e-nodes*, and every e-node
+is an operator applied to child e-classes.  Equality saturation adds
+equivalences non-destructively -- ``merge(a, b)`` records "these two
+classes denote the same value" and the congruence closure propagates the
+consequence upward ("if the children are equal, the parents built from
+them are equal").
+
+The implementation follows the egg recipe ("egg: Fast and Extensible
+Equality Saturation"): a union-find over class ids, a hashcons from
+canonical e-nodes to class ids, and a deferred ``rebuild`` that restores
+the congruence invariant after a batch of merges.
+
+Everything here is deliberately independent of the compiler IR: e-node
+operators are opaque hashable payloads (see :mod:`.term` for the mapping
+from the Table 2 node set).  That keeps the core property-testable on
+tiny hand-built graphs (``tests/test_egraph.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ENode:
+    """One operator applied to child e-classes.
+
+    ``op`` is any hashable payload (constructor tag plus leaf data);
+    ``children`` are e-class ids.  E-nodes are value objects: two e-nodes
+    with the same op and the same (canonical) children are the same node,
+    which is exactly what the hashcons deduplicates.
+    """
+
+    op: Any
+    children: Tuple[int, ...] = ()
+
+    def map_children(self, find) -> "ENode":
+        return ENode(self.op, tuple(find(c) for c in self.children))
+
+
+@dataclass
+class EClass:
+    """One equivalence class: its e-nodes plus the parent e-nodes that
+    reference it (needed to repair congruence after a merge)."""
+
+    id: int
+    nodes: List[ENode] = field(default_factory=list)
+    #: (parent e-node as it was added, class id it lives in)
+    parents: List[Tuple[ENode, int]] = field(default_factory=list)
+
+
+class EGraph:
+    """Union-find + hashcons + congruence closure.
+
+    Invariants (checked by ``tests/test_egraph.py``):
+
+    * ``find`` is idempotent: ``find(find(a)) == find(a)``;
+    * after ``rebuild``, congruence holds: two e-nodes with equal ops and
+      pairwise-equivalent children live in the same e-class;
+    * the hashcons is canonical: looking up any canonicalized e-node of a
+      live class returns that class;
+    * growth is monotone: ``classes_created`` and ``nodes_added`` never
+      decrease, and merges only coarsen the partition (``n_classes`` can
+      only shrink through merges, never through adds).
+    """
+
+    def __init__(self, max_nodes: Optional[int] = None,
+                 max_classes: Optional[int] = None):
+        self._parent: Dict[int, int] = {}
+        self._classes: Dict[int, EClass] = {}
+        self._hashcons: Dict[ENode, int] = {}
+        self._worklist: List[int] = []
+        #: Insertion stamp per e-node (extraction tie-breaker: the earliest
+        #: added e-node wins ties, so seeding order expresses preference).
+        self._stamps: Dict[ENode, int] = {}
+        self._next_stamp = 0
+        self.max_nodes = max_nodes
+        self.max_classes = max_classes
+        #: Monotone counters (never decremented; saturation progress gauges).
+        self.classes_created = 0
+        self.nodes_added = 0
+        self.unions = 0
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def n_classes(self) -> int:
+        """Live (canonical) e-class count."""
+        return len(self._classes)
+
+    @property
+    def n_nodes(self) -> int:
+        """Live hashcons'd e-node count."""
+        return len(self._hashcons)
+
+    def over_limits(self) -> bool:
+        """True when either configured size bound is met or exceeded."""
+        if self.max_nodes is not None and self.n_nodes >= self.max_nodes:
+            return True
+        if self.max_classes is not None and self.n_classes >= self.max_classes:
+            return True
+        return False
+
+    def class_ids(self) -> List[int]:
+        """Canonical class ids, in creation order (deterministic)."""
+        return sorted(self._classes)
+
+    def nodes_of(self, class_id: int) -> List[ENode]:
+        """The e-nodes of a class, children canonicalized."""
+        eclass = self._classes[self.find(class_id)]
+        return [node.map_children(self.find) for node in eclass.nodes]
+
+    def stamp(self, node: ENode) -> int:
+        """Insertion stamp of a (canonicalized) e-node; large when unknown."""
+        return self._stamps.get(node, 1 << 60)
+
+    # -- union-find ----------------------------------------------------------
+
+    def find(self, class_id: int) -> int:
+        root = class_id
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression.
+        while self._parent[class_id] != root:
+            self._parent[class_id], class_id = root, self._parent[class_id]
+        return root
+
+    def canonicalize(self, node: ENode) -> ENode:
+        return node.map_children(self.find)
+
+    # -- growth --------------------------------------------------------------
+
+    def add(self, node: ENode) -> int:
+        """Add an e-node; returns its e-class id (existing on a hashcons
+        hit, fresh otherwise)."""
+        node = self.canonicalize(node)
+        existing = self._hashcons.get(node)
+        if existing is not None:
+            return self.find(existing)
+        class_id = self.classes_created
+        self.classes_created += 1
+        self.nodes_added += 1
+        self._parent[class_id] = class_id
+        eclass = EClass(class_id)
+        eclass.nodes.append(node)
+        self._classes[class_id] = eclass
+        self._hashcons[node] = class_id
+        self._stamps[node] = self._next_stamp
+        self._next_stamp += 1
+        for child in node.children:
+            self._classes[self.find(child)].parents.append((node, class_id))
+        return class_id
+
+    def merge(self, a: int, b: int) -> int:
+        """Union two e-classes; returns the surviving root.  Callers run
+        :meth:`rebuild` after a batch of merges to restore congruence."""
+        a, b = self.find(a), self.find(b)
+        if a == b:
+            return a
+        self.unions += 1
+        # Keep the older id as root: extraction and iteration stay stable.
+        if b < a:
+            a, b = b, a
+        self._parent[b] = a
+        survivor, absorbed = self._classes[a], self._classes.pop(b)
+        survivor.nodes.extend(absorbed.nodes)
+        survivor.parents.extend(absorbed.parents)
+        self._worklist.append(a)
+        return a
+
+    def rebuild(self) -> None:
+        """Restore the congruence invariant after merges: re-canonicalize
+        the hashcons and upward-merge parents made congruent."""
+        while self._worklist:
+            todo = {self.find(c) for c in self._worklist}
+            self._worklist.clear()
+            for class_id in sorted(todo):
+                self._repair(class_id)
+
+    def _repair(self, class_id: int) -> None:
+        eclass = self._classes.get(self.find(class_id))
+        if eclass is None:  # pragma: no cover - merged away mid-batch
+            return
+        # Re-canonicalize this class's parents in the hashcons; congruent
+        # parents collapse onto one entry and their classes merge.
+        seen: Dict[ENode, int] = {}
+        new_parents: List[Tuple[ENode, int]] = []
+        for node, parent_id in eclass.parents:
+            stale_stamp = self._stamps.get(node)
+            self._hashcons.pop(node, None)
+            canonical = self.canonicalize(node)
+            if canonical not in self._stamps and stale_stamp is not None:
+                self._stamps[canonical] = stale_stamp
+            parent_id = self.find(parent_id)
+            if canonical in seen and seen[canonical] != parent_id:
+                parent_id = self.merge(seen[canonical], parent_id)
+            previous = self._hashcons.get(canonical)
+            if previous is not None and self.find(previous) != parent_id:
+                parent_id = self.merge(previous, parent_id)
+            self._hashcons[canonical] = parent_id
+            seen[canonical] = parent_id
+            new_parents.append((canonical, parent_id))
+        eclass = self._classes.get(self.find(class_id))
+        if eclass is not None:
+            eclass.parents = new_parents
+        # Dedup this class's own node list under canonicalization.
+        root = self.find(class_id)
+        eclass = self._classes[root]
+        unique: Dict[ENode, None] = {}
+        for node in eclass.nodes:
+            unique.setdefault(self.canonicalize(node), None)
+        eclass.nodes = list(unique)
+
+    # -- debugging -----------------------------------------------------------
+
+    def dump(self) -> str:  # pragma: no cover - debugging aid
+        lines = []
+        for class_id in self.class_ids():
+            nodes = ", ".join(
+                f"{n.op}{list(n.children)}" for n in self.nodes_of(class_id))
+            lines.append(f"e{class_id}: {nodes}")
+        return "\n".join(lines)
+
+
+def extract_costs(graph: EGraph, cost_fn) -> Dict[int, Tuple[float, ENode]]:
+    """Bottom-up fixpoint extraction: cheapest known cost and the e-node
+    achieving it, per canonical e-class.
+
+    ``cost_fn(node, child_costs)`` returns the cost of choosing *node*
+    given the already-computed costs of its child classes (a list of
+    floats).  Classes that are only reachable through cycles keep infinite
+    cost and are absent from the result -- any class that was ever added
+    from a real term always resolves.
+
+    Ties break toward the e-node added earliest (the seeding order), so a
+    caller that inserts a preferred tree first gets it back unless the
+    saturation found something strictly cheaper.
+    """
+    best: Dict[int, Tuple[float, int, ENode]] = {}
+    changed = True
+    while changed:
+        changed = False
+        for class_id in graph.class_ids():
+            for node in graph.nodes_of(class_id):
+                child_costs = []
+                resolvable = True
+                for child in node.children:
+                    entry = best.get(graph.find(child))
+                    if entry is None:
+                        resolvable = False
+                        break
+                    child_costs.append(entry[0])
+                if not resolvable:
+                    continue
+                cost = cost_fn(node, child_costs)
+                candidate = (cost, graph.stamp(node), node)
+                current = best.get(class_id)
+                if current is None or candidate[:2] < current[:2]:
+                    best[class_id] = candidate
+                    changed = True
+    return {class_id: (cost, node)
+            for class_id, (cost, _stamp, node) in best.items()}

@@ -1,0 +1,123 @@
+"""Per-target cycle costs for e-graph extraction.
+
+The extractor ranks e-nodes by an estimate of the cycles the emitted code
+would spend evaluating them, read from the same per-target cycle tables
+(``MachineDescription.cycles``) the simulator charges -- so the same
+saturated e-graph extracts different winners on s1, vax, and pdp10
+(e.g. ``sin$f`` -> ``sinc$f`` pays off only where the hardware sine takes
+its argument in cycles and ``FSIN`` undercuts ``FSINR``).
+
+Two structural requirements, beyond "smaller is better":
+
+* **Strict monotonicity.**  Every operator costs strictly more than the
+  sum of its children's costs (every base cost is at least ``EPSILON``).
+  That makes the cost function admissible for e-graphs with cycles: the
+  chosen-node graph of a finished extraction can never contain a cycle,
+  so reconstruction always terminates.
+
+* **Call-head inspection.**  The cost of a ``call`` depends on what the
+  function position resolves to (an inlined primitive instruction, a
+  let-binding lambda, or an out-of-line global call), so the model looks
+  into the function child's e-class for a ``fref``/``lambda`` e-node.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ...primitives import lookup_primitive
+from ...target import get_target
+from .core import EGraph, ENode
+
+#: Floor on every operator's own contribution; keeps extraction strictly
+#: monotone (see module docstring).  Small enough never to flip a choice
+#: between genuinely different cycle counts (which differ by >= 1).
+EPSILON = 0.125
+
+
+class CycleCostModel:
+    """``cost_fn`` for :func:`.core.extract_costs`, parameterized by
+    target.  Set :attr:`graph` before extraction (the call-head rule needs
+    to inspect e-classes)."""
+
+    def __init__(self, target) -> None:
+        self.target = get_target(target)
+        self.graph: Optional[EGraph] = None
+
+    def _cycles(self, opcode: str, default: int = 2) -> float:
+        return float(self.target.cycles.get(opcode, default))
+
+    def _head_of(self, fn_class: int):
+        """The first ``fref``/``lambda`` payload in the function-position
+        e-class, if any (deterministic: classes keep insertion order)."""
+        if self.graph is None:
+            return None
+        for node in self.graph.nodes_of(fn_class):
+            tag = node.op[0]
+            if tag in ("fref", "lambda"):
+                return node.op
+        return None
+
+    def _call_cost(self, node: ENode, child_costs: List[float]) -> float:
+        args = child_costs[1:]
+        head = self._head_of(node.children[0])
+        if head is not None and head[0] == "fref":
+            primitive = lookup_primitive(head[1])
+            if primitive is not None:
+                if primitive.machine_op and \
+                        primitive.machine_op in self.target.cycles:
+                    op_cost = self._cycles(primitive.machine_op)
+                else:
+                    op_cost = self._cycles("GENERIC") + primitive.cycles
+                return sum(args) + op_cost + EPSILON
+            # Out-of-line global call: argument moves plus the call itself.
+            return sum(args) + len(args) * self._cycles("MOV", 1) \
+                + self._cycles("CALL", 4) + EPSILON
+        if head is not None and head[0] == "lambda":
+            # A let: one move per binding; the body cost is already inside
+            # the lambda child's cost.
+            return sum(child_costs) + len(args) * self._cycles("MOV", 1) \
+                + EPSILON
+        # Computed function value: closure-call path.
+        return sum(child_costs) + len(args) * self._cycles("MOV", 1) \
+            + self._cycles("CALLF", self.target.cycles.get("CALL", 4) + 2) \
+            + EPSILON
+
+    def __call__(self, node: ENode, child_costs: List[float]) -> float:
+        tag = node.op[0]
+        if tag == "lit":
+            # Codegen folds literals into immediate operands (`(imm, v)`),
+            # so a literal costs no instruction of its own; out-of-line
+            # calls charge their per-argument MOV in _call_cost instead.
+            return EPSILON
+        if tag in ("var", "fref"):
+            return self._cycles("MOV", 1) + EPSILON
+        if tag == "setq":
+            return child_costs[0] + self._cycles("MOV", 1) + EPSILON
+        if tag == "progn":
+            return sum(child_costs) + EPSILON
+        if tag == "if":
+            # Both arms exist in the code; branch-taken cost is the larger
+            # arm (static estimate), plus the conditional jump.
+            return child_costs[0] + self._cycles("JUMPNIL", 1) \
+                + max(child_costs[1:], default=0.0) + EPSILON
+        if tag == "call":
+            return self._call_cost(node, child_costs)
+        if tag == "lambda":
+            # Defaults plus body; the binding cost is charged at the call.
+            return sum(child_costs) + EPSILON
+        if tag == "progbody":
+            return sum(child_costs) + EPSILON
+        if tag == "go":
+            return self._cycles("JUMP", 1) + EPSILON
+        if tag == "return":
+            return child_costs[0] + self._cycles("JUMP", 1) + EPSILON
+        if tag == "caseq":
+            keys = node.op[1]
+            dispatch = sum(len(k) for k in keys) * self._cycles("EQLBR", 1)
+            return child_costs[0] + dispatch \
+                + max(child_costs[1:], default=0.0) + EPSILON
+        if tag == "catcher":
+            return sum(child_costs) + self._cycles("CATCHPUSH", 3) \
+                + self._cycles("CATCHPOP", 2) + EPSILON
+        return sum(child_costs) + 1.0 + EPSILON

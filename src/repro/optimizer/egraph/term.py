@@ -1,0 +1,254 @@
+"""Terms: the bridge between the mutable IR and the hashcons'd e-graph.
+
+A *term* is an immutable, hashable rendering of a Table 2 subtree:
+``(op, child_term, ...)`` nested tuples, where ``op`` is the payload the
+e-graph stores on its e-nodes (constructor tag plus leaf data).  Two
+design points carry all the weight:
+
+* **Variables are identity.**  A ``("var", Variable)`` payload holds the
+  actual :class:`~repro.ir.nodes.Variable` object, so hashconsing only
+  ever identifies two occurrences of *the same* binding -- the
+  conversion-time alpha-renaming ("with every distinct variable ... is
+  associated a little data structure") keeps term equality capture-safe
+  for free.  The same goes for ``progbody`` targets: ``go``/``return``
+  payloads carry the original :class:`ProgbodyNode`, and reconstruction
+  rebinds them to the freshly built progbody in scope.
+
+* **Reconstruction freshens binders.**  ``term_to_tree`` allocates a new
+  :class:`Variable` for every binding it rebuilds and threads a scope
+  environment through the recursion, so even if extraction ever picks the
+  same lambda class twice the resulting tree is properly alpha-renamed --
+  no two lambdas in a reconstructed tree share a binding.
+
+Unhashable literal payloads (list structure and friends) are interned in
+a :class:`TermContext` under a structural key; reconstruction returns the
+original value object, so literals round-trip exactly regardless of how
+they print.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ...datum import Cons
+from ...datum.symbols import Symbol
+from ...ir.nodes import (
+    CallNode,
+    CaseqNode,
+    CatcherNode,
+    FunctionRefNode,
+    GoNode,
+    IfNode,
+    LambdaNode,
+    LiteralNode,
+    Node,
+    OptionalParam,
+    PrognNode,
+    ProgbodyNode,
+    ReturnNode,
+    SetqNode,
+    TagMarker,
+    Variable,
+    VarRefNode,
+)
+
+Term = Tuple[Any, ...]  # (op, *child_terms)
+
+
+class TermContext:
+    """Shared interning table for one e-graph run: structural literal key
+    -> the original value object (used to rebuild LiteralNodes and caseq
+    clause keys exactly)."""
+
+    def __init__(self) -> None:
+        self.values: Dict[Any, Any] = {}
+
+    def intern(self, value: Any) -> Any:
+        key = datum_key(value)
+        self.values.setdefault(key, value)
+        return key
+
+    def value(self, key: Any) -> Any:
+        return self.values[key]
+
+
+def datum_key(value: Any) -> Any:
+    """A hashable structural key for a literal datum.  Two values with the
+    same key are interchangeable as compile-time constants."""
+    if isinstance(value, Symbol):
+        return ("sym", value)
+    if isinstance(value, bool):  # pragma: no cover - not a Lisp datum
+        return ("bool", value)
+    if isinstance(value, int):
+        return ("int", value)
+    if isinstance(value, float):
+        return ("float", value)
+    if isinstance(value, str):
+        return ("str", value)
+    if isinstance(value, Cons):
+        return ("cons", datum_key(value.car), datum_key(value.cdr))
+    # Vectors and other mutable data: identity (no cross-sharing, which is
+    # the conservative direction for mutable constants).
+    return ("obj", id(value))
+
+
+# ---------------------------------------------------------------------------
+# tree -> term
+
+
+def tree_to_term(node: Node, ctx: TermContext) -> Term:
+    if isinstance(node, LiteralNode):
+        return (("lit", ctx.intern(node.value)),)
+    if isinstance(node, VarRefNode):
+        return (("var", node.variable),)
+    if isinstance(node, FunctionRefNode):
+        return (("fref", node.name),)
+    if isinstance(node, IfNode):
+        return (("if",), tree_to_term(node.test, ctx),
+                tree_to_term(node.then, ctx), tree_to_term(node.else_, ctx))
+    if isinstance(node, CallNode):
+        return (("call",), tree_to_term(node.fn, ctx),
+                *[tree_to_term(arg, ctx) for arg in node.args])
+    if isinstance(node, PrognNode):
+        return (("progn",), *[tree_to_term(f, ctx) for f in node.forms])
+    if isinstance(node, SetqNode):
+        return (("setq", node.variable), tree_to_term(node.value, ctx))
+    if isinstance(node, LambdaNode):
+        spec = (tuple(node.required),
+                tuple(opt.variable for opt in node.optionals),
+                node.rest, node.name_hint)
+        defaults = [tree_to_term(opt.default, ctx) for opt in node.optionals]
+        return (("lambda", spec), *defaults, tree_to_term(node.body, ctx))
+    if isinstance(node, ProgbodyNode):
+        layout = tuple(("tag", item.name) if isinstance(item, TagMarker)
+                       else "form" for item in node.items)
+        forms = [tree_to_term(item, ctx) for item in node.items
+                 if isinstance(item, Node)]
+        return (("progbody", node, layout), *forms)
+    if isinstance(node, GoNode):
+        return (("go", node.tag, node.target),)
+    if isinstance(node, ReturnNode):
+        return (("return", node.target), tree_to_term(node.value, ctx))
+    if isinstance(node, CaseqNode):
+        keys_spec = tuple(tuple(ctx.intern(k) for k in keys)
+                          for keys, _body in node.clauses)
+        return (("caseq", keys_spec), tree_to_term(node.key, ctx),
+                *[tree_to_term(body, ctx) for _keys, body in node.clauses],
+                tree_to_term(node.default, ctx))
+    if isinstance(node, CatcherNode):
+        return (("catcher",), tree_to_term(node.tag, ctx),
+                tree_to_term(node.body, ctx))
+    raise TypeError(f"cannot convert node {node!r} to a term")
+
+
+# ---------------------------------------------------------------------------
+# term -> tree
+
+
+def term_to_tree(term: Term, ctx: TermContext) -> Node:
+    """Rebuild an IR tree from a term, freshening every binder."""
+    return _build(term, ctx, {}, {})
+
+
+def _build(term: Term, ctx: TermContext,
+           env: Dict[Variable, Variable],
+           pbenv: Dict[ProgbodyNode, ProgbodyNode]) -> Node:
+    op = term[0]
+    tag = op[0]
+    if tag == "lit":
+        return LiteralNode(ctx.value(op[1]))
+    if tag == "var":
+        return VarRefNode(env.get(op[1], op[1]))
+    if tag == "fref":
+        return FunctionRefNode(op[1])
+    if tag == "if":
+        return IfNode(_build(term[1], ctx, env, pbenv),
+                      _build(term[2], ctx, env, pbenv),
+                      _build(term[3], ctx, env, pbenv))
+    if tag == "call":
+        return CallNode(_build(term[1], ctx, env, pbenv),
+                        [_build(t, ctx, env, pbenv) for t in term[2:]])
+    if tag == "progn":
+        return PrognNode([_build(t, ctx, env, pbenv) for t in term[1:]])
+    if tag == "setq":
+        return SetqNode(env.get(op[1], op[1]),
+                        _build(term[1], ctx, env, pbenv))
+    if tag == "lambda":
+        return _build_lambda(op[1], term[1:], ctx, env, pbenv)
+    if tag == "progbody":
+        return _build_progbody(op, term[1:], ctx, env, pbenv)
+    if tag == "go":
+        _go_tag, go_target = op[1], op[2]
+        return GoNode(_go_tag, pbenv.get(go_target, go_target))
+    if tag == "return":
+        return ReturnNode(_build(term[1], ctx, env, pbenv),
+                          pbenv.get(op[1], op[1]))
+    if tag == "caseq":
+        keys_spec = op[1]
+        key = _build(term[1], ctx, env, pbenv)
+        bodies = [_build(t, ctx, env, pbenv) for t in term[2:-1]]
+        default = _build(term[-1], ctx, env, pbenv)
+        clauses = [(tuple(ctx.value(k) for k in keys), body)
+                   for keys, body in zip(keys_spec, bodies)]
+        return CaseqNode(key, clauses, default)
+    if tag == "catcher":
+        return CatcherNode(_build(term[1], ctx, env, pbenv),
+                           _build(term[2], ctx, env, pbenv))
+    raise TypeError(f"cannot rebuild term op {op!r}")
+
+
+def _fresh(variable: Variable) -> Variable:
+    clone = Variable(variable.name, special=variable.special)
+    clone.declared_type = variable.declared_type
+    return clone
+
+
+def _build_lambda(spec, children, ctx, env, pbenv) -> LambdaNode:
+    required_vars, optional_vars, rest_var, name_hint = spec
+    saved: Dict[Variable, Optional[Variable]] = {}
+
+    def bind(variable: Variable) -> Variable:
+        if variable not in saved:
+            saved[variable] = env.get(variable)
+        fresh = _fresh(variable)
+        env[variable] = fresh
+        return fresh
+
+    required = [bind(v) for v in required_vars]
+    optionals: List[OptionalParam] = []
+    # A default may refer to parameters bound earlier in the same lambda
+    # list, so each parameter enters scope before the *next* default is
+    # built (its own default sees only the earlier ones -- build first,
+    # bind second).
+    for index, variable in enumerate(optional_vars):
+        default = _build(children[index], ctx, env, pbenv)
+        optionals.append(OptionalParam(bind(variable), default))
+    rest = bind(rest_var) if rest_var is not None else None
+    body = _build(children[-1], ctx, env, pbenv)
+    for variable, previous in saved.items():
+        if previous is None:
+            env.pop(variable, None)
+        else:
+            env[variable] = previous
+    return LambdaNode(required, optionals, rest, body, name_hint=name_hint)
+
+
+def _build_progbody(op, children, ctx, env, pbenv) -> ProgbodyNode:
+    payload, layout = op[1], op[2]
+    rebuilt = ProgbodyNode([])
+    rebuilt.items = []
+    previous = pbenv.get(payload)
+    pbenv[payload] = rebuilt
+    child_iter = iter(children)
+    for entry in layout:
+        if isinstance(entry, tuple) and entry[0] == "tag":
+            rebuilt.items.append(TagMarker(entry[1]))
+        else:
+            item = _build(next(child_iter), ctx, env, pbenv)
+            item.parent = rebuilt
+            rebuilt.items.append(item)
+    if previous is None:
+        pbenv.pop(payload, None)
+    else:
+        pbenv[payload] = previous
+    return rebuilt

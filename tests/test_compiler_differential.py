@@ -292,6 +292,57 @@ class TestGeneratedDifferentialSweep:
         assert again == self.SWEEP
 
 
+TESTFN = """
+    (defun frotz (d e m) nil)
+    (defun testfn (a &optional (b 3.0) (c a))
+      (let ((d (+$f a b c)) (e (*$f a b c)))
+        (let ((q (sin$f e)))
+          (frotz d e (max$f d e))
+          q)))
+"""
+
+
+class TestTwoBackendDifferentialSweep:
+    """The optimizer-backend A/B sweep: for a seeded random corpus, the
+    reference interpreter and both optimizer backends (the ordered rewrite
+    pipeline and the e-graph equality-saturation backend) must agree -- on
+    every registered target, with the phase-boundary sanitizer on.  The
+    e-graph backend's seeded extraction must also never cost more cycles
+    than the ordered backend on the paper's Table 4 TESTFN workload."""
+
+    SWEEP = corpus(50, base_seed=0)
+
+    @pytest.mark.parametrize("target", ["s1", "vax", "pdp10"])
+    def test_interpreter_vs_both_backends(self, target):
+        for index, (source, fn, args) in enumerate(self.SWEEP):
+            expected = interp_result(source, fn, args)
+            for backend in ("ordered", "egraph"):
+                options = CompilerOptions(target=target,
+                                          optimizer_backend=backend,
+                                          verify_ir=True)
+                compiler = Compiler(options)
+                compiler.compile_source(source)
+                got = compiler.run(fn, args)
+                assert lisp_equal(expected, got), (
+                    f"[{target} #{index} {backend}] "
+                    f"interpreter={expected!r} compiled={got!r}\n{source}")
+
+    @pytest.mark.parametrize("target", ["s1", "vax", "pdp10"])
+    def test_egraph_never_exceeds_ordered_on_testfn(self, target):
+        cycles = {}
+        for backend in ("ordered", "egraph"):
+            options = CompilerOptions(target=target,
+                                      optimizer_backend=backend,
+                                      verify_ir=True)
+            compiler = Compiler(options)
+            compiler.compile_source(TESTFN)
+            machine = compiler.machine()
+            result = machine.run(sym("testfn"), [0.25])
+            assert result == pytest.approx(0.186403, rel=1e-4)
+            cycles[backend] = machine.cycles
+        assert cycles["egraph"] <= cycles["ordered"], (target, cycles)
+
+
 class TestTailCallBehavior:
     def test_deep_tail_recursion_constant_stack(self):
         source = """
