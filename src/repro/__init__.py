@@ -30,6 +30,14 @@ Public API highlights:
 * :mod:`repro.trace` -- Chrome trace-event / Prometheus exporters over the
   diagnostics layer (``build_chrome_trace``, ``prometheus_metrics``); the
   machine's exact profiler lives at ``Machine.enable_profiling()``
+* :class:`repro.MachineTelemetry` / ``Machine.enable_telemetry()`` --
+  machine execution telemetry: fast-path/fallback cycle attribution per
+  opcode, inline-cache hit rates per call site, GC events, heap occupancy,
+  run spans; exported as Chrome execution tracks
+  (``repro.trace.write_machine_trace``), ``repro_machine_*`` Prometheus
+  families, collapsed-stack flamegraphs (``write_flamegraph``), and
+  end-to-end request traces over the daemon wire
+  (``ServiceClient.compile_traced`` + ``build_request_trace``)
 * :mod:`repro.verify` / ``CompilerOptions(verify_ir=True)`` -- the
   phase-boundary IR sanitizer (:class:`repro.PipelineVerifier`); violations
   raise :class:`repro.VerificationError`
@@ -39,7 +47,7 @@ Public API highlights:
 
 # Defined before any submodule import: repro.api reports this version in
 # ping responses and would hit a partially-initialized package otherwise.
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 from .api import API_VERSION, ApiError, CompilerService, ServiceResult, connect
 from .batch import (
@@ -76,11 +84,17 @@ from .options import (
 from .reader import read, read_all, write_to_string
 from .serve import ReproServer
 from .target import MachineDescription, get_target
+from .telemetry import MachineTelemetry
 from .verify import PipelineVerifier, Violation
 from .trace import (
     build_chrome_trace,
+    build_machine_trace,
+    build_request_trace,
+    parse_prometheus_text,
     prometheus_metrics,
     write_chrome_trace,
+    write_flamegraph,
+    write_machine_trace,
     write_metrics,
 )
 
@@ -102,6 +116,7 @@ __all__ = [
     "FuzzReport",
     "Interpreter",
     "MachineDescription",
+    "MachineTelemetry",
     "NON_SEMANTIC_OPTION_FIELDS",
     "PipelineVerifier",
     "ReproServer",
@@ -114,6 +129,8 @@ __all__ = [
     "VerificationError",
     "Violation",
     "build_chrome_trace",
+    "build_machine_trace",
+    "build_request_trace",
     "cache_key",
     "canonical_source",
     "compile_and_run",
@@ -123,12 +140,15 @@ __all__ = [
     "get_target",
     "naive_options",
     "options_fingerprint",
+    "parse_prometheus_text",
     "process_pool_viable",
     "prometheus_metrics",
     "read",
     "read_all",
     "run_fuzz",
     "write_chrome_trace",
+    "write_flamegraph",
+    "write_machine_trace",
     "write_metrics",
     "write_to_string",
     "__version__",

@@ -17,6 +17,8 @@ Meta commands::
     :source NAME      show the optimized (back-translated) source
     :stats            cumulative machine statistics for this session
     :profile          exact execution profile (per-opcode / function / line)
+    :hot              telemetry hot spots: top blocks/opcodes by fallback
+                      cycles, coldest inline-cache sites
     :tier [TIER]      show or switch the execution tier (simulate, native)
     :backend [B]      show or switch the optimizer backend (ordered, egraph)
     :phases           the phase pipeline of the last compilation
@@ -84,6 +86,10 @@ def common_parser(jobs_default: int = 1) -> argparse.ArgumentParser:
                             "(open in Perfetto / chrome://tracing)")
     group.add_argument("--metrics", default=None, metavar="PATH",
                        help="write a Prometheus text metrics dump on exit")
+    group.add_argument("--machine-trace", default=None, metavar="PATH",
+                       help="write a Chrome trace of machine execution "
+                            "telemetry on exit (run spans, GC pauses, "
+                            "heap occupancy; open in Perfetto)")
     group.add_argument("--verify", action="store_true",
                        help="run the phase-boundary IR sanitizer "
                             "(repro.verify) after every compiler phase")
@@ -148,8 +154,10 @@ class Repl:
         if self.machine is None:
             self.machine = self.compiler.machine()
             # Exact profiling is on for the whole session so :profile can
-            # answer at any point (simulator-side cost only).
+            # answer at any point (simulator-side cost only); telemetry
+            # likewise, so :hot and --machine-trace always have data.
             self.machine.enable_profiling()
+            self.machine.enable_telemetry()
         else:
             self.machine.program = self.compiler.program
         return self.machine
@@ -234,6 +242,12 @@ class Repl:
             else:
                 self._say(self.machine.profile_report())
             return True
+        if command == ":hot":
+            if self.machine is None or self.machine.telemetry is None:
+                self._say("(nothing run yet)")
+            else:
+                self._say(self.machine.telemetry.hot_report())
+            return True
         if command == ":tier":
             if len(parts) == 1:
                 self._say(f"tier: {self.compiler.options.tier}")
@@ -309,8 +323,20 @@ class Repl:
 
         profile = self.machine.profile_data() \
             if self.machine is not None else None
+        telemetry = self.machine.telemetry_data() \
+            if self.machine is not None else None
         write_metrics(path, [record["diagnostics"]
-                             for record in self.diagnostics_log], profile)
+                             for record in self.diagnostics_log], profile,
+                      telemetry)
+
+    def dump_machine_trace(self, path: str) -> None:
+        from .telemetry import MachineTelemetry
+        from .trace import write_machine_trace
+
+        telemetry = self.machine.telemetry_data() \
+            if self.machine is not None else None
+        write_machine_trace(path, telemetry if telemetry is not None
+                            else MachineTelemetry())
 
 
 def batch_main(argv) -> int:
@@ -363,6 +389,16 @@ def batch_main(argv) -> int:
         write_metrics(args.metrics,
                       [f.diagnostics for f in result.files
                        if f.diagnostics is not None])
+    if args.machine_trace:
+        # Batch only compiles -- the execution track is empty, but the
+        # file is still a valid trace so tooling can treat the flag
+        # uniformly across subcommands.
+        from .telemetry import MachineTelemetry
+        from .trace import write_machine_trace
+
+        write_machine_trace(args.machine_trace, MachineTelemetry())
+        print(f"machine trace: wrote {args.machine_trace} (batch executes "
+              f"nothing; execution track is empty)")
     return 0 if result.error_count == 0 else 1
 
 
@@ -392,8 +428,12 @@ def fuzz_main(argv) -> int:
                         help="also enable the peephole optimizer")
     parser.add_argument("--bench-json", default=None, metavar="PATH",
                         help="where to write the backend A/B cycle-delta "
-                             "report (default BENCH_egraph.json when more "
-                             "than one --backend is given)")
+                             "report (default benchmarks/BENCH_egraph.json "
+                             "when more than one --backend is given)")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="run every machine with execution telemetry "
+                             "on and assert cycle conservation per run "
+                             "(implied by --machine-trace)")
     args = parser.parse_args(argv)
 
     targets = tuple(args.target or ALL_TARGETS)
@@ -414,18 +454,32 @@ def fuzz_main(argv) -> int:
 
     options = CompilerOptions(enable_cse=args.cse,
                               enable_peephole=args.peephole)
+    want_telemetry = bool(args.telemetry or args.machine_trace)
     report = run_fuzz(base_seed=args.seed, count=args.count,
                       targets=targets, tiers=tiers,
                       verify=not args.no_verify, options=options,
-                      max_depth=args.max_depth, backends=backends)
+                      max_depth=args.max_depth, backends=backends,
+                      telemetry=want_telemetry)
     print(report.render())
     bench_path = args.bench_json
     if bench_path is None and len(backends) > 1:
-        bench_path = "BENCH_egraph.json"
+        import os
+
+        # The canonical home for bench artifacts is benchmarks/ -- a bare
+        # BENCH_*.json at the repo root is a stray (and .gitignored).
+        bench_path = os.path.join("benchmarks", "BENCH_egraph.json")
+        os.makedirs("benchmarks", exist_ok=True)
     if bench_path is not None and len(backends) > 1:
         with open(bench_path, "w", encoding="utf-8") as handle:
             json.dump(report.bench_json(), handle, indent=2)
         print(f"backend A/B report: {bench_path}")
+    if args.machine_trace and report.telemetry is not None:
+        from .trace import write_machine_trace
+
+        count = write_machine_trace(args.machine_trace,
+                                    report.telemetry["merged"])
+        print(f"machine trace: wrote {count} event(s) to "
+              f"{args.machine_trace}")
     return 0 if report.ok else 1
 
 
@@ -528,6 +582,8 @@ def repl_main(argv) -> int:
             repl.dump_trace(args.trace)
         if args.metrics:
             repl.dump_metrics(args.metrics)
+        if args.machine_trace:
+            repl.dump_machine_trace(args.machine_trace)
 
 
 def main(argv=None) -> int:

@@ -17,6 +17,7 @@ import json
 import os
 import socket
 import time
+import uuid
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from .api import API_VERSION, options_to_wire
@@ -41,6 +42,14 @@ class ServiceError(ReproError):
 
 def _is_http(address: str) -> bool:
     return address.startswith("http://") or address.startswith("https://")
+
+
+def new_trace_id() -> str:
+    """A fresh client-generated request trace id.  The daemon echoes it in
+    the response envelope and tags its queue-wait/execute timing with it,
+    so one Perfetto trace (:func:`repro.trace.build_request_trace`) shows
+    the whole round trip under a single id."""
+    return "trace-" + uuid.uuid4().hex[:16]
 
 
 class ServiceClient:
@@ -154,7 +163,8 @@ class ServiceClient:
                 options: Optional[Mapping[str, Any]] = None,
                 cache_key: Optional[str] = None,
                 listing: bool = False,
-                diagnostics: bool = False) -> Dict[str, Any]:
+                diagnostics: bool = False,
+                trace_id: Optional[str] = None) -> Dict[str, Any]:
         params: Dict[str, Any] = {"source": source, "name": name}
         if prelude:
             params["prelude"] = True
@@ -166,7 +176,28 @@ class ServiceClient:
             params["listing"] = True
         if diagnostics:
             params["diagnostics"] = True
+        if trace_id is not None:
+            params["trace_id"] = trace_id
         return self.request("compile", **params)
+
+    def compile_traced(self, source: str, *, trace_id: Optional[str] = None,
+                       **kwargs: Any
+                       ) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+        """:meth:`compile` under a generated (or given) ``trace_id``,
+        measuring the client-side wall clock.  Returns ``(response,
+        record)`` where *record* is what
+        :func:`repro.trace.build_request_trace` consumes: the trace id,
+        the client span, and the daemon's echoed ``server_timing``."""
+        trace_id = trace_id or new_trace_id()
+        started = time.perf_counter()
+        response = self.compile(source, trace_id=trace_id, **kwargs)
+        duration = time.perf_counter() - started
+        record = {
+            "trace_id": trace_id,
+            "client": {"started_s": started, "duration_s": duration},
+            "server_timing": response.get("server_timing"),
+        }
+        return response, record
 
     def wait_ready(self, timeout: float = 10.0,
                    interval: float = 0.05) -> bool:

@@ -160,6 +160,10 @@ class FuzzReport:
     #: simulator cycle counts per backend, the ordered-minus-egraph delta,
     #: and the equivalence rules the e-graph compile fired.
     cycle_records: List[Dict[str, Any]] = field(default_factory=list)
+    #: With ``telemetry=True``: per-tier merged telemetry dumps plus an
+    #: overall merge ({"tiers": {tier: to_json()}, "merged": to_json()});
+    #: the sweep has already asserted cycle conservation per run.
+    telemetry: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -175,6 +179,15 @@ class FuzzReport:
             f"{self.compilations} compilation(s), "
             f"{len(self.failures)} failure(s)"
         ]
+        if self.telemetry:
+            for tier, dump in sorted(self.telemetry["tiers"].items()):
+                totals = dump["totals"]
+                attributed = totals["attributed_cycles"]
+                share = totals["fast_path_cycles"] / attributed \
+                    if attributed else 0.0
+                lines.append(
+                    f"  telemetry [{tier}]: {attributed} cycles attributed "
+                    f"(conserved), fast-path share {share:.1%}")
         if self.cycle_records:
             summary = self.backend_summary()
             lines.append(
@@ -264,7 +277,8 @@ def run_fuzz(base_seed: int = 0, count: int = 50,
              options=None, max_depth: int = 4,
              stop_after: Optional[int] = None,
              tiers: Sequence[str] = ("simulate", "native"),
-             backends: Sequence[str] = ("ordered",)) -> FuzzReport:
+             backends: Sequence[str] = ("ordered",),
+             telemetry: bool = False) -> FuzzReport:
     """Generate *count* programs from *base_seed* and, per target, compile
     them with the phase-boundary sanitizer (unless ``verify=False``) and
     check compiled results against the reference interpreter -- once per
@@ -281,15 +295,22 @@ def run_fuzz(base_seed: int = 0, count: int = 50,
     verify_ir, and optimizer_backend are overridden per run.  *stop_after*
     bounds the number of recorded failures (None: check the whole corpus
     regardless).
+
+    With ``telemetry=True`` every machine runs with execution telemetry
+    on, the harness asserts cycle conservation (``fast + fallback ==
+    cycles``; a mismatch is a recorded failure, stage ``telemetry``), and
+    :attr:`FuzzReport.telemetry` carries per-tier merged dumps.
     """
     from .compiler import Compiler
     from .datum import lisp_equal, sym
     from .errors import ReproError
     from .options import CompilerOptions
     from .reader.printer import write_to_string
+    from .telemetry import MachineTelemetry
 
     template = options or CompilerOptions()
     measure_ab = len(backends) > 1
+    merged_telemetry: Dict[str, MachineTelemetry] = {}
     report = FuzzReport(base_seed=base_seed, count=count,
                         targets=tuple(targets), verify=verify,
                         tiers=tuple(tiers), backends=tuple(backends))
@@ -328,6 +349,8 @@ def run_fuzz(base_seed: int = 0, count: int = 50,
                 for tier in tiers:
                     machine = compiler.machine()
                     machine.tier = tier
+                    if telemetry:
+                        machine.enable_telemetry()
                     try:
                         got = machine.run(sym(fn), list(args))
                     except ReproError as err:
@@ -337,6 +360,20 @@ def run_fuzz(base_seed: int = 0, count: int = 50,
                             tier=tier, backend=backend))
                         clean = False
                         continue
+                    if telemetry:
+                        attributed = \
+                            machine.telemetry.attributed_cycles()
+                        if attributed != machine.cycles:
+                            report.failures.append(FuzzFailure(
+                                seed, target, "telemetry",
+                                f"cycle conservation violated: "
+                                f"{attributed} attributed != "
+                                f"{machine.cycles} executed",
+                                source, tier=tier, backend=backend))
+                            clean = False
+                        merged_telemetry.setdefault(
+                            tier, MachineTelemetry()).merge(
+                                machine.telemetry)
                     if not lisp_equal(got, expected):
                         report.failures.append(FuzzFailure(
                             seed, target, "differential",
@@ -363,4 +400,13 @@ def run_fuzz(base_seed: int = 0, count: int = 50,
                 })
         if stop_after is not None and len(report.failures) >= stop_after:
             break
+    if telemetry:
+        overall = MachineTelemetry()
+        for tier_telemetry in merged_telemetry.values():
+            overall.merge(tier_telemetry)
+        report.telemetry = {
+            "tiers": {tier: t.to_json()
+                      for tier, t in merged_telemetry.items()},
+            "merged": overall.to_json(),
+        }
     return report

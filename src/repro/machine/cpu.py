@@ -24,6 +24,7 @@ from ..datum.symbols import Symbol, sym
 from ..errors import LispError, MachineError, WrongNumberOfArgumentsError
 from ..interp.environment import DeepBindingStack
 from ..primitives import Primitive, lookup_primitive
+from ..telemetry import MachineTelemetry
 from .heap import Heap
 from .isa import CYCLES, CodeObject, Instruction, Program, RAW_BINARY_OPS, RAW_UNARY_OPS
 from .values import (
@@ -223,6 +224,10 @@ class Machine:
         #: Exact execution profile; None (the default) keeps the hot loop
         #: branch-cheap.  See enable_profiling().
         self.profile: Optional[MachineProfile] = None
+        #: Execution telemetry (fast-path/fallback attribution, IC/GC/heap
+        #: events); None by default for the same reason.  See
+        #: enable_telemetry().
+        self.telemetry: Optional[MachineTelemetry] = None
 
     # -- public API -----------------------------------------------------------
 
@@ -245,6 +250,9 @@ class Machine:
         self.code = code
         self.pc = 0
         self._halted = False
+        telemetry = self.telemetry
+        span = None if telemetry is None \
+            else telemetry.begin_run(str(function), self)
         try:
             self._execute()
         except Exception:
@@ -255,6 +263,8 @@ class Machine:
             raise
         finally:
             self._flush_native_counts()
+            if span is not None:
+                telemetry.end_run(span, self)
         return self.machine_to_lisp(self.result)
 
     def _abort_run(self) -> None:
@@ -298,6 +308,35 @@ class Machine:
 
     def profile_data(self) -> Optional[Dict[str, Any]]:
         return None if self.profile is None else self.profile.to_json()
+
+    # -- telemetry -----------------------------------------------------------
+
+    def enable_telemetry(self) -> MachineTelemetry:
+        """Switch on execution telemetry (fresh counters).  The native
+        cache is dropped: translations made with telemetry on carry
+        instrumented inline-cache and fallback sites, so the two modes
+        never share generated code."""
+        self._flush_native_counts()
+        self.telemetry = MachineTelemetry(processor_id=self.processor_id)
+        self._native_cache.clear()
+        self._native_last = None
+        return self.telemetry
+
+    def disable_telemetry(self) -> Optional[MachineTelemetry]:
+        """Stop telemetry; returns what was collected (if anything)."""
+        telemetry, self.telemetry = self.telemetry, None
+        if telemetry is not None:
+            self._native_cache.clear()
+            self._native_last = None
+        return telemetry
+
+    def telemetry_report(self, top: int = 20) -> str:
+        if self.telemetry is None:
+            return "(telemetry is not enabled)"
+        return self.telemetry.report(top)
+
+    def telemetry_data(self) -> Optional[Dict[str, Any]]:
+        return None if self.telemetry is None else self.telemetry.to_json()
 
     def stats(self) -> Dict[str, Any]:
         self._flush_native_counts()
@@ -401,13 +440,18 @@ class Machine:
                 f"fell off the end of {self.code.name} at pc={self.pc}")
         instruction = self.code.instructions[self.pc]
         profile = self.profile
-        if profile is not None:
+        telemetry = self.telemetry
+        if profile is not None or telemetry is not None:
             # Snapshot before the base cost: handlers add dynamic cycles
             # (GENERIC primitive costs, vector length costs) and the delta
             # across the whole step must include them.
             profiled_code = self.code
             profiled_index = self.pc
             cycles_before = self.cycles
+            if telemetry is not None:
+                # The stack walk must happen before the handler runs --
+                # a RET pops the very frame records it reads.
+                telemetry_stack = telemetry.stack_key(self)
         self.pc += 1
         self.instructions += 1
         if self.instructions > self.fuel:
@@ -422,6 +466,13 @@ class Machine:
             profile.attribute(profiled_code, profiled_index,
                               instruction.opcode,
                               self.cycles - cycles_before)
+        if telemetry is not None:
+            # The simulate tier *is* the handler path: every cycle is by
+            # definition fallback (fast paths only exist natively).
+            telemetry.attribute_step(instruction.opcode,
+                                     self.cycles - cycles_before,
+                                     telemetry_stack)
+            telemetry.maybe_sample_heap(self.heap)
         if len(self.stack) > self.max_stack:
             self.max_stack = len(self.stack)
         if self.gc_threshold is not None:
@@ -437,7 +488,7 @@ class Machine:
         if heap.alloc_counter != self._gc_alloc_mark:
             self._gc_alloc_mark = heap.alloc_counter
             if heap.live_count() > self.gc_threshold:
-                self.collect_garbage()
+                self.collect_garbage(reason="watermark")
 
     # -- the native tier (repro.machine.native) -----------------------------
 
@@ -449,7 +500,8 @@ class Machine:
         if cached is None or cached[0] is not code:
             from .native import translate
 
-            cached = (code, translate(code, self.cycle_costs))
+            cached = (code, translate(code, self.cycle_costs,
+                                      telemetry=self.telemetry is not None))
             self._native_cache[id(code)] = cached
         return cached[1]
 
@@ -473,19 +525,31 @@ class Machine:
                 f"native tier: pc={self.pc} is not a block leader in "
                 f"{code.name}")
         profile = self.profile
-        if profile is None:
+        telemetry = self.telemetry
+        if profile is None and telemetry is None:
             block.run(self)
         else:
+            if telemetry is not None:
+                telemetry_stack = telemetry.stack_key(self)
             cycles_before = self.cycles
             block.run(self)
-            # Block-granular attribution: each instruction gets its static
-            # table cost; dynamic extras (GENERIC primitive cycles) are
-            # charged to the block's last instruction.
-            extra = self.cycles - cycles_before - block.cycles
-            for index, opcode, cycles in block.attributions[:-1]:
-                profile.attribute(code, index, opcode, cycles)
-            index, opcode, cycles = block.attributions[-1]
-            profile.attribute(code, index, opcode, cycles + extra)
+            if profile is not None:
+                # Block-granular attribution: each instruction gets its
+                # static table cost; dynamic extras (GENERIC primitive
+                # cycles) are charged to the block's last instruction.
+                extra = self.cycles - cycles_before - block.cycles
+                for index, opcode, cycles in block.attributions[:-1]:
+                    profile.attribute(code, index, opcode, cycles)
+                index, opcode, cycles = block.attributions[-1]
+                profile.attribute(code, index, opcode, cycles + extra)
+            if telemetry is not None:
+                # Fast/fallback per-opcode splits are static per block;
+                # dynamic extras were already reported per opcode by the
+                # instrumented fallback sites inside block.run().
+                telemetry.attribute_block(block,
+                                          self.cycles - cycles_before,
+                                          telemetry_stack)
+                telemetry.maybe_sample_heap(self.heap)
         self._native_counts[block] += 1
         if len(self.stack) > self.max_stack:
             self.max_stack = len(self.stack)
@@ -493,9 +557,10 @@ class Machine:
             self._maybe_auto_collect()
 
     def _execute_native(self) -> None:
-        if self.profile is not None:
-            # Profiling wants per-instruction attribution: take the
-            # precise (slower) per-block path.
+        if self.profile is not None or self.telemetry is not None:
+            # Profiling wants per-instruction attribution and telemetry
+            # wants per-block deltas: take the precise (slower) per-block
+            # path.  The chained hot loop below stays instrumentation-free.
             step_block = self.step_block
             while not self._halted:
                 step_block()
@@ -1164,8 +1229,11 @@ class Machine:
         roots.append(self.result)
         return roots
 
-    def collect_garbage(self) -> int:
-        return self.heap.collect(self.gc_roots())
+    def collect_garbage(self, reason: str = "explicit") -> int:
+        collected = self.heap.collect(self.gc_roots(), reason)
+        if self.telemetry is not None:
+            self.telemetry.note_gc(self.heap)
+        return collected
 
     def _op_gc(self, instruction: Instruction) -> None:
         self.collect_garbage()

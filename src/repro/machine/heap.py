@@ -9,7 +9,8 @@ measured quantity in the pdl-number and representation ablations (P2/P3).
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Set
+from time import perf_counter
+from typing import Any, Dict, Iterable, List, Optional, Set
 
 from ..datum import Cons
 from .values import Cell, Closure, HeapNumber
@@ -25,6 +26,12 @@ class Heap:
         self.certifications = 0  # pdl pointers copied to the heap
         self.gc_runs = 0
         self.gc_collected = 0
+        #: Cumulative wall-clock seconds spent inside collect().
+        self.gc_pause_seconds = 0.0
+        #: The last collection's event record (reason, pause_s, collected,
+        #: live_before/live_after, watermark, at_s on the perf_counter
+        #: clock); telemetry copies this into its GC event stream.
+        self.last_gc: Optional[Dict[str, Any]] = None
         #: Monotone allocation counter (never decremented by collection):
         #: the machines' automatic-GC trigger watches this watermark so
         #: the live-set check runs exactly when something was allocated.
@@ -96,8 +103,14 @@ class Heap:
 
     # -- garbage collection -----------------------------------------------------
 
-    def collect(self, roots: Iterable[Any]) -> int:
-        """Mark-sweep from the given roots; returns number collected."""
+    def collect(self, roots: Iterable[Any], reason: str = "explicit") -> int:
+        """Mark-sweep from the given roots; returns number collected.
+        *reason* names the trigger ("explicit" GC instruction, an
+        allocation "watermark", a "multi-watermark" stop-the-world) and is
+        recorded -- with the pause wall-time, reclaim counts, and the
+        allocation watermark -- in :attr:`last_gc`."""
+        started = perf_counter()
+        live_before = len(self.objects)
         self.gc_runs += 1
         marked: Set[int] = set()
         pending: List[Any] = list(roots)
@@ -126,4 +139,11 @@ class Heap:
             self._by_id.pop(oid, None)
         self.objects = marked
         self.gc_collected += collected
+        pause = perf_counter() - started
+        self.gc_pause_seconds += pause
+        self.last_gc = {
+            "reason": reason, "at_s": started, "pause_s": pause,
+            "collected": collected, "live_before": live_before,
+            "live_after": len(marked), "watermark": self.alloc_counter,
+        }
         return collected

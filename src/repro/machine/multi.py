@@ -145,7 +145,44 @@ class MultiMachine:
         roots: List[Any] = []
         for cpu in self.processors:
             roots.extend(cpu.gc_roots())
-        self.heap.collect(roots)
+        self.heap.collect(roots, reason="multi-watermark")
+        # One shared heap, one event: record it once, tagged "all" (a
+        # stop-the-world pause stalls every processor).
+        for cpu in self.processors:
+            if cpu.telemetry is not None:
+                cpu.telemetry.note_gc(self.heap, processor="all")
+                break
+
+    # -- telemetry -----------------------------------------------------------
+
+    def enable_telemetry(self) -> None:
+        """Switch on telemetry on every processor; events are tagged with
+        each processor's id (stop-the-world GC is tagged "all")."""
+        for cpu in self.processors:
+            cpu.enable_telemetry()
+
+    def telemetry_data(self) -> Optional[Dict[str, Any]]:
+        """Per-processor telemetry dumps plus a merged aggregate, or None
+        when telemetry is not enabled anywhere."""
+        from ..telemetry import MachineTelemetry
+
+        per_processor = []
+        merged = MachineTelemetry()
+        for cpu in self.processors:
+            if cpu.telemetry is not None:
+                per_processor.append(cpu.telemetry.to_json())
+                merged.merge(cpu.telemetry)
+        if not per_processor:
+            return None
+        return {"processors": per_processor, "merged": merged.to_json()}
+
+    def telemetry_report(self, top: int = 20) -> str:
+        reports = [f"-- processor {cpu.processor_id} --\n"
+                   + cpu.telemetry.report(top)
+                   for cpu in self.processors if cpu.telemetry is not None]
+        if not reports:
+            return "(telemetry is not enabled)"
+        return "\n".join(reports)
 
     # -- statistics -----------------------------------------------------------
 

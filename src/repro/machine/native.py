@@ -152,12 +152,17 @@ class NativeBlock:
     itself (calls to other CodeObjects, returns, halts, fallbacks)."""
 
     __slots__ = ("run", "start", "count", "cycles", "opcodes",
-                 "attributions")
+                 "attributions", "label", "tel_fast", "tel_fast_counts",
+                 "tel_fallback", "tel_fallback_counts",
+                 "tel_fallback_total")
 
     def __init__(self, run: Callable[[Any], Optional["NativeBlock"]],
                  start: int, count: int,
                  cycles: int, opcodes: Dict[str, int],
-                 attributions: List[Any]):
+                 attributions: List[Any], label: str,
+                 tel_fast: Dict[str, int], tel_fast_counts: Dict[str, int],
+                 tel_fallback: Dict[str, int],
+                 tel_fallback_counts: Dict[str, int]):
         self.run = run
         self.start = start          # leader pc
         self.count = count          # instructions in the block
@@ -165,6 +170,20 @@ class NativeBlock:
         self.opcodes = opcodes      # opcode -> count within the block
         #: (index, opcode, static cycles) per instruction, for the profiler.
         self.attributions = attributions
+        #: "function:leader" hotness key for telemetry.
+        self.label = label
+        #: Telemetry's static fast/fallback split: per-execution cycles
+        #: and instruction counts by opcode.  "Fallback" here means the
+        #: instruction's *primary* emission is a simulator handler call;
+        #: tel_fast includes statically-known inline extras (a resolved
+        #: GENERIC's primitive cycles), so
+        #: ``sum(tel_fast) + sum(tel_fallback) == cycles + inline extras``
+        #: and dynamic handler extras arrive via instrumented sites.
+        self.tel_fast = tel_fast
+        self.tel_fast_counts = tel_fast_counts
+        self.tel_fallback = tel_fallback
+        self.tel_fallback_counts = tel_fallback_counts
+        self.tel_fallback_total = sum(tel_fallback.values())
 
 
 class NativeCode:
@@ -196,9 +215,14 @@ def _imm_raw(operand) -> bool:
 
 class _Translator:
     def __init__(self, code: CodeObject,
-                 cycle_costs: Optional[Dict[str, int]] = None):
+                 cycle_costs: Optional[Dict[str, int]] = None,
+                 telemetry: bool = False):
         self.code = code
         self.costs = CYCLES if cycle_costs is None else cycle_costs
+        #: Telemetry mode: fallback sites are wrapped to report dynamic
+        #: cycle extras and inline-cache probes bump hit/miss counters.
+        #: Off (the default) generates exactly the uninstrumented code.
+        self.telemetry = telemetry
         self.ns: Dict[str, Any] = {
             "MachineError": MachineError,
             "NIL": NIL,
@@ -223,6 +247,13 @@ class _Translator:
         self._hoists: List[str] = []
         self._tp_ok = False
         self._fb_ok = False
+        self._tel_ok = False
+        # Telemetry classification, filled during emission: instruction
+        # indices whose *primary* emission is a simulator handler call,
+        # and statically-known inline cycle extras (resolved GENERICs).
+        self._fallback_main: set = set()
+        self._inline_extra: Dict[int, int] = {}
+        self._block_start = 0
 
     # -- namespace helpers --------------------------------------------------
 
@@ -301,6 +332,12 @@ class _Translator:
                 f"regs[5] = {nargs}",
                 "m.call_count += 1"]
 
+    def _tel_ref(self) -> str:
+        if not self._tel_ok:
+            self._hoists.append("_tel = m.telemetry")
+            self._tel_ok = True
+        return "_tel"
+
     def _fallback_call(self, instruction: Instruction, index: int) -> str:
         handler = _DISPATCH.get(instruction.opcode)
         if handler is None:
@@ -308,6 +345,20 @@ class _Translator:
             # bad instruction is actually executed.
             return f"raise MachineError('bad opcode {instruction.opcode}')"
         hname, iname = f"_h{index}", f"_i{index}"
+        if self.telemetry:
+            # Wrap the handler to report its dynamic cycle extras (GENERIC
+            # primitive costs, vector length costs) per opcode: cycle
+            # conservation then holds exactly, static split + extras.
+            block_label = f"{self.code.name}:{self._block_start}"
+
+            def instrumented(m, _h=handler, _i=instruction,
+                             _op=instruction.opcode, _blk=block_label):
+                before = m.cycles
+                _h(m, _i)
+                m.telemetry.note_fallback(_op, _blk, m.cycles - before)
+
+            self.ns[hname] = instrumented
+            return f"{hname}(m)"
         self.ns[hname] = handler
         self.ns[iname] = instruction
         return f"{hname}(m, {iname})"
@@ -353,6 +404,8 @@ class _Translator:
             # the frame record, so the hoisted aliases die here.
             self._tp_ok = False
             self._fb_ok = False
+            self._fallback_main.add(index)
+            self._inline_extra.pop(index, None)
             return [self._fallback_call(instruction, index)]
 
         if op == "MOV":
@@ -582,6 +635,14 @@ class _Translator:
                 # re-resolves; ns (and thus the cell) is per machine.
                 cell = f"_cs{index}"
                 self.ns[cell] = [None, None]
+                if self.telemetry:
+                    tel = self._tel_ref()
+                    site = konst(f"{self.code.name}:{index}->{target[1]}")
+                    probe_hit = [f"    {tel}.ic_hit({site})"]
+                    probe_miss = [f"{tel}.ic_miss({site},"
+                                  f" {cell}[0] is not None)"]
+                else:
+                    probe_hit = probe_miss = []
                 return ([f"_c = m.program.functions.get({kname})",
                          "if _c is None:",
                          f"    m.pc = {index + 1}",
@@ -590,9 +651,11 @@ class _Translator:
                         + push
                         + ["m.code = _c",
                            "m.pc = 0",
-                           f"if _c is {cell}[0]:",
-                           f"    return {cell}[1]",
-                           "_native = m._native_code_for(_c)",
+                           f"if _c is {cell}[0]:"]
+                        + probe_hit
+                        + [f"    return {cell}[1]"]
+                        + probe_miss
+                        + ["_native = m._native_code_for(_c)",
                            f"{cell}[0] = _c",
                            f"{cell}[1] = _native.blocks.get(0)",
                            f"return {cell}[1]"])
@@ -729,6 +792,11 @@ class _Translator:
             if stmt is None:
                 return fallback()
             lines.append(stmt)
+            if primitive.cycles:
+                # The inline ``m.cycles += primitive.cycles`` is a
+                # statically-known per-execution extra: telemetry folds it
+                # into the block's fast-path split.
+                self._inline_extra[index] = primitive.cycles
             return lines
 
         if _is_terminator(instruction):
@@ -743,6 +811,7 @@ class _Translator:
         # The handler expects the simulator's convention: pc already
         # advanced past the instruction (CALLF saves it as the return
         # address, LOCK spins by decrementing it, throw overwrites it).
+        self._fallback_main.add(index)
         return [f"m.pc = {index + 1}",
                 self._fallback_call(instruction, index),
                 "return"]
@@ -764,6 +833,8 @@ class _Translator:
             module.append(f"def {fname}(m):")
             self._tp_ok = False
             self._fb_ok = False
+            self._tel_ok = False
+            self._block_start = start
             core: List[str] = []
             for k in range(start, end):
                 core.extend(self.emit(k))
@@ -790,14 +861,39 @@ class _Translator:
             attributions = [(k, instructions[k].opcode,
                              self.costs.get(instructions[k].opcode, 1))
                             for k in range(start, end)]
+            # Telemetry's static split, decided by how each instruction
+            # was just emitted: handler-call main paths are fallback,
+            # everything else (including guarded inline slow helpers) is
+            # fast path with any statically-known inline extras folded in.
+            tel_fast: Dict[str, int] = {}
+            tel_fast_counts: Dict[str, int] = {}
+            tel_fallback: Dict[str, int] = {}
+            tel_fallback_counts: Dict[str, int] = {}
+            for k in range(start, end):
+                opcode = instructions[k].opcode
+                cost = self.costs.get(opcode, 1)
+                if k in self._fallback_main:
+                    tel_fallback[opcode] = tel_fallback.get(opcode, 0) + cost
+                    tel_fallback_counts[opcode] = \
+                        tel_fallback_counts.get(opcode, 0) + 1
+                else:
+                    tel_fast[opcode] = tel_fast.get(opcode, 0) + cost \
+                        + self._inline_extra.get(k, 0)
+                    tel_fast_counts[opcode] = \
+                        tel_fast_counts.get(opcode, 0) + 1
             info.append((fname, start, count, static, dict(opcodes),
-                         attributions))
+                         attributions, tel_fast, tel_fast_counts,
+                         tel_fallback, tel_fallback_counts))
         source = "\n".join(module)
         exec(compile(source, f"<native:{self.code.name}>", "exec"), self.ns)
         blocks = {start: NativeBlock(self.ns[fname], start, count, static,
-                                     opcodes, attributions)
-                  for fname, start, count, static, opcodes, attributions
-                  in info}
+                                     opcodes, attributions,
+                                     f"{self.code.name}:{start}",
+                                     tel_fast, tel_fast_counts,
+                                     tel_fallback, tel_fallback_counts)
+                  for fname, start, count, static, opcodes, attributions,
+                  tel_fast, tel_fast_counts, tel_fallback,
+                  tel_fallback_counts in info}
         # Static chaining: ``return B<leader>`` in generated code resolves
         # to the target NativeBlock through the module namespace.
         for start, block in blocks.items():
@@ -806,8 +902,14 @@ class _Translator:
 
 
 def translate(code: CodeObject,
-              cycle_costs: Optional[Dict[str, int]] = None) -> NativeCode:
+              cycle_costs: Optional[Dict[str, int]] = None,
+              telemetry: bool = False) -> NativeCode:
     """Translate *code* into native blocks under *cycle_costs* (default:
     the S-1 table).  Pure: the CodeObject is never mutated, so one
-    translation serves every machine with the same cost table."""
-    return _Translator(code, cycle_costs).translate()
+    translation serves every machine with the same cost table.  With
+    *telemetry* the generated code carries inline-cache probes and
+    fallback-site cycle reporting (reading ``m.telemetry`` at run time),
+    so instrumented and plain translations must not share a cache --
+    ``Machine.enable_telemetry`` drops its native cache for this reason.
+    """
+    return _Translator(code, cycle_costs, telemetry).translate()

@@ -34,7 +34,8 @@ import json
 import os
 import threading
 import time
-from collections import OrderedDict
+import uuid
+from collections import OrderedDict, deque
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from .api import (
@@ -57,12 +58,38 @@ from .trace import merge_diagnostics_totals, new_metric_totals, \
 LATENCY_BUCKETS = (0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
                    1.0, 2.5, 5.0, 10.0)
 
+#: How many recent request ids the server keeps for the stats payload.
+RECENT_REQUEST_IDS = 64
+
 #: Default cap on one request's wire size (socket line or HTTP body).
 #: asyncio streams default to a 64 KiB limit, far below a realistic
 #: source file; this is also the bound the HTTP handler enforces on
 #: Content-Length so a client cannot make the daemon buffer arbitrary
 #: amounts of memory.
 DEFAULT_MAX_REQUEST_BYTES = 64 * 1024 * 1024
+
+
+def request_trace_id(request: Any) -> Optional[str]:
+    """The client-supplied ``trace_id`` of a parsed request, if any."""
+    if isinstance(request, Mapping):
+        value = request.get("trace_id")
+        if isinstance(value, str) and value:
+            return value
+    return None
+
+
+def tag_response(response: Dict[str, Any], trace_id: Optional[str]
+                 ) -> Tuple[Dict[str, Any], str]:
+    """Every response envelope identifies its request: the client's
+    ``trace_id`` echoed back, or a server-minted ``request_id`` when the
+    client sent none.  Both fields are additive, so old clients are
+    unaffected; returns ``(response, the id used)``."""
+    if trace_id is not None:
+        response["trace_id"] = trace_id
+        return response, trace_id
+    request_id = "req-" + uuid.uuid4().hex[:12]
+    response["request_id"] = request_id
+    return response, request_id
 
 
 def _socket_answers(path: str, timeout: float = 0.5) -> bool:
@@ -96,6 +123,10 @@ class ServerMetrics:
         self.latency: Dict[str, List[int]] = {}
         self.latency_sum: Dict[str, float] = {}
         self.diagnostics_totals = new_metric_totals()
+        #: Bounded journal of recently answered requests (id, op, seconds,
+        #: ok) -- the /metrics-adjacent stats payload exposes it so a
+        #: traced client round trip can be located server-side by id.
+        self.recent: "deque" = deque(maxlen=RECENT_REQUEST_IDS)
         self.started = time.time()
 
     def observe(self, op: str, seconds: float, ok: bool) -> None:
@@ -112,6 +143,16 @@ class ServerMetrics:
             else:
                 buckets[-1] += 1
             self.latency_sum[op] = self.latency_sum.get(op, 0.0) + seconds
+
+    def note_request(self, request_id: str, op: str, seconds: float,
+                     ok: bool) -> None:
+        with self._lock:
+            self.recent.append({"id": request_id, "op": op,
+                                "seconds": round(seconds, 6), "ok": ok})
+
+    def recent_requests(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return list(self.recent)
 
     def count_busy(self) -> None:
         with self._lock:
@@ -296,45 +337,61 @@ class ReproServer:
             self._local.state = state
         return state
 
-    def _execute(self, op: str, params: Mapping[str, Any]
-                 ) -> Dict[str, Any]:
-        """Runs on a worker thread: one queued wire op."""
+    def _execute(self, op: str, params: Mapping[str, Any],
+                 accepted_at: Optional[float] = None) -> Dict[str, Any]:
+        """Runs on a worker thread: one queued wire op.  A traced request
+        (one carrying a ``trace_id``) gets ``server_timing`` attached --
+        how long it waited for a worker and how long it executed, on the
+        server's own clock -- so the client can reconstruct the round
+        trip (:func:`repro.trace.build_request_trace`)."""
         with self._counter_lock:
             self._queued -= 1
             self._in_flight += 1
+        begun = time.perf_counter()
         try:
-            worker = self._worker()
-            request_key = params.get("cache_key")
-            if not isinstance(request_key, str):
-                request_key = None
-            if op == "compile":
-                want = bool(params.get("diagnostics", False))
-                cached = worker.cached_response(request_key,
-                                                want_diagnostics=want)
-                if cached is not None:
-                    return ok_response(op, cached)
-                params = {k: v for k, v in params.items()
-                          if k != "cache_key"}
-                # Always collect diagnostics worker-side: /metrics is fed
-                # from them, and the response cache keeps them so a later
-                # requester may ask; strip from the response unless asked.
-                params = dict(params, diagnostics=True)
-                payload = worker.service.handle_op(op, params)
-                diagnostics = payload.get("diagnostics")
-                if diagnostics is not None:
-                    self.metrics.merge_diagnostics(diagnostics)
-                worker.remember_response(request_key, payload)
-                if not want:
-                    payload = {k: v for k, v in payload.items()
-                               if k != "diagnostics"}
-                return ok_response(op, payload)
-            if op == "batch":
-                return ok_response(op, self._execute_batch(worker, params))
-            payload = worker.service.handle_op(op, params)
-            return ok_response(op, payload)
+            response = self._execute_op(op, params)
+            if isinstance(params.get("trace_id"), str):
+                response["server_timing"] = {
+                    "queue_wait_s": max(begun - accepted_at, 0.0)
+                    if accepted_at is not None else 0.0,
+                    "execute_s": time.perf_counter() - begun,
+                }
+            return response
         finally:
             with self._counter_lock:
                 self._in_flight -= 1
+
+    def _execute_op(self, op: str, params: Mapping[str, Any]
+                    ) -> Dict[str, Any]:
+        worker = self._worker()
+        request_key = params.get("cache_key")
+        if not isinstance(request_key, str):
+            request_key = None
+        if op == "compile":
+            want = bool(params.get("diagnostics", False))
+            cached = worker.cached_response(request_key,
+                                            want_diagnostics=want)
+            if cached is not None:
+                return ok_response(op, cached)
+            params = {k: v for k, v in params.items()
+                      if k != "cache_key"}
+            # Always collect diagnostics worker-side: /metrics is fed
+            # from them, and the response cache keeps them so a later
+            # requester may ask; strip from the response unless asked.
+            params = dict(params, diagnostics=True)
+            payload = worker.service.handle_op(op, params)
+            diagnostics = payload.get("diagnostics")
+            if diagnostics is not None:
+                self.metrics.merge_diagnostics(diagnostics)
+            worker.remember_response(request_key, payload)
+            if not want:
+                payload = {k: v for k, v in payload.items()
+                           if k != "diagnostics"}
+            return ok_response(op, payload)
+        if op == "batch":
+            return ok_response(op, self._execute_batch(worker, params))
+        payload = worker.service.handle_op(op, params)
+        return ok_response(op, payload)
 
     def _execute_batch(self, worker: _WorkerState,
                        params: Mapping[str, Any]) -> Dict[str, Any]:
@@ -406,13 +463,30 @@ class ReproServer:
             "timeouts_total": self.metrics.timeouts,
             "cache_hit_ratio": self.metrics.cache_hit_ratio(),
             "cache_dir": self.cache_dir,
+            "recent_requests": self.metrics.recent_requests(),
         })
         return data
 
     async def _respond(self, request: Any) -> Dict[str, Any]:
         """One parsed request object -> one response object.  Never
-        raises: every failure becomes a structured error envelope."""
+        raises: every failure becomes a structured error envelope, and
+        every envelope -- success, busy, timeout, internal error --
+        carries either the client's echoed ``trace_id`` or a
+        server-minted ``request_id``."""
         started = time.perf_counter()
+        response = await self._respond_inner(request, started)
+        response, request_id = tag_response(response,
+                                            request_trace_id(request))
+        op = response.get("op") \
+            or (response.get("error") or {}).get("code", "?")
+        self.metrics.note_request(request_id, op,
+                                  time.perf_counter() - started,
+                                  bool(response.get("ok")))
+        return response
+
+    async def _respond_inner(self, request: Any,
+                             accepted_at: float) -> Dict[str, Any]:
+        started = accepted_at
         op = "?"
         ok = True
         try:
@@ -450,7 +524,8 @@ class ReproServer:
             try:
                 assert self._loop is not None
                 future = self._loop.run_in_executor(
-                    self._executor, self._execute, op, dict(params))
+                    self._executor, self._execute, op, dict(params),
+                    accepted_at)
                 try:
                     response = await asyncio.wait_for(
                         asyncio.shield(future), self.request_timeout)
@@ -493,10 +568,10 @@ class ReproServer:
                     # ValueError (not LimitOverrunError); the buffered
                     # data is unusable, so answer structurally and drop
                     # the connection.
-                    response = error_response(ApiError(
+                    response, _ = tag_response(error_response(ApiError(
                         "too-large",
                         f"request line exceeds the server's "
-                        f"{self.max_request_bytes} byte limit"))
+                        f"{self.max_request_bytes} byte limit")), None)
                     try:
                         writer.write(
                             json.dumps(response).encode("utf-8") + b"\n")
@@ -512,8 +587,9 @@ class ReproServer:
                 try:
                     request = json.loads(line)
                 except ValueError as err:
-                    response = error_response(
-                        ApiError("bad-json", f"unparseable request: {err}"))
+                    response, _ = tag_response(error_response(
+                        ApiError("bad-json",
+                                 f"unparseable request: {err}")), None)
                 else:
                     response = await self._respond(request)
                 writer.write(json.dumps(response).encode("utf-8") + b"\n")
@@ -578,10 +654,11 @@ class ReproServer:
                 length = 0
             length = max(0, length)
             if length > self.max_request_bytes:
-                body = json.dumps(error_response(ApiError(
+                body = json.dumps(tag_response(error_response(ApiError(
                     "too-large",
                     f"request body of {length} bytes exceeds the "
-                    f"server's {self.max_request_bytes} byte limit")))
+                    f"server's {self.max_request_bytes} byte limit")),
+                    None)[0])
                 await self._http_reply(writer, 413, "application/json",
                                        body.encode("utf-8") + b"\n")
                 return
@@ -592,8 +669,9 @@ class ReproServer:
             try:
                 request = json.loads(body or b"null")
             except ValueError as err:
-                response = error_response(
-                    ApiError("bad-json", f"unparseable request: {err}"))
+                response, _ = tag_response(error_response(
+                    ApiError("bad-json",
+                             f"unparseable request: {err}")), None)
             else:
                 response = await self._respond(request)
             status = 200 if response.get("ok") else 400

@@ -1,0 +1,368 @@
+"""Machine-level execution telemetry (PR 9).
+
+The paper's whole argument rests on cycle accounting, and the repo has two
+execution tiers -- but without telemetry the machine runtime is a black
+box: nothing records which native-tier instructions hit inlined fast paths
+vs fell back to simulator handlers, inline-cache hit rates, GC pauses, or
+heap occupancy.  :class:`MachineTelemetry` is that record: a structured,
+off-by-default event/counter layer the machine threads through both tiers.
+
+Design constraints:
+
+* **Off by default, cheap when off.**  ``Machine.telemetry`` is ``None``
+  unless :meth:`Machine.enable_telemetry` was called; the hot loops pay
+  one attribute load + branch per step, and the native tier's chained
+  dispatch loop pays nothing (telemetry routes through the per-block
+  path, exactly like the profiler).
+* **Cycle conservation.**  Every executed instruction's cycles land in
+  exactly one of two per-opcode counters -- ``fast_path`` (inline
+  generated code) or ``fallback`` (simulator ``_DISPATCH`` handlers) --
+  and ``sum(fast_path) + sum(fallback) == Machine.cycles`` holds exactly
+  for any completed run.  On the simulate tier everything is by
+  definition fallback (the simulator *is* the handler path); the native
+  tier splits each block's statically-known costs at translation time and
+  instrumented fallback sites report their dynamic extras (GENERIC
+  primitive costs, vector length costs) as they happen.
+* **Target-independent schema.**  Counters are keyed by opcode / call
+  site / block label, never by target register names, so one consumer
+  reads s1, vax, and pdp10 runs alike.
+
+The exporters live in :mod:`repro.trace` (Chrome-trace execution tracks,
+``repro_machine_*`` Prometheus families, collapsed-stack flamegraphs);
+this module has no dependencies beyond the standard library so the
+machine layer can import it freely.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from time import perf_counter
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["MachineTelemetry"]
+
+#: Allocation stride between heap-occupancy samples: fine enough to see
+#: sawtooth between collections, coarse enough to stay cheap.
+HEAP_SAMPLE_STRIDE = 256
+
+
+class MachineTelemetry:
+    """Execution telemetry for one machine (or merged across machines).
+
+    All counters are cumulative from :meth:`Machine.enable_telemetry`.
+    Keys are strings throughout (opcodes, ``function:leader`` block
+    labels, ``function:index->callee`` inline-cache sites) so
+    ``to_json()`` round-trips losslessly.
+    """
+
+    def __init__(self, processor_id: int = 0):
+        self.processor_id = processor_id
+        #: opcode -> cycles executed as inline generated code (native tier).
+        self.fast_cycles: Counter = Counter()
+        self.fast_counts: Counter = Counter()
+        #: opcode -> cycles executed via simulator _DISPATCH handlers.
+        self.fallback_cycles: Counter = Counter()
+        self.fallback_counts: Counter = Counter()
+        #: opcode -> dynamic handler entries (includes conditional slow
+        #: paths of statically-inline instructions, so it can exceed
+        #: fallback_counts on the native tier).
+        self.fallback_entries: Counter = Counter()
+        #: "function:index->callee" -> [hits, misses, invalidations].
+        self.ic_sites: Dict[str, List[int]] = {}
+        #: "function:leader" -> block executions / cycles / fallback share.
+        self.block_runs: Counter = Counter()
+        self.block_cycles: Counter = Counter()
+        self.block_fallback_cycles: Counter = Counter()
+        #: GC events (reason, pause_s, collected, live before/after,
+        #: watermark) and the heap-occupancy timeline, perf_counter clock.
+        self.gc_events: List[Dict[str, Any]] = []
+        self.heap_samples: List[Dict[str, Any]] = []
+        #: One span per Machine.run() (name, tier, wall-clock, cycles).
+        self.run_spans: List[Dict[str, Any]] = []
+        #: call-stack tuple -> cycles, for the collapsed-stack flamegraph.
+        #: Stacks reflect live frames (tail calls replace their frame).
+        self.stack_cycles: Counter = Counter()
+        self._last_heap_mark = -(10 ** 9)
+        self._stack_cache_key: Optional[Tuple[int, int]] = None
+        self._stack_cache: Tuple[str, ...] = ()
+
+    # -- hot-path attribution (called by cpu.py / generated code) -----------
+
+    def attribute_step(self, opcode: str, delta: int,
+                       stack: Tuple[str, ...]) -> None:
+        """Simulate tier: one instruction executed via its handler."""
+        self.fallback_cycles[opcode] += delta
+        self.fallback_counts[opcode] += 1
+        self.fallback_entries[opcode] += 1
+        self.stack_cycles[stack] += delta
+
+    def attribute_block(self, block: Any, delta: int,
+                        stack: Tuple[str, ...]) -> None:
+        """Native tier: one translated block executed (*delta* is the
+        block's full cycle delta including dynamic extras, which
+        instrumented fallback sites have already attributed per opcode
+        via :meth:`note_fallback`)."""
+        label = block.label
+        self.block_runs[label] += 1
+        self.block_cycles[label] += delta
+        fast_cycles = self.fast_cycles
+        for opcode, cycles in block.tel_fast.items():
+            fast_cycles[opcode] += cycles
+        fast_counts = self.fast_counts
+        for opcode, count in block.tel_fast_counts.items():
+            fast_counts[opcode] += count
+        if block.tel_fallback_total:
+            fallback_cycles = self.fallback_cycles
+            for opcode, cycles in block.tel_fallback.items():
+                fallback_cycles[opcode] += cycles
+            fallback_counts = self.fallback_counts
+            for opcode, count in block.tel_fallback_counts.items():
+                fallback_counts[opcode] += count
+            self.block_fallback_cycles[label] += block.tel_fallback_total
+        self.stack_cycles[stack] += delta
+
+    def note_fallback(self, opcode: str, block: str, extra: int) -> None:
+        """An instrumented native fallback site ran its handler; *extra*
+        is whatever the handler added beyond the static table cost."""
+        self.fallback_entries[opcode] += 1
+        if extra:
+            self.fallback_cycles[opcode] += extra
+            self.block_fallback_cycles[block] += extra
+
+    def ic_hit(self, site: str) -> None:
+        cell = self.ic_sites.get(site)
+        if cell is None:
+            cell = self.ic_sites[site] = [0, 0, 0]
+        cell[0] += 1
+
+    def ic_miss(self, site: str, invalidation: bool) -> None:
+        cell = self.ic_sites.get(site)
+        if cell is None:
+            cell = self.ic_sites[site] = [0, 0, 0]
+        cell[1] += 1
+        if invalidation:
+            cell[2] += 1
+
+    def stack_key(self, machine: Any) -> Tuple[str, ...]:
+        """The current call stack as a tuple of function names, cached on
+        (code identity, frame pointer) so it is rebuilt only when a call
+        or return actually changed the stack."""
+        code = machine.code
+        key = (id(code), machine.fp)
+        if key == self._stack_cache_key:
+            return self._stack_cache
+        names = [code.name]
+        stack = machine.stack
+        fp = machine.fp
+        while fp >= 0:
+            record = stack[fp]
+            caller = record.ret_code
+            if caller is None:
+                break
+            names.append(caller.name)
+            fp = record.old_fp
+        names.reverse()
+        result = tuple(names)
+        self._stack_cache_key = key
+        self._stack_cache = result
+        return result
+
+    # -- GC / heap ----------------------------------------------------------
+
+    def note_gc(self, heap: Any, processor: Any = None) -> None:
+        """Record the collection the heap just finished (heap.last_gc)."""
+        event = dict(heap.last_gc)
+        event["processor"] = self.processor_id if processor is None \
+            else processor
+        self.gc_events.append(event)
+        self._last_heap_mark = heap.alloc_counter
+        self.heap_samples.append({
+            "at_s": event["at_s"], "live": event["live_before"],
+            "allocated": event["watermark"], "event": "gc-before",
+            "processor": event["processor"]})
+        self.heap_samples.append({
+            "at_s": event["at_s"] + event["pause_s"],
+            "live": event["live_after"], "allocated": event["watermark"],
+            "event": "gc-after", "processor": event["processor"]})
+
+    def maybe_sample_heap(self, heap: Any) -> None:
+        if heap.alloc_counter - self._last_heap_mark >= HEAP_SAMPLE_STRIDE:
+            self.sample_heap(heap)
+
+    def sample_heap(self, heap: Any, event: Optional[str] = None) -> None:
+        self._last_heap_mark = heap.alloc_counter
+        self.heap_samples.append({
+            "at_s": perf_counter(), "live": heap.live_count(),
+            "allocated": heap.alloc_counter, "event": event,
+            "processor": self.processor_id})
+
+    # -- run spans ----------------------------------------------------------
+
+    def begin_run(self, name: str, machine: Any) -> Dict[str, Any]:
+        span = {"name": name, "tier": machine.tier,
+                "processor": self.processor_id,
+                "started_s": perf_counter(), "duration_s": None,
+                "cycles": None, "instructions": None,
+                "_cycles0": machine.cycles,
+                "_instructions0": machine.instructions}
+        self.run_spans.append(span)
+        return span
+
+    def end_run(self, span: Dict[str, Any], machine: Any) -> None:
+        span["duration_s"] = perf_counter() - span["started_s"]
+        span["cycles"] = machine.cycles - span.pop("_cycles0")
+        span["instructions"] = machine.instructions \
+            - span.pop("_instructions0")
+        self.sample_heap(machine.heap, event="run-end")
+
+    # -- aggregation --------------------------------------------------------
+
+    def merge(self, other: "MachineTelemetry") -> "MachineTelemetry":
+        """Fold *other*'s counters and events into this one (fuzz sweeps
+        and MultiMachine aggregate per-machine telemetry this way)."""
+        self.fast_cycles.update(other.fast_cycles)
+        self.fast_counts.update(other.fast_counts)
+        self.fallback_cycles.update(other.fallback_cycles)
+        self.fallback_counts.update(other.fallback_counts)
+        self.fallback_entries.update(other.fallback_entries)
+        for site, (hits, misses, invalidations) in other.ic_sites.items():
+            cell = self.ic_sites.setdefault(site, [0, 0, 0])
+            cell[0] += hits
+            cell[1] += misses
+            cell[2] += invalidations
+        self.block_runs.update(other.block_runs)
+        self.block_cycles.update(other.block_cycles)
+        self.block_fallback_cycles.update(other.block_fallback_cycles)
+        self.gc_events.extend(other.gc_events)
+        self.heap_samples.extend(other.heap_samples)
+        self.run_spans.extend(
+            {k: v for k, v in span.items() if not k.startswith("_")}
+            for span in other.run_spans)
+        self.stack_cycles.update(other.stack_cycles)
+        return self
+
+    # -- queries ------------------------------------------------------------
+
+    def attributed_cycles(self) -> int:
+        """Total cycles attributed; equals ``Machine.cycles`` exactly for
+        any completed run with telemetry enabled from machine creation
+        (the conservation invariant the tests assert)."""
+        return (sum(self.fast_cycles.values())
+                + sum(self.fallback_cycles.values()))
+
+    def top_fallback_opcodes(self, top: int = 5
+                             ) -> List[Tuple[str, int, int]]:
+        """(opcode, fallback cycles, handler entries), hottest first --
+        the ROADMAP "what to inline next" list."""
+        return [(opcode, cycles, self.fallback_entries[opcode])
+                for opcode, cycles in self.fallback_cycles.most_common(top)]
+
+    def coldest_ic_sites(self, top: int = 5
+                         ) -> List[Tuple[str, float, List[int]]]:
+        """(site, hit ratio, [hits, misses, invalidations]) sorted by hit
+        ratio ascending then miss count descending: the call sites where
+        the per-call-site inline cache earns the least."""
+        scored = []
+        for site, cell in self.ic_sites.items():
+            total = cell[0] + cell[1]
+            if not total:
+                continue
+            scored.append((site, cell[0] / total, list(cell)))
+        scored.sort(key=lambda item: (item[1], -item[2][1]))
+        return scored[:top]
+
+    # -- reports ------------------------------------------------------------
+
+    def hot_report(self, top: int = 10) -> str:
+        """Top blocks and opcodes by fallback cycles (the REPL ``:hot``)."""
+        lines = ["Hot fallback opcodes (cycles spent in simulator "
+                 "handlers):"]
+        ranked = self.fallback_cycles.most_common(top)
+        if not ranked:
+            lines.append("  (none -- every executed instruction ran "
+                         "inline)")
+        lines.append("   cycles  entries  opcode")
+        for opcode, cycles in ranked:
+            lines.append(f"  {cycles:7d}  {self.fallback_entries[opcode]:7d}"
+                         f"  {opcode}")
+        lines.append("Hot blocks by fallback cycles:")
+        lines.append("   cycles     runs  block")
+        for label, cycles in self.block_fallback_cycles.most_common(top):
+            lines.append(f"  {cycles:7d}  {self.block_runs[label]:7d}"
+                         f"  {label}")
+        cold = self.coldest_ic_sites(top)
+        if cold:
+            lines.append("Coldest inline-cache sites:")
+            lines.append("  hit-rate     miss  site")
+            for site, ratio, (hits, misses, invalidations) in cold:
+                lines.append(f"  {ratio:8.1%}  {misses:7d}  {site}")
+        return "\n".join(lines)
+
+    def report(self, top: int = 20) -> str:
+        fast = sum(self.fast_cycles.values())
+        fallback = sum(self.fallback_cycles.values())
+        total = fast + fallback
+        lines = [f"Telemetry: {total} cycles attributed "
+                 f"({fast} fast-path, {fallback} fallback)"]
+        if total:
+            lines[0] += f", fast-path share {fast / total:.1%}"
+        lines.append(self.hot_report(top))
+        if self.gc_events:
+            pause = sum(e["pause_s"] for e in self.gc_events)
+            collected = sum(e["collected"] for e in self.gc_events)
+            lines.append(f"GC: {len(self.gc_events)} collections, "
+                         f"{pause * 1e3:.3f} ms total pause, "
+                         f"{collected} objects reclaimed")
+            for event in self.gc_events[-top:]:
+                lines.append(
+                    f"  [{event['reason']}] pause {event['pause_s'] * 1e3:.3f}"
+                    f" ms  reclaimed {event['collected']}  live "
+                    f"{event['live_before']}->{event['live_after']}  "
+                    f"watermark {event['watermark']}")
+        if self.heap_samples:
+            peak = max(s["live"] for s in self.heap_samples)
+            lines.append(f"Heap: {len(self.heap_samples)} occupancy samples,"
+                         f" peak {peak} live objects")
+        if self.run_spans:
+            lines.append(f"Runs: {len(self.run_spans)}")
+            for span in self.run_spans[-top:]:
+                duration = span.get("duration_s")
+                shown = "?" if duration is None else f"{duration * 1e3:.3f}"
+                lines.append(f"  {span['name']} [{span['tier']}] "
+                             f"{shown} ms, {span['cycles']} cycles")
+        return "\n".join(lines)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "processor": self.processor_id,
+            "fast_path": {opcode: {"cycles": cycles,
+                                   "count": self.fast_counts[opcode]}
+                          for opcode, cycles in self.fast_cycles.items()},
+            "fallback": {opcode: {"cycles": self.fallback_cycles[opcode],
+                                  "count": self.fallback_counts[opcode],
+                                  "entries": self.fallback_entries[opcode]}
+                         for opcode in set(self.fallback_cycles)
+                         | set(self.fallback_counts)
+                         | set(self.fallback_entries)},
+            "totals": {
+                "fast_path_cycles": sum(self.fast_cycles.values()),
+                "fallback_cycles": sum(self.fallback_cycles.values()),
+                "attributed_cycles": self.attributed_cycles(),
+            },
+            "ic_sites": {site: {"hits": cell[0], "misses": cell[1],
+                                "invalidations": cell[2]}
+                         for site, cell in self.ic_sites.items()},
+            "blocks": {label: {"runs": runs,
+                               "cycles": self.block_cycles[label],
+                               "fallback_cycles":
+                                   self.block_fallback_cycles[label]}
+                       for label, runs in self.block_runs.items()},
+            "gc_events": list(self.gc_events),
+            "heap_samples": list(self.heap_samples),
+            "run_spans": [
+                {k: v for k, v in span.items() if not k.startswith("_")}
+                for span in self.run_spans],
+            "stacks": [{"stack": list(stack), "cycles": cycles}
+                       for stack, cycles in sorted(
+                           self.stack_cycles.items())],
+        }

@@ -1,6 +1,10 @@
 """Tests for the compile daemon (repro.serve) and its client
 (repro.client): wire round trips over both transports, backpressure,
-timeouts, graceful shutdown, and concurrent shared-disk-cache access."""
+timeouts, graceful shutdown, concurrent shared-disk-cache access,
+request identity (``trace_id`` echo / minted ``request_id`` on every
+envelope, including busy/timeout/too-large errors), the latency
+histogram's exact bucket arithmetic, and the end-to-end traced round
+trip that yields one Perfetto trace per request."""
 
 import asyncio
 import json
@@ -10,11 +14,19 @@ import time
 
 import pytest
 
+from repro import Compiler, build_request_trace, parse_prometheus_text
 from repro.api import API_VERSION, request_fingerprint
 from repro.batch import compile_batch
 from repro.client import ServiceClient, ServiceError, ServiceUnavailable
+from repro.datum import sym
 from repro.options import CompilerOptions
-from repro.serve import ReproServer
+from repro.serve import (
+    LATENCY_BUCKETS,
+    RECENT_REQUEST_IDS,
+    ReproServer,
+    ServerMetrics,
+)
+from repro.trace import metric_value
 
 
 class RunningServer:
@@ -55,9 +67,9 @@ class SlowServer(ReproServer):
 
     delay = 0.25
 
-    def _execute(self, op, params):
+    def _execute(self, op, params, accepted_at=None):
         time.sleep(self.delay)
-        return super()._execute(op, params)
+        return super()._execute(op, params, accepted_at)
 
 
 @pytest.fixture
@@ -524,9 +536,9 @@ class TestDaemonBackedBatch:
                 super().__init__(*args, **kwargs)
                 self.seen = []
 
-            def _execute(self, op, params):
+            def _execute(self, op, params, accepted_at=None):
                 self.seen.append((op, dict(params)))
-                return super()._execute(op, params)
+                return super()._execute(op, params, accepted_at)
 
         handle = server_factory(server_cls=RecordingServer)
         results = compile_units_via_server(
@@ -633,3 +645,247 @@ class TestServeCli:
             for flag in ("--cache-dir", "--trace", "--metrics",
                          "--verify", "--target", "--jobs"):
                 assert flag in out, (subcommand, flag)
+
+
+# ---------------------------------------------------------------------------
+# PR 9: request identity on every envelope
+
+
+class TestRequestIdentity:
+    def _raw(self, handle, **fields):
+        request = {"api": API_VERSION, **fields}
+        return ServiceClient(handle.server.socket_path,
+                             timeout=15).request_raw(request)
+
+    def test_trace_id_echoed_on_success(self, server_factory):
+        handle = server_factory()
+        response = self._raw(handle, op="compile",
+                             source="(defun e (x) x)",
+                             trace_id="trace-feedface")
+        assert response["ok"] is True
+        assert response["trace_id"] == "trace-feedface"
+        # Traced requests get the server-side timing split too.
+        timing = response["server_timing"]
+        assert timing["queue_wait_s"] >= 0.0
+        assert timing["execute_s"] > 0.0
+
+    def test_request_id_minted_when_untraced(self, server_factory):
+        handle = server_factory()
+        response = self._raw(handle, op="ping")
+        assert response["ok"] is True
+        assert response["request_id"].startswith("req-")
+        assert "trace_id" not in response
+        assert "server_timing" not in response
+
+    def test_trace_id_on_busy_error(self, server_factory):
+        handle = server_factory(server_cls=SlowServer, jobs=1, max_queue=1)
+        results = []
+        lock = threading.Lock()
+
+        def one(index):
+            response = self._raw(handle, op="compile",
+                                 source=f"(defun b{index} () {index})",
+                                 trace_id=f"trace-busy-{index}")
+            with lock:
+                results.append((index, response))
+
+        threads = [threading.Thread(target=one, args=(i,))
+                   for i in range(5)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        busy = [(i, r) for i, r in results
+                if not r["ok"] and r["error"]["code"] == "busy"]
+        assert busy, "saturation should refuse at least one request"
+        for index, response in busy:
+            assert response["trace_id"] == f"trace-busy-{index}"
+
+    def test_trace_id_on_timeout_error(self, server_factory):
+        handle = server_factory(server_cls=SlowServer, jobs=1,
+                                request_timeout=0.05)
+        response = self._raw(handle, op="compile",
+                             source="(defun t () 1)",
+                             trace_id="trace-timeout")
+        assert response["ok"] is False
+        assert response["error"]["code"] == "timeout"
+        assert response["trace_id"] == "trace-timeout"
+
+    def test_request_id_on_too_large_error(self, server_factory):
+        # An oversized request is refused before parsing, so there is no
+        # trace_id to echo -- but the envelope still has an identity.
+        handle = server_factory(max_request_bytes=4096)
+        response = _raw_socket_request(handle.server.socket_path,
+                                       b"x" * 10_000 + b"\n")
+        assert response["error"]["code"] == "too-large"
+        assert response["request_id"].startswith("req-")
+
+    def test_request_id_on_bad_json_error(self, server_factory):
+        handle = server_factory()
+        response = _raw_socket_request(handle.server.socket_path,
+                                       b"not json\n")
+        assert response["error"]["code"] == "bad-json"
+        assert response["request_id"].startswith("req-")
+
+    def test_http_too_large_has_request_id(self, server_factory):
+        from http.client import HTTPConnection
+
+        handle = server_factory(socket_path=None,
+                                http_addr=("127.0.0.1", 0),
+                                max_request_bytes=2048)
+        conn = HTTPConnection("127.0.0.1", handle.server.http_port,
+                              timeout=10)
+        try:
+            conn.request("POST", "/", body=b"x" * 10_000)
+            payload = json.loads(conn.getresponse().read())
+        finally:
+            conn.close()
+        assert payload["error"]["code"] == "too-large"
+        assert payload["request_id"].startswith("req-")
+
+    def test_stats_logs_recent_request_ids(self, server_factory):
+        handle = server_factory()
+        client = ServiceClient(handle.server.socket_path)
+        client.compile("(defun r1 () 1)", trace_id="trace-logged")
+        client.compile("(defun r2 () 2)")
+        stats = client.stats()
+        recent = stats["recent_requests"]
+        by_id = {entry["id"]: entry for entry in recent}
+        assert "trace-logged" in by_id
+        logged = by_id["trace-logged"]
+        assert logged["op"] == "compile"
+        assert logged["ok"] is True
+        assert logged["seconds"] >= 0.0
+        # Untraced requests appear under their minted ids.
+        assert any(entry["id"].startswith("req-") for entry in recent)
+
+    def test_recent_journal_is_bounded(self):
+        metrics = ServerMetrics()
+        for index in range(RECENT_REQUEST_IDS + 10):
+            metrics.note_request(f"req-{index:04d}", "ping", 0.001, True)
+        recent = metrics.recent_requests()
+        assert len(recent) == RECENT_REQUEST_IDS
+        assert recent[0]["id"] == "req-0010"
+        assert recent[-1]["id"] == f"req-{RECENT_REQUEST_IDS + 9:04d}"
+
+
+# ---------------------------------------------------------------------------
+# PR 9: latency histogram arithmetic (validated with the strict parser)
+
+
+class TestServerMetricsHistogram:
+    INJECTED = [0.0005, 0.003, 0.003, 0.02, 0.3, 20.0]
+
+    def _parsed(self, injected=None, op="compile"):
+        metrics = ServerMetrics()
+        for seconds in injected or self.INJECTED:
+            metrics.observe(op, seconds, ok=True)
+        return parse_prometheus_text(metrics.render(0, 0))
+
+    def test_bucket_cumulative_counts_exact(self):
+        parsed = self._parsed()
+        for bound in LATENCY_BUCKETS:
+            expected = sum(1 for s in self.INJECTED if s <= bound)
+            got = metric_value(parsed, "repro_server_request_seconds_bucket",
+                               {"op": "compile", "le": str(bound)})
+            assert got == expected, f"le={bound}"
+
+    def test_inf_bucket_equals_count(self):
+        parsed = self._parsed()
+        inf = metric_value(parsed, "repro_server_request_seconds_bucket",
+                           {"op": "compile", "le": "+Inf"})
+        count = metric_value(parsed, "repro_server_request_seconds_count",
+                             {"op": "compile"})
+        assert inf == count == len(self.INJECTED)
+
+    def test_sum_matches_injected_latencies(self):
+        parsed = self._parsed()
+        total = metric_value(parsed, "repro_server_request_seconds_sum",
+                             {"op": "compile"})
+        assert total == pytest.approx(sum(self.INJECTED), abs=1e-5)
+
+    def test_ops_tracked_independently(self):
+        metrics = ServerMetrics()
+        metrics.observe("compile", 0.2, ok=True)
+        metrics.observe("ping", 0.0001, ok=True)
+        parsed = parse_prometheus_text(metrics.render(0, 0))
+        assert metric_value(parsed, "repro_server_request_seconds_count",
+                            {"op": "compile"}) == 1
+        assert metric_value(parsed, "repro_server_request_seconds_count",
+                            {"op": "ping"}) == 1
+        assert metric_value(parsed, "repro_server_request_seconds_bucket",
+                            {"op": "ping", "le": "0.001"}) == 1
+        assert metric_value(parsed, "repro_server_request_seconds_bucket",
+                            {"op": "compile", "le": "0.001"}) == 0
+
+    def test_whole_render_parses_strictly(self):
+        # The /metrics document, including the compiler exporter trailer,
+        # is structurally valid -- every sample under a declared family.
+        parsed = self._parsed()
+        assert parsed["families"]["repro_server_request_seconds"]["type"] \
+            == "histogram"
+        assert metric_value(parsed, "repro_server_queue_depth") == 0
+
+    def test_live_metrics_endpoint_parses_strictly(self, server_factory):
+        from http.client import HTTPConnection
+
+        handle = server_factory(socket_path=None,
+                                http_addr=("127.0.0.1", 0))
+        ServiceClient(f"http://127.0.0.1:{handle.server.http_port}") \
+            .compile("(defun live (x) x)")
+        conn = HTTPConnection("127.0.0.1", handle.server.http_port,
+                              timeout=10)
+        try:
+            conn.request("GET", "/metrics")
+            body = conn.getresponse().read().decode()
+        finally:
+            conn.close()
+        parsed = parse_prometheus_text(body)
+        assert metric_value(parsed, "repro_server_requests_total",
+                            {"op": "compile"}) == 1
+        assert metric_value(parsed, "repro_compilations_total") == 1
+
+
+# ---------------------------------------------------------------------------
+# PR 9: the end-to-end traced round trip (acceptance)
+
+
+class TestEndToEndRequestTrace:
+    def test_one_perfetto_trace_per_request(self, server_factory):
+        handle = server_factory()
+        client = ServiceClient(handle.server.socket_path)
+        source = "(defun square (x) (* x x))"
+        response, record = client.compile_traced(source, diagnostics=True)
+        trace_id = record["trace_id"]
+        assert response["trace_id"] == trace_id
+        assert record["server_timing"]["execute_s"] > 0.0
+
+        # Execute the compiled function locally with telemetry on: the
+        # daemon compiles, the requesting process runs.
+        compiler = Compiler()
+        compiler.compile_source(source)
+        machine = compiler.machine()
+        machine.enable_telemetry()
+        assert machine.run(sym("square"), [12]) == 144
+
+        trace = build_request_trace(record, response["diagnostics"],
+                                    machine.telemetry)
+        events = [e for e in trace["traceEvents"] if e.get("ph") != "M"]
+        categories = {e["cat"] for e in events}
+        assert {"client", "server", "phase", "execution"} <= categories
+        names = {e["name"] for e in events}
+        assert f"request {trace_id}" in names
+        assert {"queue-wait", "execute", "codegen", "run square"} <= names
+        # Every span of every layer carries the one trace id.
+        for event in events:
+            if event["cat"] in ("client", "server", "phase", "execution"):
+                assert event["args"]["trace_id"] == trace_id, event
+        # Perfetto-loadable: valid JSON, complete spans, ms display unit.
+        document = json.loads(json.dumps(trace))
+        assert document["displayTimeUnit"] == "ms"
+        assert all("dur" in e for e in events if e["ph"] == "X")
+
+        # ... and the daemon logged the same id server-side.
+        stats = client.stats()
+        assert any(entry["id"] == trace_id
+                   for entry in stats["recent_requests"])
