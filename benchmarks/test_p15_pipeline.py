@@ -1,0 +1,185 @@
+"""P15: pipelined timing models with hazard-stall attribution.
+
+The S-1 Mark IIA was a pipelined machine; the paper's cycle tables are
+single-issue abstractions.  This experiment runs the Table 4 workloads
+under both timing models on every registered target and asks the
+question the single-cycle model cannot: does the paper's optimizer
+shrink hazard stalls along with base cycles, or does tighter code *pay
+more* of its time in stalls?
+
+Claims measured (ISSUE 10 acceptance criteria):
+
+* the timing model is strictly non-semantic -- identical results and
+  instruction totals under both models, ``pipelined base_cycles ==
+  single cycles``, and ``base + stalls == cycles`` exactly;
+* per-target stall deltas between the optimized and naive
+  configurations are recorded, per hazard category.
+
+Results land in ``BENCH_pipeline.json`` (override the path with the
+``REPRO_BENCH_PIPELINE_JSON`` environment variable).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from repro import Compiler, CompilerOptions, naive_options  # noqa: E402
+from repro.datum import lisp_equal, sym  # noqa: E402
+
+_RESULTS_PATH = os.environ.get(
+    "REPRO_BENCH_PIPELINE_JSON",
+    os.path.join(os.path.dirname(__file__), "BENCH_pipeline.json"))
+
+TARGETS = ("s1", "vax", "pdp10")
+
+# The Table 4 Section 7 example plus the call-heavy classic (the same
+# workloads BENCH_native.json / BENCH_telemetry.json record).
+TESTFN = """
+    (defun frotz (d e m) nil)
+
+    (defun testfn (a &optional (b 3.0) (c a))
+      (prog (d (e 0.0))
+        (setq d (*$f 3.0 (sin$f (*$f a b))))
+        (cond ((>$f d e)
+               (setq e (max$f d (abs$f c)))))
+        (frotz d e 0.0)
+        (return (+$f d e))))
+
+    (defun drive (n)
+      (do ((i 0 (1+ i))
+           (acc 0.0))
+          ((= i n) acc)
+        (setq acc (+$f acc (testfn 1.5 0.25)))))
+"""
+
+FIB = """
+    (defun fib (n)
+      (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))
+"""
+
+WORKLOADS = [
+    ("testfn-drive-500", TESTFN, "drive", [500]),
+    ("fib-15", FIB, "fib", [15]),
+]
+
+CONFIGS = [
+    ("optimized", lambda target: CompilerOptions(target=target)),
+    ("naive", lambda target: _naive_for(target)),
+]
+
+
+def _naive_for(target):
+    options = naive_options()
+    options.target = target
+    return options
+
+
+def _run_both_timings(options, source, fn, args):
+    """One compilation, one run per timing model; asserts the
+    non-semantic contract and returns the pipelined stats plus the
+    single-cycle total."""
+    compiler = Compiler(options)
+    compiler.compile_source(source)
+    stats = {}
+    results = {}
+    for timing in ("single", "pipelined"):
+        machine = compiler.machine()
+        machine.set_timing(timing)
+        results[timing] = machine.run(sym(fn), list(args))
+        stats[timing] = machine.stats()
+    assert lisp_equal(results["single"], results["pipelined"])
+    single, piped = stats["single"], stats["pipelined"]
+    assert piped["instructions"] == single["instructions"]
+    assert piped["opcodes"] == single["opcodes"]
+    assert piped["base_cycles"] == single["cycles"]
+    assert piped["base_cycles"] + sum(piped["stall_cycles"].values()) \
+        == piped["cycles"]
+    return single, piped
+
+
+def test_stall_attribution_across_targets(table):
+    recorded = {}
+    rows = []
+    for name, source, fn, args in WORKLOADS:
+        recorded[name] = {}
+        for target in TARGETS:
+            per_config = {}
+            for config_name, make_options in CONFIGS:
+                single, piped = _run_both_timings(
+                    make_options(target), source, fn, args)
+                stalls = piped["stall_cycles"]
+                total_stalls = sum(stalls.values())
+                per_config[config_name] = {
+                    "single_cycles": single["cycles"],
+                    "pipelined_cycles": piped["cycles"],
+                    "stall_cycles": dict(stalls),
+                    "stall_fraction": total_stalls / piped["cycles"],
+                }
+            optimized = per_config["optimized"]
+            naive = per_config["naive"]
+            # The question the single-cycle model cannot ask: how much of
+            # the optimizer's win survives once hazards are charged?
+            speedup_single = (naive["single_cycles"]
+                              / optimized["single_cycles"])
+            speedup_pipelined = (naive["pipelined_cycles"]
+                                 / optimized["pipelined_cycles"])
+            stall_delta = {
+                category: naive["stall_cycles"][category]
+                - optimized["stall_cycles"][category]
+                for category in ("data", "control", "structural")}
+            recorded[name][target] = {
+                **per_config,
+                "speedup_single": speedup_single,
+                "speedup_pipelined": speedup_pipelined,
+                "stall_delta_naive_minus_optimized": stall_delta,
+            }
+            rows.append([
+                name, target,
+                f"{optimized['stall_fraction']:.1%}",
+                f"{naive['stall_fraction']:.1%}",
+                f"{speedup_single:.2f}x",
+                f"{speedup_pipelined:.2f}x",
+            ])
+            # The optimizer must never *lose* once hazards are charged;
+            # stalls can dilute the ratio (or leave it at exactly 1.0
+            # where the optimizer finds nothing, as on fib) but never
+            # invert it on these workloads.
+            assert speedup_pipelined >= 1.0, (name, target)
+
+    table("P15: hazard stalls, optimized vs naive (pipelined timing)",
+          ["workload", "target", "opt stall%", "naive stall%",
+           "speedup (single)", "speedup (pipelined)"], rows)
+    _merge_results("pipeline_stall_attribution", {
+        "targets": list(TARGETS),
+        "workloads": recorded,
+    })
+
+
+def test_flush_weights_order_targets():
+    # Sanity on the per-target models themselves: the three pipelines
+    # disagree (S-1's deep front end, VAX's microcoded middle ground,
+    # PDP-10's shallow pipe), so control-stall weight per call-heavy
+    # workload must differ across targets.
+    per_target = {}
+    for target in TARGETS:
+        _, piped = _run_both_timings(
+            CompilerOptions(target=target), FIB, "fib", [12])
+        per_target[target] = piped["stall_cycles"]["control"]
+    assert len(set(per_target.values())) > 1, per_target
+
+
+def _merge_results(section, data):
+    payload = {}
+    if os.path.exists(_RESULTS_PATH):
+        try:
+            with open(_RESULTS_PATH, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            payload = {}
+    payload[section] = data
+    with open(_RESULTS_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)

@@ -47,7 +47,7 @@ Public API highlights:
 
 # Defined before any submodule import: repro.api reports this version in
 # ping responses and would hit a partially-initialized package otherwise.
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 from .api import API_VERSION, ApiError, CompilerService, ServiceResult, connect
 from .batch import (

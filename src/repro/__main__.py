@@ -20,6 +20,7 @@ Meta commands::
     :hot              telemetry hot spots: top blocks/opcodes by fallback
                       cycles, coldest inline-cache sites
     :tier [TIER]      show or switch the execution tier (simulate, native)
+    :timing [MODEL]   show or switch the timing model (single, pipelined)
     :backend [B]      show or switch the optimizer backend (ordered, egraph)
     :phases           the phase pipeline of the last compilation
     :diag             phase timings / rule fires / warnings (last compile)
@@ -64,7 +65,7 @@ from typing import Any, Dict, List, Optional
 from .api import CompilerService
 from .datum import Cons, sym
 from .errors import ReproError
-from .machine import Machine, TIERS
+from .machine import Machine, TIERS, TIMINGS
 from .options import OPTIMIZER_BACKENDS, CompilerOptions
 from .reader import read_all, write_to_string
 
@@ -108,6 +109,11 @@ def common_parser(jobs_default: int = 1) -> argparse.ArgumentParser:
                        help="optimizer backend: ordered, egraph "
                             "(repeatable for fuzz A/B sweeps; last wins "
                             "elsewhere; default ordered)")
+    group.add_argument("--timing", action="append", default=None,
+                       metavar="MODEL",
+                       help="machine timing model: single, pipelined "
+                            "(repeatable for fuzz parity sweeps; last "
+                            "wins elsewhere; default single)")
     group.add_argument("--jobs", type=int, default=jobs_default,
                        metavar="N",
                        help="workers: pool size (batch/serve) or "
@@ -129,6 +135,11 @@ def _tier_of(args: argparse.Namespace, default: str = "simulate") -> str:
 def _backend_of(args: argparse.Namespace, default: str = "ordered") -> str:
     backends = getattr(args, "backend", None)
     return backends[-1] if backends else default
+
+
+def _timing_of(args: argparse.Namespace, default: str = "single") -> str:
+    timings = getattr(args, "timing", None)
+    return timings[-1] if timings else default
 
 
 class Repl:
@@ -260,6 +271,21 @@ class Repl:
                 self._say(f"unknown tier: {parts[1]} "
                           f"(choose from {', '.join(TIERS)})")
             return True
+        if command == ":timing":
+            if len(parts) == 1:
+                self._say(f"timing: {self.compiler.options.timing}")
+            elif parts[1] in TIMINGS:
+                # Non-semantic: the session machine switches models in
+                # place (its native/timing caches drop); results and
+                # instruction counts are unchanged, only cycles differ.
+                self.compiler.options.timing = parts[1]
+                if self.machine is not None:
+                    self.machine.set_timing(parts[1])
+                self._say(f"timing: {parts[1]}")
+            else:
+                self._say(f"unknown timing model: {parts[1]} "
+                          f"(choose from {', '.join(TIMINGS)})")
+            return True
         if command == ":backend":
             if len(parts) == 1:
                 self._say("backend: "
@@ -366,6 +392,7 @@ def batch_main(argv) -> int:
 
     options = CompilerOptions(target=_target_of(args),
                               tier=_tier_of(args),
+                              timing=_timing_of(args),
                               optimizer_backend=_backend_of(args),
                               trace_rewrites=args.trace_rewrites,
                               verify_ir=args.verify)
@@ -451,6 +478,11 @@ def fuzz_main(argv) -> int:
     if unknown:
         parser.error(f"unknown backend(s): {', '.join(unknown)} "
                      f"(choose from {', '.join(OPTIMIZER_BACKENDS)})")
+    timings = tuple(args.timing or ("single",))
+    unknown = [m for m in timings if m not in TIMINGS]
+    if unknown:
+        parser.error(f"unknown timing model(s): {', '.join(unknown)} "
+                     f"(choose from {', '.join(TIMINGS)})")
 
     options = CompilerOptions(enable_cse=args.cse,
                               enable_peephole=args.peephole)
@@ -459,7 +491,7 @@ def fuzz_main(argv) -> int:
                       targets=targets, tiers=tiers,
                       verify=not args.no_verify, options=options,
                       max_depth=args.max_depth, backends=backends,
-                      telemetry=want_telemetry)
+                      timings=timings, telemetry=want_telemetry)
     print(report.render())
     bench_path = args.bench_json
     if bench_path is None and len(backends) > 1:
@@ -529,6 +561,7 @@ def serve_main(argv) -> int:
 
     options = CompilerOptions(target=_target_of(args),
                               tier=_tier_of(args),
+                              timing=_timing_of(args),
                               optimizer_backend=_backend_of(args),
                               verify_ir=args.verify)
     extra = {}
@@ -564,6 +597,7 @@ def repl_main(argv) -> int:
                                 verify_ir=args.verify,
                                 target=_target_of(args),
                                 tier=_tier_of(args),
+                                timing=_timing_of(args),
                                 optimizer_backend=_backend_of(args),
                                 cache=args.cache_dir))
     try:

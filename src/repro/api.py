@@ -363,6 +363,7 @@ class CompilerService:
                 "prelude_warm": self._prelude_warm,
                 "target": self.options.target,
                 "tier": self.options.tier,
+                "timing": self.options.timing,
             }
         data["cache"] = self.cache.to_json() if self.cache is not None \
             else None

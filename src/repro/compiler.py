@@ -546,10 +546,12 @@ class Compiler:
     def machine(self, fuel: int = 50_000_000) -> Machine:
         from .target.machines import get_target
 
+        target = get_target(self.options.target)
         machine = Machine(self.program, fuel=fuel,
-                          cycle_costs=dict(get_target(self.options.target)
-                                           .cycles),
-                          tier=self.options.tier)
+                          cycle_costs=dict(target.cycles),
+                          tier=self.options.tier,
+                          timing=self.options.timing,
+                          pipeline=target.pipeline)
         for name, value in self.global_values.items():
             machine.define_global(name, value)
         return machine

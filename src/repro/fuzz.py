@@ -20,11 +20,18 @@ optimizer A/B harness: every program compiles under each optimizer
 backend, the parity oracle runs for each, and the report carries
 per-program/per-target cycle counts plus per-rule deltas
 (:meth:`FuzzReport.bench_json`, written to ``BENCH_egraph.json`` by the
-CLI).  CLI::
+CLI).
+
+With more than one *timing* model the sweep additionally asserts that the
+timing axis is strictly non-semantic: same results, same instruction and
+opcode totals, same cycles on both tiers within each timing, pipelined
+``base_cycles`` equal to the single-cycle total, and no stalls charged
+under single-cycle timing.  CLI::
 
     python -m repro fuzz --seed 0 --count 100
     python -m repro fuzz --seed 7 --count 50 --target vax --no-verify
     python -m repro fuzz --seed 0 --count 50 --backend ordered --backend egraph
+    python -m repro fuzz --seed 0 --count 50 --timing single --timing pipelined
 """
 
 from __future__ import annotations
@@ -133,14 +140,16 @@ class FuzzFailure:
     seed: int
     target: str
     stage: str      # "interpret" | "compile" | "run" | "differential"
+                    # | "telemetry" | "timing"
     message: str
     source: str
     tier: str = "simulate"   # execution tier for run/differential failures
     backend: str = "ordered"  # optimizer backend that produced the code
+    timing: str = "single"   # timing model active for the failing run
 
     def render(self) -> str:
         return (f"seed {self.seed} [{self.target}/{self.tier}"
-                f"/{self.backend}] "
+                f"/{self.backend}/{self.timing}] "
                 f"{self.stage}: {self.message}\n    {self.source}")
 
 
@@ -154,6 +163,7 @@ class FuzzReport:
     verify: bool
     tiers: Tuple[str, ...] = ("simulate",)
     backends: Tuple[str, ...] = ("ordered",)
+    timings: Tuple[str, ...] = ("single",)
     compilations: int = 0
     failures: List[FuzzFailure] = field(default_factory=list)
     #: One record per (seed, target) when more than one backend ran:
@@ -175,6 +185,7 @@ class FuzzReport:
             f"targets {'/'.join(self.targets)}, "
             f"tiers {'/'.join(self.tiers)}, "
             f"backends {'/'.join(self.backends)}, "
+            f"timings {'/'.join(self.timings)}, "
             f"verify_ir={'on' if self.verify else 'off'}: "
             f"{self.compilations} compilation(s), "
             f"{len(self.failures)} failure(s)"
@@ -272,18 +283,72 @@ def _equivalence_rule_counts(compiler) -> Dict[str, int]:
     return counts
 
 
+def _timing_parity_failures(grid: Dict[Tuple[str, str], Dict[str, Any]],
+                            ) -> List[str]:
+    """Cross-(timing, tier) invariant violations for one compiled program.
+
+    *grid* maps ``(timing, tier)`` to that run's ``Machine.stats()``.  The
+    timing model must be strictly non-semantic: every run retires the same
+    instructions with the same opcode mix; within a timing model both
+    tiers charge identical cycles; pipelined base cycles equal the
+    single-cycle total; and single-cycle runs charge no stalls."""
+    problems: List[str] = []
+    keys = sorted(grid)
+    first_key = keys[0]
+    first = grid[first_key]
+    for key in keys[1:]:
+        stats = grid[key]
+        if stats["instructions"] != first["instructions"] \
+                or stats["opcodes"] != first["opcodes"]:
+            problems.append(
+                f"instruction stream differs between {first_key} "
+                f"({first['instructions']} instrs) and {key} "
+                f"({stats['instructions']} instrs)")
+    timings = sorted({timing for timing, _ in keys})
+    tiers = sorted({tier for _, tier in keys})
+    for timing in timings:
+        cycles = {tier: grid[(timing, tier)]["cycles"]
+                  for tier in tiers if (timing, tier) in grid}
+        if len(set(cycles.values())) > 1:
+            problems.append(
+                f"cycle counts diverge across tiers under {timing} "
+                f"timing: {cycles}")
+    for tier in tiers:
+        single = grid.get(("single", tier))
+        pipelined = grid.get(("pipelined", tier))
+        if single and pipelined \
+                and pipelined["base_cycles"] != single["cycles"]:
+            problems.append(
+                f"pipelined base_cycles {pipelined['base_cycles']} != "
+                f"single-cycle total {single['cycles']} on tier {tier}")
+        if single and any(single["stall_cycles"].values()):
+            problems.append(
+                f"single-cycle timing charged stalls on tier {tier}: "
+                f"{single['stall_cycles']}")
+    return problems
+
+
 def run_fuzz(base_seed: int = 0, count: int = 50,
              targets: Sequence[str] = ALL_TARGETS, verify: bool = True,
              options=None, max_depth: int = 4,
              stop_after: Optional[int] = None,
              tiers: Sequence[str] = ("simulate", "native"),
              backends: Sequence[str] = ("ordered",),
+             timings: Sequence[str] = ("single",),
              telemetry: bool = False) -> FuzzReport:
     """Generate *count* programs from *base_seed* and, per target, compile
     them with the phase-boundary sanitizer (unless ``verify=False``) and
     check compiled results against the reference interpreter -- once per
-    execution *tier*, so the default sweep is the three-way differential
-    oracle ``interpreter == simulator == native`` on every program.
+    execution *tier* and timing model, so the default sweep is the
+    three-way differential oracle ``interpreter == simulator == native``
+    on every program.
+
+    With more than one *timing* model the harness also asserts the
+    non-semantic contract across the full (timing, tier) grid per
+    program: identical results, identical instruction/opcode totals,
+    identical cycles across tiers within each timing, ``pipelined
+    base_cycles == single cycles``, and zero stalls under single-cycle
+    timing (stage ``timing`` failures).
 
     With more than one optimizer *backend*, every program compiles under
     each backend and the oracle runs for each -- plus, when both
@@ -313,7 +378,8 @@ def run_fuzz(base_seed: int = 0, count: int = 50,
     merged_telemetry: Dict[str, MachineTelemetry] = {}
     report = FuzzReport(base_seed=base_seed, count=count,
                         targets=tuple(targets), verify=verify,
-                        tiers=tuple(tiers), backends=tuple(backends))
+                        tiers=tuple(tiers), backends=tuple(backends),
+                        timings=tuple(timings))
     for index in range(count):
         seed = base_seed + index
         source, fn, args = generate_program(seed, max_depth=max_depth)
@@ -342,51 +408,69 @@ def run_fuzz(base_seed: int = 0, count: int = 50,
                         f"{type(err).__name__}: {err}", source, tier="-",
                         backend=backend))
                     continue
-                # One compilation, one run per tier: the tiers execute the
-                # same CodeObjects, so any disagreement is an execution
-                # bug, not a compilation difference.
+                # One compilation, one run per (timing, tier) cell: every
+                # cell executes the same CodeObjects, so any disagreement
+                # is an execution or timing-model bug, not a compilation
+                # difference.
                 clean = True
-                for tier in tiers:
-                    machine = compiler.machine()
-                    machine.tier = tier
-                    if telemetry:
-                        machine.enable_telemetry()
-                    try:
-                        got = machine.run(sym(fn), list(args))
-                    except ReproError as err:
-                        report.failures.append(FuzzFailure(
-                            seed, target, "run",
-                            f"{type(err).__name__}: {err}", source,
-                            tier=tier, backend=backend))
-                        clean = False
-                        continue
-                    if telemetry:
-                        attributed = \
-                            machine.telemetry.attributed_cycles()
-                        if attributed != machine.cycles:
+                grid: Dict[Tuple[str, str], Dict[str, Any]] = {}
+                for timing in timings:
+                    for tier in tiers:
+                        machine = compiler.machine()
+                        machine.tier = tier
+                        if machine.timing != timing:
+                            machine.set_timing(timing)
+                        if telemetry:
+                            machine.enable_telemetry()
+                        try:
+                            got = machine.run(sym(fn), list(args))
+                        except ReproError as err:
                             report.failures.append(FuzzFailure(
-                                seed, target, "telemetry",
-                                f"cycle conservation violated: "
-                                f"{attributed} attributed != "
-                                f"{machine.cycles} executed",
-                                source, tier=tier, backend=backend))
+                                seed, target, "run",
+                                f"{type(err).__name__}: {err}", source,
+                                tier=tier, backend=backend,
+                                timing=timing))
                             clean = False
-                        merged_telemetry.setdefault(
-                            tier, MachineTelemetry()).merge(
-                                machine.telemetry)
-                    if not lisp_equal(got, expected):
+                            continue
+                        if telemetry:
+                            attributed = \
+                                machine.telemetry.attributed_cycles()
+                            if attributed != machine.cycles:
+                                report.failures.append(FuzzFailure(
+                                    seed, target, "telemetry",
+                                    f"cycle conservation violated: "
+                                    f"{attributed} attributed != "
+                                    f"{machine.cycles} executed",
+                                    source, tier=tier, backend=backend,
+                                    timing=timing))
+                                clean = False
+                            merged_telemetry.setdefault(
+                                tier, MachineTelemetry()).merge(
+                                    machine.telemetry)
+                        if not lisp_equal(got, expected):
+                            report.failures.append(FuzzFailure(
+                                seed, target, "differential",
+                                f"compiled {write_to_string(got)} != "
+                                f"interpreted "
+                                f"{write_to_string(expected)} "
+                                f"(args {args})",
+                                source, tier=tier, backend=backend,
+                                timing=timing))
+                            clean = False
+                            continue
+                        grid[(timing, tier)] = machine.stats()
+                        if measure_ab and clean \
+                                and backend not in measured \
+                                and tier == "simulate" \
+                                and timing == timings[0]:
+                            measured[backend] = (
+                                machine.stats()["cycles"],
+                                _equivalence_rule_counts(compiler))
+                if grid:
+                    for problem in _timing_parity_failures(grid):
                         report.failures.append(FuzzFailure(
-                            seed, target, "differential",
-                            f"compiled {write_to_string(got)} != "
-                            f"interpreted {write_to_string(expected)} "
-                            f"(args {args})",
-                            source, tier=tier, backend=backend))
-                        clean = False
-                    elif measure_ab and clean and backend not in measured \
-                            and tier == "simulate":
-                        measured[backend] = (
-                            machine.stats()["cycles"],
-                            _equivalence_rule_counts(compiler))
+                            seed, target, "timing", problem, source,
+                            tier="*", backend=backend, timing="*"))
             if measure_ab and "ordered" in measured and "egraph" in measured:
                 ordered_cycles = measured["ordered"][0]
                 egraph_cycles, rules = measured["egraph"]

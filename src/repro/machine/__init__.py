@@ -11,6 +11,7 @@ from .cpu import FrameRecord, Machine, MachineProfile, UNBOUND
 from .multi import MultiMachine
 from .heap import Heap
 from .native import NativeBlock, NativeCode, TIERS, translate
+from .timing import DEFAULT_PIPELINE, PipelineDescription, TIMINGS
 from .isa import (
     CYCLES,
     CodeObject,
@@ -37,10 +38,11 @@ from .values import (
 )
 
 __all__ = [
-    "CYCLES", "Cell", "Closure", "CodeObject", "FrameRecord", "Heap",
-    "HeapNumber", "Instruction", "Machine", "MachineProfile", "MultiMachine",
-    "NativeBlock", "NativeCode", "PdlNumber", "PrimitiveFn",
-    "Program", "TIERS", "UNBOUND", "env_slot", "frame_arg", "global_ref",
-    "imm", "is_pointer_value", "is_raw_number", "label_ref", "name_ref",
-    "pointer_to_lisp", "reg", "temp", "translate",
+    "CYCLES", "Cell", "Closure", "CodeObject", "DEFAULT_PIPELINE",
+    "FrameRecord", "Heap", "HeapNumber", "Instruction", "Machine",
+    "MachineProfile", "MultiMachine", "NativeBlock", "NativeCode",
+    "PdlNumber", "PipelineDescription", "PrimitiveFn",
+    "Program", "TIERS", "TIMINGS", "UNBOUND", "env_slot", "frame_arg",
+    "global_ref", "imm", "is_pointer_value", "is_raw_number", "label_ref",
+    "name_ref", "pointer_to_lisp", "reg", "temp", "translate",
 ]

@@ -27,6 +27,13 @@ from ..primitives import Primitive, lookup_primitive
 from ..telemetry import MachineTelemetry
 from .heap import Heap
 from .isa import CYCLES, CodeObject, Instruction, Program, RAW_BINARY_OPS, RAW_UNARY_OPS
+from .timing import (
+    DEFAULT_PIPELINE,
+    PipelineDescription,
+    TIMINGS,
+    TimingProfile,
+    analyze as analyze_timing,
+)
 from .values import (
     Cell,
     Closure,
@@ -168,17 +175,49 @@ class Machine:
     def __init__(self, program: Program, fuel: int = 50_000_000,
                  gc_threshold: Optional[int] = None,
                  cycle_costs: Optional[Dict[str, int]] = None,
-                 tier: str = "simulate"):
+                 tier: str = "simulate",
+                 timing: str = "single",
+                 pipeline: Optional[PipelineDescription] = None):
         if tier not in ("simulate", "native"):
             raise MachineError(
                 f"unknown execution tier {tier!r} "
                 "(choose 'simulate' or 'native')")
+        if timing not in TIMINGS:
+            raise MachineError(
+                f"unknown timing model {timing!r} "
+                f"(choose one of {', '.join(TIMINGS)})")
         self.program = program
         self.fuel = fuel
         #: Execution engine: "simulate" is the cycle-honest reference
         #: interpreter; "native" runs blocks translated to Python by
         #: repro.machine.native (same results, block-granular accounting).
         self.tier = tier
+        #: Timing model: "single" charges the cycle table alone (the
+        #: paper's model); "pipelined" additionally charges hazard stalls
+        #: from the target's PipelineDescription.  Strictly non-semantic:
+        #: only cycles and the stall counters differ.
+        self.timing = timing
+        # The pipeline tables travel with the machine even under
+        # timing="single" so set_timing() can switch models later
+        # (the REPL's :timing does).
+        self._pipeline_spec = pipeline
+        self._pipeline: Optional[PipelineDescription] = None
+        if timing == "pipelined":
+            self._pipeline = pipeline if pipeline is not None \
+                else DEFAULT_PIPELINE
+        # id(CodeObject) -> (code, TimingProfile) under the current
+        # pipeline, object pinned (same discipline as _native_cache).
+        self._timing_cache: Dict[int, Tuple[CodeObject, TimingProfile]] = {}
+        # Pipelined-model bookkeeping: the (code, pc) the front end
+        # expects next if the last instruction fell through sequentially;
+        # anything else means the pipeline was flushed.
+        self._pipe_code: Optional[CodeObject] = None
+        self._pipe_pc = -1
+        #: Per-category hazard stall cycles (already included in
+        #: ``cycles``); all zero under timing="single".
+        self.stall_data = 0
+        self.stall_control = 0
+        self.stall_structural = 0
         # Opcode -> cycle cost; a retargeted compiler passes its
         # MachineDescription's table so the cycle counter models that
         # machine (default: the S-1 model).
@@ -237,7 +276,11 @@ class Machine:
     def run(self, function: Symbol, args: Sequence[Any],
             fuel: Optional[int] = None) -> Any:
         """Call a compiled function with Lisp-datum arguments; returns a
-        Lisp datum."""
+        Lisp datum.  A *fuel* argument bounds this call only: the
+        machine's configured budget is restored afterwards (it used to
+        stick, silently retuning every later run and skewing
+        MultiMachine's stall-budget snapshot)."""
+        saved_fuel = self.fuel
         if fuel is not None:
             self.fuel = fuel
         code = self.program.get(function)
@@ -250,6 +293,7 @@ class Machine:
         self.code = code
         self.pc = 0
         self._halted = False
+        self._pipe_code = None  # the pipeline starts a run empty
         telemetry = self.telemetry
         span = None if telemetry is None \
             else telemetry.begin_run(str(function), self)
@@ -263,6 +307,7 @@ class Machine:
             raise
         finally:
             self._flush_native_counts()
+            self.fuel = saved_fuel
             if span is not None:
                 telemetry.end_run(span, self)
         return self.machine_to_lisp(self.result)
@@ -338,11 +383,59 @@ class Machine:
     def telemetry_data(self) -> Optional[Dict[str, Any]]:
         return None if self.telemetry is None else self.telemetry.to_json()
 
+    # -- timing models -------------------------------------------------------
+
+    def set_timing(self, timing: str,
+                   pipeline: Optional[PipelineDescription] = None) -> None:
+        """Switch the timing model (the REPL's ``:timing``).  Drops the
+        native cache and the timing profiles: native translations bake
+        the pipeline's stall charges into the generated blocks, so the
+        two models never share generated code."""
+        if timing not in TIMINGS:
+            raise MachineError(
+                f"unknown timing model {timing!r} "
+                f"(choose one of {', '.join(TIMINGS)})")
+        self._flush_native_counts()
+        if pipeline is not None:
+            self._pipeline_spec = pipeline
+        self.timing = timing
+        if timing == "pipelined":
+            self._pipeline = self._pipeline_spec \
+                if self._pipeline_spec is not None else DEFAULT_PIPELINE
+        else:
+            self._pipeline = None
+        self._timing_cache.clear()
+        self._native_cache.clear()
+        self._native_last = None
+        self._pipe_code = None
+        self._pipe_pc = -1
+
+    def stall_cycles(self) -> Dict[str, int]:
+        """Hazard stall cycles by category (subset of ``cycles``)."""
+        return {
+            "data": self.stall_data,
+            "control": self.stall_control,
+            "structural": self.stall_structural,
+        }
+
+    def _timing_profile(self, code: CodeObject) -> TimingProfile:
+        cached = self._timing_cache.get(id(code))
+        if cached is None or cached[0] is not code:
+            cached = (code, analyze_timing(code, self._pipeline))
+            self._timing_cache[id(code)] = cached
+        return cached[1]
+
     def stats(self) -> Dict[str, Any]:
         self._flush_native_counts()
+        stalls = self.stall_data + self.stall_control + self.stall_structural
         return {
             "instructions": self.instructions,
             "cycles": self.cycles,
+            "timing": self.timing,
+            #: cycles the single-cycle table model would have charged:
+            #: base_cycles + sum(stall_cycles) == cycles always holds.
+            "base_cycles": self.cycles - stalls,
+            "stall_cycles": self.stall_cycles(),
             "calls": self.call_count,
             "max_stack": self.max_stack,
             "heap_allocations": dict(self.heap.allocations),
@@ -461,17 +554,54 @@ class Machine:
         handler = _DISPATCH.get(instruction.opcode)
         if handler is None:
             raise MachineError(f"bad opcode {instruction.opcode}")
-        handler(self, instruction)
+        pipeline = self._pipeline
+        if pipeline is None:
+            handler(self, instruction)
+            stall_delta = 0
+        else:
+            # Pipelined model: charge this instruction's structural stall,
+            # its data-hazard stall if it issued back-to-back after its
+            # static predecessor, and a front-end flush if its handler
+            # transferred control (code changed or pc != index + 1).  The
+            # native tier charges the same three categories -- statically
+            # per block plus the identical transfer check at dynamic
+            # sites -- so cycles agree exactly between tiers.
+            code_before = self.code
+            index = self.pc - 1
+            timing_profile = self._timing_profile(code_before)
+            structural = timing_profile.structural[index]
+            data = timing_profile.pair[index] \
+                if (self._pipe_code is code_before
+                    and self._pipe_pc == index) else 0
+            handler(self, instruction)
+            if self.code is code_before and self.pc == index + 1:
+                control = 0
+                self._pipe_code = code_before
+                self._pipe_pc = index + 1
+            else:
+                control = pipeline.flush_cycles
+                self._pipe_code = None
+            stall_delta = structural + data + control
+            if stall_delta:
+                self.cycles += stall_delta
+                self.stall_data += data
+                self.stall_control += control
+                self.stall_structural += structural
         if profile is not None:
             profile.attribute(profiled_code, profiled_index,
                               instruction.opcode,
                               self.cycles - cycles_before)
         if telemetry is not None:
-            # The simulate tier *is* the handler path: every cycle is by
-            # definition fallback (fast paths only exist natively).
+            # The simulate tier *is* the handler path: every base cycle is
+            # by definition fallback (fast paths only exist natively);
+            # hazard stalls are attributed to their own counters so
+            # fast + fallback + stalls == cycles stays exact.
             telemetry.attribute_step(instruction.opcode,
-                                     self.cycles - cycles_before,
+                                     self.cycles - cycles_before
+                                     - stall_delta,
                                      telemetry_stack)
+            if stall_delta:
+                telemetry.note_stalls(data, control, structural)
             telemetry.maybe_sample_heap(self.heap)
         if len(self.stack) > self.max_stack:
             self.max_stack = len(self.stack)
@@ -501,7 +631,8 @@ class Machine:
             from .native import translate
 
             cached = (code, translate(code, self.cycle_costs,
-                                      telemetry=self.telemetry is not None))
+                                      telemetry=self.telemetry is not None,
+                                      pipeline=self._pipeline))
             self._native_cache[id(code)] = cached
         return cached[1]
 
@@ -531,6 +662,8 @@ class Machine:
         else:
             if telemetry is not None:
                 telemetry_stack = telemetry.stack_key(self)
+                stalls_before = (self.stall_data, self.stall_control,
+                                 self.stall_structural)
             cycles_before = self.cycles
             block.run(self)
             if profile is not None:
@@ -545,9 +678,20 @@ class Machine:
             if telemetry is not None:
                 # Fast/fallback per-opcode splits are static per block;
                 # dynamic extras were already reported per opcode by the
-                # instrumented fallback sites inside block.run().
+                # instrumented fallback sites inside block.run().  Stall
+                # charges land in the machine counters as the generated
+                # code runs; mirror this block's deltas into telemetry so
+                # conservation (fast + fallback + stalls == cycles) holds.
+                stall_data = self.stall_data - stalls_before[0]
+                stall_control = self.stall_control - stalls_before[1]
+                stall_structural = self.stall_structural - stalls_before[2]
+                stall_delta = stall_data + stall_control + stall_structural
+                if stall_delta:
+                    telemetry.note_stalls(stall_data, stall_control,
+                                          stall_structural)
                 telemetry.attribute_block(block,
-                                          self.cycles - cycles_before,
+                                          self.cycles - cycles_before
+                                          - stall_delta,
                                           telemetry_stack)
                 telemetry.maybe_sample_heap(self.heap)
         self._native_counts[block] += 1
@@ -644,6 +788,10 @@ class Machine:
         self.opcode_counts = Counter()
         self.call_count = 0
         self.max_stack = 0
+        self.stall_data = 0
+        self.stall_control = 0
+        self.stall_structural = 0
+        self._pipe_code = None
         self._native_counts.clear()
         self._poisoned = False
         self._entry_state = (len(self.stack), self.fp, self.tp, self.cp,
@@ -1219,13 +1367,24 @@ class Machine:
 
     def gc_roots(self) -> List[Any]:
         """Everything the collector must treat as live: registers, the
-        whole stack (frames hold no heap refs but values do), the current
-        closure environment, special-binding cells, and catch tags."""
+        whole stack, the saved closure environments inside frame and
+        catch records (a suspended caller's ``old_cp`` -- or a catch
+        record's ``cp``, which a tail call may hold the *only* reference
+        to -- must keep its cells alive), the current closure
+        environment, special-binding cells, and catch tags.  The records
+        themselves are opaque to the heap's mark loop, so their
+        environment lists are expanded into roots here."""
         roots: List[Any] = list(self.regs) + list(self.stack)
+        for entry in self.stack:
+            if isinstance(entry, FrameRecord) and entry.old_cp is not None:
+                roots.extend(entry.old_cp)
         if self.cp is not None:
             roots.extend(self.cp)
         roots.extend(cell.value for cell in self.specials.all_cells())
-        roots.extend(record.tag for record in self.catch_stack)
+        for record in self.catch_stack:
+            roots.append(record.tag)
+            if record.cp is not None:
+                roots.extend(record.cp)
         roots.append(self.result)
         return roots
 

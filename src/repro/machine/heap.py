@@ -109,16 +109,27 @@ class Heap:
         allocation "watermark", a "multi-watermark" stop-the-world) and is
         recorded -- with the pause wall-time, reclaim counts, and the
         allocation watermark -- in :attr:`last_gc`."""
+        from ..primitives import LispVector
+
         started = perf_counter()
         live_before = len(self.objects)
         self.gc_runs += 1
         marked: Set[int] = set()
+        # The visited set is distinct from the mark set: an *unregistered*
+        # container (e.g. RESTCOLLECT's note_allocation'd conses, or a
+        # vector built outside the heap) never enters ``marked``, so using
+        # the mark set for cycle detection re-traversed shared
+        # unregistered structure exponentially and looped forever on
+        # unregistered cycles.  Every container type is traversed exactly
+        # once regardless of registration or discovery order.
+        seen: Set[int] = set()
         pending: List[Any] = list(roots)
         while pending:
             obj = pending.pop()
             oid = id(obj)
-            if oid in marked:
+            if oid in seen:
                 continue
+            seen.add(oid)
             if oid in self.objects:
                 marked.add(oid)
             if isinstance(obj, Cons):
@@ -128,11 +139,8 @@ class Heap:
                 pending.extend(obj.env)
             elif isinstance(obj, Cell):
                 pending.append(obj.value)
-            else:
-                from ..primitives import LispVector
-
-                if isinstance(obj, LispVector):
-                    pending.extend(obj.data)
+            elif isinstance(obj, LispVector):
+                pending.extend(obj.data)
         dead = self.objects - marked
         collected = len(dead)
         for oid in dead:

@@ -36,18 +36,21 @@ class MultiMachine:
     def __init__(self, program: Program, processors: int = 2,
                  quantum: int = 8, fuel: int = 50_000_000,
                  gc_threshold: Optional[int] = None,
-                 tier: str = "simulate"):
+                 tier: str = "simulate", timing: str = "single",
+                 pipeline: Optional[Any] = None):
         if processors < 1:
             raise ValueError("need at least one processor")
         self.quantum = quantum
         self.processors: List[Machine] = []
         locks: Dict[Any, int] = {}
-        first = Machine(program, fuel=fuel, gc_threshold=None, tier=tier)
+        first = Machine(program, fuel=fuel, gc_threshold=None, tier=tier,
+                        timing=timing, pipeline=pipeline)
         first.processor_id = 0
         first.locks = locks
         self.processors.append(first)
         for index in range(1, processors):
-            cpu = Machine(program, fuel=fuel, gc_threshold=None, tier=tier)
+            cpu = Machine(program, fuel=fuel, gc_threshold=None, tier=tier,
+                          timing=timing, pipeline=pipeline)
             cpu.processor_id = index
             cpu.locks = locks
             cpu.heap = first.heap  # shared heap

@@ -51,6 +51,7 @@ from .isa import (
     RAW_BINARY_OPS,
     RAW_UNARY_OPS,
 )
+from .timing import PipelineDescription, analyze as analyze_timing
 from .values import HeapNumber, PdlNumber, is_raw_number, pointer_to_lisp
 
 #: The execution tiers a Machine can run ("simulate" is the reference).
@@ -216,13 +217,24 @@ def _imm_raw(operand) -> bool:
 class _Translator:
     def __init__(self, code: CodeObject,
                  cycle_costs: Optional[Dict[str, int]] = None,
-                 telemetry: bool = False):
+                 telemetry: bool = False,
+                 pipeline: Optional[PipelineDescription] = None):
         self.code = code
         self.costs = CYCLES if cycle_costs is None else cycle_costs
         #: Telemetry mode: fallback sites are wrapped to report dynamic
         #: cycle extras and inline-cache probes bump hit/miss counters.
         #: Off (the default) generates exactly the uninstrumented code.
         self.telemetry = telemetry
+        #: Pipelined timing model (timing="pipelined"): the block's static
+        #: data/structural stalls are folded into its prologue charge and
+        #: the simulator's control-hazard transfer rule -- flush iff
+        #: ``code is not code_before or pc != index + 1`` -- is emitted at
+        #: every transfer site, statically resolved where the target is
+        #: known at translation time.  None generates exactly the
+        #: single-cycle-table code.
+        self.pipeline = pipeline
+        self._tprof = None if pipeline is None \
+            else analyze_timing(code, pipeline)
         self.ns: Dict[str, Any] = {
             "MachineError": MachineError,
             "NIL": NIL,
@@ -240,6 +252,10 @@ class _Translator:
             "_unbox_slow": _unbox_slow,
             "_boxf_slow": _boxf_slow,
         }
+        if pipeline is not None:
+            # Dynamic transfer checks compare against the block's own
+            # CodeObject (the simulator's ``code_before``).
+            self.ns["_CODE"] = code
         self._kcount = 0
         self._size = len(code.instructions)
         # Per-instruction hoist lines (prepended by emit) and per-block
@@ -306,13 +322,56 @@ class _Translator:
             return f"{self._frame_ref(value)} = {expr}"
         return None
 
-    def _goto(self, target: int) -> List[str]:
+    def _goto(self, target: int, index: Optional[int] = None,
+              taken: bool = True) -> List[str]:
         """Set pc and transfer to *target*: statically chained when a block
         starts there (every in-range static target is a leader), else a
-        plain return for the dispatch loop to resolve."""
+        plain return for the dispatch loop to resolve.
+
+        Under the pipelined model, *index* identifies the transferring
+        instruction and the stall charge is resolved statically: a taken
+        edge flushes the front end unless it lands on ``index + 1`` (the
+        simulator's sequential-issue test), and a fall-through edge into
+        the next block charges that boundary's data-hazard pair stall
+        (zero across any instruction that could also have jumped, since
+        those write no operand location)."""
+        stall: List[str] = []
+        pipeline = self.pipeline
+        if pipeline is not None and index is not None:
+            if taken:
+                if target != index + 1 and pipeline.flush_cycles:
+                    flush = pipeline.flush_cycles
+                    stall = [f"m.cycles += {flush}",
+                             f"m.stall_control += {flush}"]
+            else:
+                pair = self._tprof.pair[target] \
+                    if target < self._size else 0
+                if pair:
+                    stall = [f"m.cycles += {pair}",
+                             f"m.stall_data += {pair}"]
         if target < self._size:
-            return [f"m.pc = {target}", f"return B{target}"]
-        return [f"m.pc = {target}", "return"]
+            return stall + [f"m.pc = {target}", f"return B{target}"]
+        return stall + [f"m.pc = {target}", "return"]
+
+    def _flush_charge(self) -> List[str]:
+        """Unconditional front-end flush (a transfer that is certain:
+        calls into another CodeObject)."""
+        if self.pipeline is None or not self.pipeline.flush_cycles:
+            return []
+        flush = self.pipeline.flush_cycles
+        return [f"m.cycles += {flush}", f"m.stall_control += {flush}"]
+
+    def _flush_check(self, index: int) -> List[str]:
+        """The simulator's dynamic transfer test, emitted verbatim for
+        sites whose successor is only known at run time (handler
+        fallbacks, returns): flush unless execution continues at
+        ``index + 1`` of this same CodeObject."""
+        if self.pipeline is None or not self.pipeline.flush_cycles:
+            return []
+        flush = self.pipeline.flush_cycles
+        return [f"if m.code is not _CODE or m.pc != {index + 1}:",
+                f"    m.cycles += {flush}",
+                f"    m.stall_control += {flush}"]
 
     def _push_frame_lines(self, ret_pc: int, nargs: int) -> List[str]:
         """Machine._push_frame, unrolled into the generated caller.  The
@@ -436,7 +495,8 @@ class _Translator:
             return ["m._halted = True", "return"]
 
         if op == "JMP":
-            return self._goto(self.code.resolve_label(ops[0][1]))
+            return self._goto(self.code.resolve_label(ops[0][1]),
+                              index=index)
 
         if op in ("JUMPNIL", "JUMPNNIL"):
             src = read(ops[0])
@@ -448,8 +508,9 @@ class _Translator:
                      "if type(_x) is PdlNumber:",
                      "    _x = _x.deref()",
                      f"if _x {test} NIL:"]
-                    + ["    " + line for line in self._goto(target)]
-                    + self._goto(index + 1))
+                    + ["    " + line
+                       for line in self._goto(target, index=index)]
+                    + self._goto(index + 1, index=index, taken=False))
 
         if op == "CMPBR":
             rel = ops[0][1]
@@ -468,8 +529,9 @@ class _Translator:
                           "    _need(_y, 'CMPBR')"]
             return (lines
                     + [f"if _x {pyop} _y:"]
-                    + ["    " + line for line in self._goto(target)]
-                    + self._goto(index + 1))
+                    + ["    " + line
+                       for line in self._goto(target, index=index)]
+                    + self._goto(index + 1, index=index, taken=False))
 
         if op == "EQLBR":
             a, b = read(ops[0]), read(ops[1])
@@ -477,8 +539,9 @@ class _Translator:
                 return self._terminator_fallback(instruction, index)
             target = self.code.resolve_label(ops[2][1])
             return ([f"if _eql(_ptl({a}), _ptl({b})):"]
-                    + ["    " + line for line in self._goto(target)]
-                    + self._goto(index + 1))
+                    + ["    " + line
+                       for line in self._goto(target, index=index)]
+                    + self._goto(index + 1, index=index, taken=False))
 
         if op == "UNBOX":
             src = read(ops[1])
@@ -616,10 +679,11 @@ class _Translator:
             for count, label in ops[0][1]:
                 target = self.code.resolve_label(label)
                 if count is None:
-                    lines += self._goto(target)
+                    lines += self._goto(target, index=index)
                     return lines
                 lines += ([f"if _n == {count}:"]
-                          + ["    " + line for line in self._goto(target)])
+                          + ["    " + line
+                             for line in self._goto(target, index=index)])
             # No arm matched: the handler raises the arity error.
             lines += [self._fallback_call(instruction, index), "return"]
             return lines
@@ -646,9 +710,14 @@ class _Translator:
                 return ([f"_c = m.program.functions.get({kname})",
                          "if _c is None:",
                          f"    m.pc = {index + 1}",
-                         f"    {self._fallback_call(instruction, index)}",
-                         "    return"]
+                         f"    {self._fallback_call(instruction, index)}"]
+                        + ["    " + line
+                           for line in self._flush_check(index)]
+                        + ["    return"]
                         + push
+                        # Entering another CodeObject always transfers:
+                        # charge the flush once, IC hit and miss alike.
+                        + self._flush_charge()
                         + ["m.code = _c",
                            "m.pc = 0",
                            f"if _c is {cell}[0]:"]
@@ -661,7 +730,7 @@ class _Translator:
                            f"return {cell}[1]"])
             if target[0] == "label":
                 entry = self.code.resolve_label(target[1])
-                return push + self._goto(entry)
+                return push + self._goto(entry, index=index)
             return self._terminator_fallback(instruction, index)
 
         if op == "TAILCALL":
@@ -674,12 +743,15 @@ class _Translator:
                 return ([f"_c = m.program.functions.get({kname})",
                          "if _c is None:",
                          f"    m.pc = {index + 1}",
-                         f"    {self._fallback_call(instruction, index)}",
-                         "    return"]
+                         f"    {self._fallback_call(instruction, index)}"]
+                        + ["    " + line
+                           for line in self._flush_check(index)]
+                        + ["    return"]
                         + high_water
                         + [f"m._replace_frame({nargs})",
-                           "m.cp = None",
-                           "m.code = _c",
+                           "m.cp = None"]
+                        + self._flush_charge()
+                        + ["m.code = _c",
                            "m.pc = 0",
                            "return"])
             if target[0] == "label":
@@ -687,7 +759,7 @@ class _Translator:
                 return (high_water
                         + [f"m._replace_frame({nargs})",
                            "m.cp = None"]
-                        + self._goto(entry))
+                        + self._goto(entry, index=index))
             return self._terminator_fallback(instruction, index)
 
         if op == "RET":
@@ -712,13 +784,14 @@ class _Translator:
                     "    m._halted = True",
                     "    return",
                     "m.code = _c",
-                    "m.pc = _rec.ret_pc",
-                    "stack.append(_v)",
-                    # ret_block is this machine's continuation block for
-                    # (ret_code, ret_pc) when the frame was pushed by
-                    # generated code, None when the simulator pushed it
-                    # (the dispatch loop then resolves m.code/m.pc).
-                    "return _rec.ret_block"]
+                    "m.pc = _rec.ret_pc"] \
+                + self._flush_check(index) \
+                + ["stack.append(_v)",
+                   # ret_block is this machine's continuation block for
+                   # (ret_code, ret_pc) when the frame was pushed by
+                   # generated code, None when the simulator pushed it
+                   # (the dispatch loop then resolves m.code/m.pc).
+                   "return _rec.ret_block"]
 
         if op == "GENERIC":
             name = ops[0][1]
@@ -811,10 +884,14 @@ class _Translator:
         # The handler expects the simulator's convention: pc already
         # advanced past the instruction (CALLF saves it as the return
         # address, LOCK spins by decrementing it, throw overwrites it).
+        # Whether it transferred (closure call, throw, spin) or fell
+        # through (primitive CALLF, halt) is only known afterwards, so
+        # the pipelined model re-runs the simulator's transfer test here.
         self._fallback_main.add(index)
-        return [f"m.pc = {index + 1}",
-                self._fallback_call(instruction, index),
-                "return"]
+        return ([f"m.pc = {index + 1}",
+                 self._fallback_call(instruction, index)]
+                + self._flush_check(index)
+                + ["return"])
 
     # -- whole-code translation ---------------------------------------------
 
@@ -824,11 +901,22 @@ class _Translator:
         starts = self.leaders()
         module: List[str] = []
         info = []
+        tprof = self._tprof
         for position, start in enumerate(starts):
             end = starts[position + 1] if position + 1 < len(starts) else n
             count = end - start
             static = sum(self.costs.get(instructions[k].opcode, 1)
                          for k in range(start, end))
+            # Pipelined model: the block's data-hazard and structural
+            # stalls are static properties of its straight-line body
+            # (mid-block instructions never transfer), so they are folded
+            # into the prologue charge exactly as the simulator would
+            # charge them one instruction at a time.
+            if tprof is not None:
+                stall_data, stall_structural = tprof.block_stalls(start, end)
+            else:
+                stall_data = stall_structural = 0
+            static += stall_data + stall_structural
             fname = f"_blk_{start}"
             module.append(f"def {fname}(m):")
             self._tp_ok = False
@@ -839,7 +927,7 @@ class _Translator:
             for k in range(start, end):
                 core.extend(self.emit(k))
             if not _is_terminator(instructions[end - 1]):
-                core += self._goto(end)
+                core += self._goto(end, index=end - 1, taken=False)
             body = []
             if any("stack" in line for line in core):
                 body.append("stack = m.stack")
@@ -852,6 +940,10 @@ class _Translator:
                      " exhausted')"]
             if static:
                 body.append(f"m.cycles += {static}")
+            if stall_data:
+                body.append(f"m.stall_data += {stall_data}")
+            if stall_structural:
+                body.append(f"m.stall_structural += {stall_structural}")
             body += core
             for line in body:
                 module.append("    " + line)
@@ -859,7 +951,10 @@ class _Translator:
             opcodes = Counter(instructions[k].opcode
                               for k in range(start, end))
             attributions = [(k, instructions[k].opcode,
-                             self.costs.get(instructions[k].opcode, 1))
+                             self.costs.get(instructions[k].opcode, 1)
+                             + (tprof.structural[k]
+                                + (tprof.pair[k] if k > start else 0)
+                                if tprof is not None else 0))
                             for k in range(start, end)]
             # Telemetry's static split, decided by how each instruction
             # was just emitted: handler-call main paths are fallback,
@@ -903,7 +998,8 @@ class _Translator:
 
 def translate(code: CodeObject,
               cycle_costs: Optional[Dict[str, int]] = None,
-              telemetry: bool = False) -> NativeCode:
+              telemetry: bool = False,
+              pipeline: Optional[PipelineDescription] = None) -> NativeCode:
     """Translate *code* into native blocks under *cycle_costs* (default:
     the S-1 table).  Pure: the CodeObject is never mutated, so one
     translation serves every machine with the same cost table.  With
@@ -911,5 +1007,7 @@ def translate(code: CodeObject,
     fallback-site cycle reporting (reading ``m.telemetry`` at run time),
     so instrumented and plain translations must not share a cache --
     ``Machine.enable_telemetry`` drops its native cache for this reason.
+    A *pipeline* bakes that timing model's hazard-stall charges into the
+    generated blocks (``Machine.set_timing`` drops the cache likewise).
     """
-    return _Translator(code, cycle_costs, telemetry).translate()
+    return _Translator(code, cycle_costs, telemetry, pipeline).translate()

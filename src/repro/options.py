@@ -101,6 +101,14 @@ class CompilerOptions:
     # translated Python blocks, so this must not perturb the cache key.
     tier: str = non_semantic("simulate")   # "simulate" | "native"
 
+    # --- timing model (repro.machine.timing) ---
+    # How executed cycles are *charged*, never what runs or what results:
+    # "single" is the paper's per-opcode table model, "pipelined" adds
+    # hazard stalls (data/control/structural) from the target's
+    # PipelineDescription.  Results, instructions, and opcode counts are
+    # identical under both, so it must not perturb the cache key.
+    timing: str = non_semantic("single")   # "single" | "pipelined"
+
     # --- verification (repro.verify) ---
     # Non-semantic: the sanitizer either passes (the code is what it would
     # have been anyway) or raises (nothing is cached).
@@ -131,6 +139,12 @@ class CompilerOptions:
             raise ValueError(
                 f"unknown execution tier {self.tier!r}"
                 f" (choose one of {', '.join(TIERS)})")
+        from .machine.timing import TIMINGS
+
+        if self.timing not in TIMINGS:
+            raise ValueError(
+                f"unknown timing model {self.timing!r}"
+                f" (choose one of {', '.join(TIMINGS)})")
         if self.optimizer_backend not in OPTIMIZER_BACKENDS:
             raise ValueError(
                 f"unknown optimizer backend {self.optimizer_backend!r}"

@@ -27,6 +27,11 @@ from typing import Dict, Mapping, Tuple, Union
 
 from ..errors import UnknownTargetError
 from ..machine.isa import CYCLES
+from ..machine.timing import (
+    DEFAULT_PIPELINE,
+    PipelineDescription,
+    issue_latencies,
+)
 from .registers import (
     CP,
     FP,
@@ -63,6 +68,10 @@ class MachineDescription:
     #: lattice; a port with different word sizes would override these).
     reps: Tuple[str, ...] = ALL_REPS
     rep_words: Mapping[str, int] = field(default_factory=lambda: REP_WORDS)
+    #: The target's pipelined timing model (``timing="pipelined"``): the
+    #: issue-latency, flush, and structural-hazard tables the machine
+    #: charges stall cycles from.  ``timing="single"`` ignores it.
+    pipeline: PipelineDescription = DEFAULT_PIPELINE
 
     def allocatable(self) -> Tuple[int, ...]:
         """This target's general register pool."""
@@ -89,41 +98,89 @@ S1 = MachineDescription(
     sin_in_cycles=True,
     register_names=dict(REGISTER_NAMES),
     cycles=CYCLES,
+    # The Mark IIA's deep pipeline (timing.DEFAULT_PIPELINE): 3-cycle
+    # taken-branch refill, 1-cycle result bubble, heavy GENERIC occupancy.
+    pipeline=DEFAULT_PIPELINE,
 )
 
 # A VAX-like model: true 3-address register arithmetic (no RT staging at
 # all), 16 general registers, radians-based transcendentals, no vector
 # hardware (the vector ops fall back to microcoded loops), slower float
 # multiply/divide than the S-1's pipelined unit.
+_VAX_CYCLES = dict(
+    CYCLES,
+    FMULT=3, FDIV=8, MULT=4, DIV=8,
+    FSINR=12, FCOSR=12, FSIN=14, FCOS=14, FSQRT=12,
+    VDOT=8, VSUM=8, VADD=8, VSCALE=8,
+)
+
+# A microcoded, barely-overlapped pipeline: short refill on taken
+# branches, results forward for free from single-cycle producers, but the
+# microcode sequencer serializes on generic dispatch and allocation.
+_VAX_PIPELINE = PipelineDescription(
+    name="vax",
+    flush_cycles=2,
+    result_latency=issue_latencies(_VAX_CYCLES),
+    structural={
+        "GENERIC": 3,
+        "GFUNC": 1,
+        "BOXF": 2,
+        "MKCELL": 2,
+        "CLOSURE": 3,
+        "RESTCOLLECT": 3,
+        "SPECLOOKUP": 2,
+        "CATCHPUSH": 1,
+        "GC": 6,
+    },
+    default_result_latency=0,
+)
+
 VAX = MachineDescription(
     name="vax",
     registers=16,
     has_rt_constraint=False,
     sin_in_cycles=False,
     register_names=_named(_RUNTIME_NAMES),
-    cycles=dict(
-        CYCLES,
-        FMULT=3, FDIV=8, MULT=4, DIV=8,
-        FSINR=12, FCOSR=12, FSIN=14, FCOS=14, FSQRT=12,
-        VDOT=8, VSUM=8, VADD=8, VSCALE=8,
-    ),
+    cycles=_VAX_CYCLES,
+    pipeline=_VAX_PIPELINE,
 )
 
 # A PDP-10-like model: 16 accumulators, strict 2-address arithmetic (the
 # RT staging discipline applies, as on the S-1), radians-based sine, and
 # the KL10's slower multiply/divide.
+_PDP10_CYCLES = dict(
+    CYCLES,
+    MULT=4, DIV=9, FADD=2, FSUB=2, FMULT=4, FDIV=9,
+    FSINR=14, FCOSR=14, FSIN=16, FCOS=16, FSQRT=14,
+    VDOT=10, VSUM=10, VADD=10, VSCALE=10,
+)
+
+# A shallow KL10-style overlap: one-cycle branch bubble, free forwarding
+# from single-cycle producers, modest serialization on heap traffic.
+_PDP10_PIPELINE = PipelineDescription(
+    name="pdp10",
+    flush_cycles=1,
+    result_latency=issue_latencies(_PDP10_CYCLES),
+    structural={
+        "GENERIC": 1,
+        "BOXF": 1,
+        "MKCELL": 1,
+        "CLOSURE": 1,
+        "RESTCOLLECT": 1,
+        "SPECLOOKUP": 1,
+        "GC": 3,
+    },
+    default_result_latency=0,
+)
+
 PDP10 = MachineDescription(
     name="pdp10",
     registers=16,
     has_rt_constraint=True,
     sin_in_cycles=False,
     register_names=_named(_RUNTIME_NAMES, stem="AC"),
-    cycles=dict(
-        CYCLES,
-        MULT=4, DIV=9, FADD=2, FSUB=2, FMULT=4, FDIV=9,
-        FSINR=14, FCOSR=14, FSIN=16, FCOS=16, FSQRT=14,
-        VDOT=10, VSUM=10, VADD=10, VSCALE=10,
-    ),
+    cycles=_PDP10_CYCLES,
+    pipeline=_PDP10_PIPELINE,
 )
 
 #: The registry ``CompilerOptions.target`` is resolved against.

@@ -14,11 +14,14 @@ Design constraints:
   one attribute load + branch per step, and the native tier's chained
   dispatch loop pays nothing (telemetry routes through the per-block
   path, exactly like the profiler).
-* **Cycle conservation.**  Every executed instruction's cycles land in
-  exactly one of two per-opcode counters -- ``fast_path`` (inline
+* **Cycle conservation.**  Every executed instruction's base cycles land
+  in exactly one of two per-opcode counters -- ``fast_path`` (inline
   generated code) or ``fallback`` (simulator ``_DISPATCH`` handlers) --
-  and ``sum(fast_path) + sum(fallback) == Machine.cycles`` holds exactly
-  for any completed run.  On the simulate tier everything is by
+  and pipelined-model hazard stalls land in a per-category
+  ``stall_cycles`` bucket, so
+  ``sum(fast_path) + sum(fallback) + sum(stalls) == Machine.cycles``
+  holds exactly for any completed run (stalls are zero under
+  ``timing="single"``).  On the simulate tier everything is by
   definition fallback (the simulator *is* the handler path); the native
   tier splits each block's statically-known costs at translation time and
   instrumented fallback sites report their dynamic extras (GENERIC
@@ -79,6 +82,11 @@ class MachineTelemetry:
         self.heap_samples: List[Dict[str, Any]] = []
         #: One span per Machine.run() (name, tier, wall-clock, cycles).
         self.run_spans: List[Dict[str, Any]] = []
+        #: hazard category ("data"/"control"/"structural") -> stall cycles
+        #: charged by the pipelined timing model.  Zero under
+        #: timing="single"; conservation is
+        #: ``fast + fallback + stalls == Machine.cycles``.
+        self.stall_cycles: Counter = Counter()
         #: call-stack tuple -> cycles, for the collapsed-stack flamegraph.
         #: Stacks reflect live frames (tail calls replace their frame).
         self.stack_cycles: Counter = Counter()
@@ -120,6 +128,20 @@ class MachineTelemetry:
                 fallback_counts[opcode] += count
             self.block_fallback_cycles[label] += block.tel_fallback_total
         self.stack_cycles[stack] += delta
+
+    def note_stalls(self, data: int = 0, control: int = 0,
+                    structural: int = 0) -> None:
+        """Hazard stall cycles the pipelined timing model just charged
+        (the simulator reports per instruction, the native tier per
+        block); they carry their own attribution bucket so the fast /
+        fallback split stays a pure base-cost split."""
+        stalls = self.stall_cycles
+        if data:
+            stalls["data"] += data
+        if control:
+            stalls["control"] += control
+        if structural:
+            stalls["structural"] += structural
 
     def note_fallback(self, opcode: str, block: str, extra: int) -> None:
         """An instrumented native fallback site ran its handler; *extra*
@@ -200,11 +222,15 @@ class MachineTelemetry:
 
     def begin_run(self, name: str, machine: Any) -> Dict[str, Any]:
         span = {"name": name, "tier": machine.tier,
+                "timing": getattr(machine, "timing", "single"),
                 "processor": self.processor_id,
                 "started_s": perf_counter(), "duration_s": None,
                 "cycles": None, "instructions": None,
+                "stall_cycles": None,
                 "_cycles0": machine.cycles,
-                "_instructions0": machine.instructions}
+                "_instructions0": machine.instructions,
+                "_stalls0": (machine.stall_data, machine.stall_control,
+                             machine.stall_structural)}
         self.run_spans.append(span)
         return span
 
@@ -213,6 +239,12 @@ class MachineTelemetry:
         span["cycles"] = machine.cycles - span.pop("_cycles0")
         span["instructions"] = machine.instructions \
             - span.pop("_instructions0")
+        stalls0 = span.pop("_stalls0")
+        span["stall_cycles"] = {
+            "data": machine.stall_data - stalls0[0],
+            "control": machine.stall_control - stalls0[1],
+            "structural": machine.stall_structural - stalls0[2],
+        }
         self.sample_heap(machine.heap, event="run-end")
 
     # -- aggregation --------------------------------------------------------
@@ -233,6 +265,7 @@ class MachineTelemetry:
         self.block_runs.update(other.block_runs)
         self.block_cycles.update(other.block_cycles)
         self.block_fallback_cycles.update(other.block_fallback_cycles)
+        self.stall_cycles.update(other.stall_cycles)
         self.gc_events.extend(other.gc_events)
         self.heap_samples.extend(other.heap_samples)
         self.run_spans.extend(
@@ -246,9 +279,12 @@ class MachineTelemetry:
     def attributed_cycles(self) -> int:
         """Total cycles attributed; equals ``Machine.cycles`` exactly for
         any completed run with telemetry enabled from machine creation
-        (the conservation invariant the tests assert)."""
+        (the conservation invariant the tests assert).  Under the
+        pipelined timing model the hazard-stall bucket joins the sum:
+        ``fast + fallback + stalls == cycles``."""
         return (sum(self.fast_cycles.values())
-                + sum(self.fallback_cycles.values()))
+                + sum(self.fallback_cycles.values())
+                + sum(self.stall_cycles.values()))
 
     def top_fallback_opcodes(self, top: int = 5
                              ) -> List[Tuple[str, int, int]]:
@@ -301,11 +337,18 @@ class MachineTelemetry:
     def report(self, top: int = 20) -> str:
         fast = sum(self.fast_cycles.values())
         fallback = sum(self.fallback_cycles.values())
-        total = fast + fallback
+        stalls = sum(self.stall_cycles.values())
+        total = fast + fallback + stalls
         lines = [f"Telemetry: {total} cycles attributed "
                  f"({fast} fast-path, {fallback} fallback)"]
         if total:
             lines[0] += f", fast-path share {fast / total:.1%}"
+        if stalls:
+            lines.append(
+                f"Pipeline stalls: {stalls} cycles "
+                f"(data {self.stall_cycles['data']}, "
+                f"control {self.stall_cycles['control']}, "
+                f"structural {self.stall_cycles['structural']})")
         lines.append(self.hot_report(top))
         if self.gc_events:
             pause = sum(e["pause_s"] for e in self.gc_events)
@@ -347,8 +390,12 @@ class MachineTelemetry:
             "totals": {
                 "fast_path_cycles": sum(self.fast_cycles.values()),
                 "fallback_cycles": sum(self.fallback_cycles.values()),
+                "stall_cycles": sum(self.stall_cycles.values()),
                 "attributed_cycles": self.attributed_cycles(),
             },
+            "stall_cycles": {category: self.stall_cycles[category]
+                             for category in ("data", "control",
+                                              "structural")},
             "ic_sites": {site: {"hits": cell[0], "misses": cell[1],
                                 "invalidations": cell[2]}
                          for site, cell in self.ic_sites.items()},

@@ -45,9 +45,9 @@ dicts):
   (``main;loop;leaf 1234`` -- one line per stack, cycles as the weight),
   ready for ``flamegraph.pl`` or speedscope.
 * ``repro_machine_*`` Prometheus families (path-attributed cycles,
-  inline-cache events, GC totals, heap occupancy, block executions) via
-  the ``telemetry`` argument of :func:`prometheus_metrics` /
-  :func:`write_metrics`.
+  hazard-stall cycles by category, inline-cache events, GC totals, heap
+  occupancy, block executions) via the ``telemetry`` argument of
+  :func:`prometheus_metrics` / :func:`write_metrics`.
 * :func:`parse_prometheus_text` -- a strict line-by-line parser for the
   text exposition format, so tests and CI validate metrics documents
   structurally instead of grepping.
@@ -205,8 +205,10 @@ def machine_trace_events(telemetry: Any, pid: int = 1, tid: int = 1,
             "ph": "X", "ts": span["started_s"],
             "dur": max(span["duration_s"], 0.0), "pid": pid, "tid": tid,
             "args": {**tag, "tier": span.get("tier"),
+                     "timing": span.get("timing"),
                      "cycles": span.get("cycles"),
                      "instructions": span.get("instructions"),
+                     "stall_cycles": span.get("stall_cycles"),
                      "processor": span.get("processor")},
         })
     for event in data.get("gc_events", ()):
@@ -419,6 +421,14 @@ def machine_metric_lines(telemetry: Any) -> List[str]:
             lines.append(
                 f'repro_machine_path_cycles_total{{path="{path}",opcode="'
                 f'{_escape_label(opcode)}"}} {section[opcode]["cycles"]}')
+    lines.append("# HELP repro_machine_stall_cycles_total Pipeline stall "
+                 "cycles charged by the pipelined timing model, by hazard "
+                 "category (all zero under single-cycle timing).")
+    lines.append("# TYPE repro_machine_stall_cycles_total counter")
+    stalls = data.get("stall_cycles", {})
+    for category in ("data", "control", "structural"):
+        lines.append(f'repro_machine_stall_cycles_total{{category="'
+                     f'{category}"}} {stalls.get(category, 0)}')
     lines.append("# HELP repro_machine_ic_events_total Inline-cache "
                  "events by call site.")
     lines.append("# TYPE repro_machine_ic_events_total counter")

@@ -81,10 +81,11 @@ class TestOptionSplit:
         assert not SEMANTIC_OPTION_FIELDS & NON_SEMANTIC_OPTION_FIELDS
 
     def test_observability_fields_are_non_semantic(self):
-        # tier selects how compiled code is executed, never what it
-        # compiles to, so it must not perturb cache keys.
+        # tier selects how compiled code is executed and timing selects
+        # how executed cycles are charged -- never what it compiles to,
+        # so neither may perturb cache keys.
         assert {"verify_ir", "transcript", "transcript_stream",
-                "trace_rewrites", "cache", "tier"} \
+                "trace_rewrites", "cache", "tier", "timing"} \
             == set(NON_SEMANTIC_OPTION_FIELDS)
 
     def test_cache_reexport_is_the_same_object(self):

@@ -513,3 +513,58 @@ class TestThreeWayTierSweep:
             assert dict(sim.opcode_counts) == dict(nat.opcode_counts), source
             assert sim.call_count == nat.call_count, source
             assert sim.max_stack == nat.max_stack, source
+
+
+class TestTimingModelSweep:
+    """The timing-model non-semantics gate: for a seeded random corpus the
+    interpreter, the simulator, and the native tier must agree on every
+    program under *both* timing models, on every registered target -- with
+    identical instruction and opcode totals across the whole (timing,
+    tier) grid.  Only ``cycles`` may differ, and only along the timing
+    axis: within a timing model both tiers still charge identical cycles."""
+
+    def test_fuzz_timing_axis(self):
+        from repro.fuzz import run_fuzz
+
+        report = run_fuzz(base_seed=2000, count=60,
+                          tiers=("simulate", "native"),
+                          timings=("single", "pipelined"))
+        assert report.timings == ("single", "pipelined")
+        assert report.compilations == 180        # 60 programs x 3 targets
+        assert report.ok, "\n" + report.render()
+
+    @pytest.mark.parametrize("target", ["s1", "vax", "pdp10"])
+    def test_grid_stats_on_corpus_sample(self, target):
+        # The explicit grid: one compilation, four runs (2 timings x 2
+        # tiers), every non-cycle statistic equal everywhere, and
+        # pipelined cycles decomposing exactly into the single-cycle
+        # total plus the attributed stalls.
+        for source, fn, args in corpus(10, base_seed=47):
+            expected = interp_result(source, fn, args)
+            compiler = Compiler(CompilerOptions(target=target))
+            compiler.compile_source(source)
+            grid = {}
+            for timing in ("single", "pipelined"):
+                for tier in ("simulate", "native"):
+                    machine = compiler.machine()
+                    machine.tier = tier
+                    machine.set_timing(timing)
+                    got = machine.run(sym(fn), list(args))
+                    assert lisp_equal(expected, got), (timing, tier, source)
+                    grid[(timing, tier)] = machine.stats()
+            baseline = grid[("single", "simulate")]
+            for key, stats in grid.items():
+                assert stats["instructions"] == baseline["instructions"], \
+                    (key, source)
+                assert stats["opcodes"] == baseline["opcodes"], (key, source)
+            assert grid[("single", "native")]["cycles"] == \
+                baseline["cycles"], source
+            for tier in ("simulate", "native"):
+                piped = grid[("pipelined", tier)]
+                assert piped["base_cycles"] == baseline["cycles"], \
+                    (tier, source)
+                assert piped["base_cycles"] \
+                    + sum(piped["stall_cycles"].values()) \
+                    == piped["cycles"], (tier, source)
+            assert grid[("pipelined", "simulate")]["cycles"] == \
+                grid[("pipelined", "native")]["cycles"], source

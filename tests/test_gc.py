@@ -161,3 +161,89 @@ class TestAllocationWatermarkTrigger:
         # CHURN allocates 3 conses per iteration in one GENERIC; allow
         # threshold + one burst + the loop's own live state.
         assert peak <= 20 + 3 + 10
+
+
+class TestMarkLoopTraversal:
+    """Regression sweep for the collector's mark loop and the machine's
+    root set: every container type must be traversed regardless of
+    discovery order, and every saved closure environment (a suspended
+    caller's ``old_cp``, a catch record's ``cp``) must be rooted."""
+
+    def test_vector_of_vectors_survives(self):
+        # Live data held *solely* through a vector stored inside another
+        # vector: the locals are dead after the vsets, so only the
+        # outer->inner->list chain keeps the cons cells alive across the
+        # collections the churn loop triggers.
+        source = """
+            (defun nest (n)
+              (let ((outer (make-vector 2 nil)))
+                (vset outer 0 (make-vector 3 7))
+                (vset (vref outer 0) 1 (list 1 2 3))
+                (dotimes (i n 'ok) (list i i i))
+                (+ (vref (vref outer 0) 0)
+                   (car (cdr (vref (vref outer 0) 1))))))
+        """
+        machine = machine_for(source, gc_threshold=30)
+        assert machine.run(sym("nest"), [200]) == 9
+        assert machine.heap.gc_runs >= 1
+
+    def test_nested_vectors_traversed_from_roots(self):
+        from repro.machine import Heap
+        from repro.primitives import LispVector
+
+        heap = Heap()
+        leaf = heap.allocate_cons(1, 2)
+        outer = LispVector([LispVector([leaf])])
+        heap.adopt(outer)
+        assert heap.collect([outer]) == 0
+        assert id(leaf) in heap.objects
+
+    def test_unregistered_cycle_terminates_and_marks_through(self):
+        # RESTCOLLECT-style structure is note_allocation'd, never
+        # registered: the mark loop must still walk it (a registered cons
+        # can hide behind it) and must terminate on cycles through it.
+        from repro.datum import Cons
+        from repro.machine import Heap
+
+        heap = Heap()
+        kept = heap.allocate_cons(1, 2)
+        a = Cons(kept, None)
+        b = Cons(a, None)
+        a.cdr = b  # unregistered two-cons cycle holding a registered cons
+        assert heap.collect([a]) == 0
+        assert id(kept) in heap.objects
+
+    def test_suspended_caller_env_is_rooted(self):
+        # A FrameRecord's old_cp is the suspended caller's closure
+        # environment; the record itself is opaque to the heap, so
+        # gc_roots must expand it.
+        from repro.machine import FrameRecord
+
+        machine = machine_for(CHURN)
+        payload = machine.heap.allocate_cons(1, 2)
+        machine.stack.append(FrameRecord(
+            ret_code=None, ret_pc=0, old_fp=0, old_tp=0,
+            old_cp=[payload], nargs=0, serial=999))
+        try:
+            roots = machine.gc_roots()
+            assert any(root is payload for root in roots)
+            machine.heap.collect(roots)
+            assert id(payload) in machine.heap.objects
+        finally:
+            machine.stack.pop()
+
+    def test_catch_record_env_is_rooted(self):
+        from repro.machine.cpu import CatchRecord
+
+        machine = machine_for(CHURN)
+        payload = machine.heap.allocate_cons(3, 4)
+        code = machine.program.functions[sym("churn")]
+        machine.catch_stack.append(CatchRecord(
+            tag=sym("t"), stack_height=0, fp=0, tp=0, cp=[payload],
+            code=code, target_pc=0, specials_depth=0,
+            frame_serials=frozenset()))
+        try:
+            roots = machine.gc_roots()
+            assert any(root is payload for root in roots)
+        finally:
+            machine.catch_stack.pop()

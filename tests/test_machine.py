@@ -106,6 +106,22 @@ class TestBasicExecution:
         with pytest.raises(MachineError):
             run(make_program(spin=code), "spin", [], fuel=100)
 
+    def test_fuel_override_is_per_call(self):
+        # Regression: run(fuel=N) used to overwrite self.fuel for good, so
+        # one tightly budgeted call silently shrank the allowance of every
+        # later call on the same machine.
+        spin = CodeObject("spin", [ins("JMP", label_ref("top"))],
+                          labels={"top": 0})
+        k = CodeObject("k", [ins("RET", imm(42))])
+        machine = Machine(make_program(spin=spin, k=k), fuel=10_000)
+        with pytest.raises(MachineError):
+            machine.run(sym("spin"), [], fuel=5)
+        assert machine.fuel == 10_000  # restored, not stuck at 5
+        # A call needing more than the transient override still succeeds.
+        assert machine.run(sym("k"), []) == 42
+        with pytest.raises(MachineError):
+            machine.run(sym("spin"), [])  # constructor budget still enforced
+
 
 class TestCalls:
     def test_call_and_return(self):

@@ -128,6 +128,20 @@ class TestMetaCommands:
         output, _, _ = session(":diag")
         assert "nothing compiled" in output
 
+    def test_timing_show_and_switch(self):
+        output, _, repl = session("(defun g (x) (* (+ x 1) 2))", "(g 5)",
+                                  ":timing", ":timing pipelined", "(g 5)")
+        assert "timing: single" in output
+        assert "timing: pipelined" in output
+        assert repl.compiler.options.timing == "pipelined"
+        assert repl.machine.timing == "pipelined"
+        assert sum(repl.machine.stall_cycles().values()) > 0
+
+    def test_timing_unknown_model(self):
+        output, alive, _ = session(":timing vliw")
+        assert "unknown timing model" in output
+        assert alive
+
     def test_unknown_command(self):
         output, alive, _ = session(":frobnicate")
         assert "unknown command" in output
